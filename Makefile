@@ -1,0 +1,42 @@
+# Convenience targets for the mc3 repository. Everything is plain `go` —
+# these exist only as documentation of the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench bench-full experiments experiments-quick fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure (reduced scale) + micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem -run xxx .
+
+bench-full:
+	$(GO) test -bench=. -benchmem -run xxx ./...
+
+# Regenerate the paper's experimental study at full scale (≈ half a minute).
+experiments:
+	$(GO) run ./cmd/mc3bench
+
+experiments-quick:
+	$(GO) run ./cmd/mc3bench -quick
+
+# Short fuzzing passes over the parser and the set algebra.
+fuzz:
+	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/textio/
+	$(GO) test -fuzz FuzzPropSetAlgebra -fuzztime 30s ./internal/core/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,24 @@
+package mc3
+
+import "repro/internal/solver"
+
+// BudgetedSolution is a partial-cover solution: the classifiers bought
+// within budget, and which queries they fully cover.
+type BudgetedSolution = solver.BudgetedSolution
+
+// SolveBudgeted addresses the budgeted partial-cover variant the paper
+// poses as future work (Sections 5.3 and 8): maximize the total weight of
+// fully covered queries subject to a construction budget. The paper shows
+// its complete-cover reduction does not extend to this variant and that it
+// is harder to approximate; accordingly this is a greedy heuristic
+// (weight per completion cost) with no approximation guarantee. weights
+// must have one non-negative entry per instance query.
+func SolveBudgeted(inst *Instance, weights []float64, budget float64, opts SolveOptions) (*BudgetedSolution, error) {
+	return solver.Budgeted(inst, weights, budget, opts)
+}
+
+// SolveBudgetedExact enumerates classifier subsets for ground truth on
+// small instances (≤ solver.BudgetedExactLimit classifiers).
+func SolveBudgetedExact(inst *Instance, weights []float64, budget float64, opts SolveOptions) (*BudgetedSolution, error) {
+	return solver.BudgetedExact(inst, weights, budget, opts)
+}

@@ -1,0 +1,140 @@
+// Command mc3bench regenerates the paper's experimental study (Section 6):
+// Table 1, Figures 3a–3f, and the repository's ablations, printing each as
+// an aligned text table.
+//
+// Usage:
+//
+//	mc3bench                   # full paper-scale suite (minutes)
+//	mc3bench -quick            # reduced-scale smoke run (seconds)
+//	mc3bench -exp fig3a,fig3d  # selected experiments only
+//	mc3bench -exp ablation     # all ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mc3bench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the selected experiments, writing tables to out and progress
+// to errw.
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("mc3bench", flag.ContinueOnError)
+	var (
+		quick   = fs.Bool("quick", false, "run at reduced scale")
+		seed    = fs.Int64("seed", 1, "dataset generation seed")
+		exps    = fs.String("exp", "all", "comma-separated experiments: table1,fig3a,fig3b,fig3c,fig3d,fig3e,fig3f,ablation,all")
+		repeats = fs.Int("repeats", 1, "timing repetitions (min reported)")
+		format  = fs.String("format", "text", "output format: text|csv|markdown")
+		seeds   = fs.Int("seeds", 1, "run each experiment under this many seeds and report means")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	render := func(tab *bench.Table) error {
+		switch *format {
+		case "csv":
+			fmt.Fprintf(out, "# %s: %s\n", tab.ID, tab.Title)
+			return tab.RenderCSV(out)
+		case "markdown":
+			tab.RenderMarkdown(out)
+			return nil
+		default:
+			tab.Render(out)
+			return nil
+		}
+	}
+	if *format != "text" && *format != "csv" && *format != "markdown" {
+		return fmt.Errorf("unknown -format %q", *format)
+	}
+
+	var cfg bench.Config
+	if *quick {
+		cfg = bench.Quick(*seed)
+	} else {
+		cfg = bench.Config{Seed: *seed}.Defaults()
+	}
+	cfg.Repeats = *repeats
+
+	runners := map[string]func(bench.Config) (*bench.Table, error){
+		"table1": bench.Table1,
+		"fig3a":  bench.Figure3a,
+		"fig3b":  bench.Figure3b,
+		"fig3c":  bench.Figure3c,
+		"fig3d":  bench.Figure3d,
+		"fig3e":  bench.Figure3e,
+		"fig3f":  bench.Figure3f,
+	}
+	order := []string{"table1", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f"}
+
+	var selected []string
+	wantAblation := false
+	for _, e := range strings.Split(*exps, ",") {
+		e = strings.TrimSpace(e)
+		switch e {
+		case "", "all":
+			selected = append(selected, order...)
+			wantAblation = true
+		case "ablation", "ablations":
+			wantAblation = true
+		default:
+			if _, ok := runners[e]; !ok {
+				return fmt.Errorf("unknown experiment %q", e)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	seen := map[string]bool{}
+	start := time.Now()
+	for _, name := range selected {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		t0 := time.Now()
+		var tab *bench.Table
+		var err error
+		if *seeds > 1 {
+			seedList := make([]int64, *seeds)
+			for i := range seedList {
+				seedList[i] = cfg.Seed + int64(i)
+			}
+			tab, err = bench.Aggregate(runners[name], cfg, seedList)
+		} else {
+			tab, err = runners[name](cfg)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := render(tab); err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "mc3bench: %s done in %v\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+	if wantAblation {
+		tabs, err := bench.Ablations(cfg)
+		if err != nil {
+			return fmt.Errorf("ablations: %w", err)
+		}
+		for _, tab := range tabs {
+			if err := render(tab); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintf(errw, "mc3bench: total %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

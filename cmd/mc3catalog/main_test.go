@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCatalogDefaultRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-items", "800", "-queries", "20", "-seed", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"recall before training", "MC3 plan", "recall after training:  1.000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCatalogBudgetSweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-items", "600", "-queries", "15", "-budget-sweep"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "sweeping budgets") || !strings.Contains(s, "100%") {
+		t.Errorf("budget sweep output wrong:\n%s", s)
+	}
+}
+
+func TestCatalogBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-items", "0"}, &out); err == nil {
+		t.Error("zero items must fail")
+	}
+	if err := run([]string{"-correlation", "3"}, &out); err == nil {
+		t.Error("bad correlation must fail")
+	}
+}

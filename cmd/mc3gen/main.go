@@ -1,0 +1,118 @@
+// Command mc3gen generates the paper's datasets (Section 6.1) as MC³
+// instance files consumable by mc3solve.
+//
+// Usage:
+//
+//	mc3gen -dataset synthetic -n 10000 -seed 1 -out instance.json
+//	mc3gen -dataset bestbuy -out bb.json
+//	mc3gen -dataset private [-category fashion] [-short] -out p.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/textio"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mc3gen:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against args; the instance JSON goes to out (or the
+// -out file), progress notes to errw.
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("mc3gen", flag.ContinueOnError)
+	var (
+		dataset  = fs.String("dataset", "synthetic", "dataset: synthetic|synthetic-k2|bestbuy|private")
+		logPath  = fs.String("log", "", "ingest a plain-text query log instead of generating (one query per line, comma-separated properties)")
+		logCost  = fs.Float64("log-cost", 1, "uniform classifier cost for -log ingestion")
+		n        = fs.Int("n", 10000, "query count (synthetic datasets)")
+		seed     = fs.Int64("seed", 1, "generation seed")
+		category = fs.String("category", "", "restrict private dataset to a category: electronics|fashion|home-garden")
+		short    = fs.Bool("short", false, "restrict to queries of length ≤ 2")
+		subset   = fs.Int("subset", 0, "randomly subsample to this many queries (0 = all)")
+		outPath  = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var d *workload.Dataset
+	if *logPath != "" {
+		lf, err := os.Open(*logPath)
+		if err != nil {
+			return err
+		}
+		d, err = workload.DatasetFromLog("querylog", lf, core.UniformCost(*logCost))
+		lf.Close()
+		if err != nil {
+			return err
+		}
+		return emit(d, *subset, *seed, *outPath, out, errw)
+	}
+	switch *dataset {
+	case "synthetic":
+		d = workload.Synthetic(*n, *seed)
+	case "synthetic-k2":
+		d = workload.SyntheticShort(*n, *seed)
+	case "bestbuy":
+		d = workload.BestBuy(*seed)
+	case "private":
+		d = workload.Private(*seed)
+	default:
+		return fmt.Errorf("unknown -dataset %q", *dataset)
+	}
+	if *category != "" {
+		if d.Categories == nil {
+			return fmt.Errorf("dataset %q has no categories", *dataset)
+		}
+		d = d.CategorySlice(*category)
+		if len(d.Queries) == 0 {
+			return fmt.Errorf("unknown -category %q", *category)
+		}
+	}
+	if *short {
+		d = d.ShortSlice()
+	}
+
+	return emit(d, *subset, *seed, *outPath, out, errw)
+}
+
+// emit materializes the dataset (optionally subsampled) and writes the
+// instance file.
+func emit(d *workload.Dataset, subset int, seed int64, outPath string, out, errw io.Writer) error {
+	inst, err := buildInstance(d, subset, seed)
+	if err != nil {
+		return err
+	}
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := textio.Write(out, textio.FromInstance(inst)); err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "mc3gen: %s — %d queries, %d classifiers, max length %d\n",
+		d.Name, inst.NumQueries(), inst.NumClassifiers(), inst.MaxQueryLen())
+	return nil
+}
+
+func buildInstance(d *workload.Dataset, subset int, seed int64) (*core.Instance, error) {
+	if subset > 0 {
+		return d.SubsetInstance(subset, seed)
+	}
+	return d.Instance()
+}

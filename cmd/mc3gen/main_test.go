@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/textio"
+)
+
+func TestGenSynthetic(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-dataset", "synthetic", "-n", "200", "-seed", "3"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	f, err := textio.Read(&out)
+	if err != nil {
+		t.Fatalf("generated output is not a valid instance file: %v", err)
+	}
+	if len(f.Queries) == 0 {
+		t.Error("no queries generated")
+	}
+	if !strings.Contains(errw.String(), "synthetic") {
+		t.Error("progress note missing")
+	}
+}
+
+func TestGenBestBuyShort(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "bestbuy", "-short"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	f, err := textio.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range f.Queries {
+		if len(q) > 2 {
+			t.Fatal("-short output contains a long query")
+		}
+	}
+}
+
+func TestGenPrivateCategory(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "private", "-category", "fashion", "-subset", "100"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	f, err := textio.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Queries) == 0 || len(f.Queries) > 100 {
+		t.Errorf("subset size = %d", len(f.Queries))
+	}
+}
+
+func TestGenRoundTripSolvable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "synthetic-k2", "-n", "150", "-seed", "5"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	f, err := textio.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, inst, err := f.Build(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumQueries() == 0 {
+		t.Error("empty instance")
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-dataset", "nope"},
+		{"-dataset", "synthetic", "-category", "fashion"},
+		{"-dataset", "private", "-category", "nope"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out, io.Discard); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestGenFromQueryLog(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "q.log")
+	if err := os.WriteFile(logPath, []byte("a,b\nb,c\n# comment\nc\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-log", logPath, "-log-cost", "2"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	f, err := textio.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Queries) != 3 {
+		t.Errorf("queries = %d, want 3", len(f.Queries))
+	}
+	if err := run([]string{"-log", "/nonexistent.log"}, &out, io.Discard); err == nil {
+		t.Error("missing log file must fail")
+	}
+}

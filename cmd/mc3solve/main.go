@@ -1,0 +1,279 @@
+// Command mc3solve solves an MC³ instance file with a chosen algorithm and
+// reports the selected classifiers, total construction cost, and timing.
+//
+// Usage:
+//
+//	mc3solve -in instance.json [-algo auto] [-wsc auto] [-prep full] [-quiet]
+//
+// Algorithms: auto (exact for k ≤ 2, Algorithm 3 otherwise), ktwo, general,
+// short-first, exact, mixed, property-oriented, query-oriented, local-greedy.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/prep"
+	"repro/internal/solver"
+	"repro/internal/textio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mc3solve:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against args, writing results to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mc3solve", flag.ContinueOnError)
+	var (
+		inPath   = fs.String("in", "", "instance JSON file (required)")
+		algo     = fs.String("algo", "auto", "algorithm: auto|ktwo|general|short-first|exact|mixed|property-oriented|query-oriented|local-greedy")
+		wsc      = fs.String("wsc", "auto", "Algorithm 3 set-cover engine: auto|greedy|primal-dual|lp-rounding|auto-lp")
+		prepStr  = fs.String("prep", "full", "preprocessing level: full|minimal")
+		engine   = fs.String("engine", "dinic", "Algorithm 2 max-flow engine: dinic|push-relabel|capacity-scaling")
+		parallel = fs.Int("parallel", 0, "components solved concurrently (0/1 serial, -1 = GOMAXPROCS)")
+		quiet    = fs.Bool("quiet", false, "print only the total cost")
+		asJSON   = fs.Bool("json", false, "emit the solution as JSON")
+		analyze  = fs.Bool("analyze", false, "print instance analysis and preprocessing report instead of solving")
+		budget   = fs.Float64("budget", -1, "solve the budgeted partial-cover variant with this construction budget (uses the file's query weights; default full cover)")
+		explain  = fs.Bool("explain", false, "print, per query, the classifiers assigned to answer it")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return errors.New("-in is required")
+	}
+
+	f, err := os.Open(*inPath)
+	if err != nil {
+		return err
+	}
+	file, err := textio.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	_, inst, err := file.Build(core.Options{})
+	if err != nil {
+		return err
+	}
+
+	opts, err := buildOptions(*wsc, *prepStr, *engine)
+	if err != nil {
+		return err
+	}
+	opts.Parallelism = *parallel
+	opts.Validate = true
+
+	if *analyze {
+		return analyzeInstance(out, inst)
+	}
+	if *budget >= 0 {
+		return solveBudgeted(out, file, inst, *budget, opts)
+	}
+
+	fn, err := pickAlgorithm(*algo, inst)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	sol, err := fn(inst, opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+
+	if *quiet {
+		fmt.Fprintln(out, sol.Cost)
+		return nil
+	}
+	if *asJSON {
+		return writeJSONSolution(out, inst, sol, elapsed)
+	}
+	fmt.Fprintf(out, "instance: %d queries, %d classifiers, max query length %d\n",
+		inst.NumQueries(), inst.NumClassifiers(), inst.MaxQueryLen())
+	fmt.Fprintf(out, "algorithm: %s  (prep=%s, wsc=%s, engine=%s)\n", *algo, *prepStr, *wsc, *engine)
+	fmt.Fprintf(out, "total construction cost: %g\n", sol.Cost)
+	fmt.Fprintf(out, "classifiers selected: %d\n", len(sol.Selected))
+	fmt.Fprintf(out, "time: %v\n", elapsed)
+	for _, names := range textio.SolutionNames(inst, sol) {
+		fmt.Fprintf(out, "  %v\n", names)
+	}
+	if *explain {
+		ex, err := solver.Explain(inst, sol)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ex.Render(out, inst)
+	}
+	return nil
+}
+
+// solveBudgeted runs the partial-cover heuristic under the given budget.
+func solveBudgeted(out io.Writer, file *textio.File, inst *core.Instance, budget float64, opts solver.Options) error {
+	weights := file.QueryWeights()
+	start := time.Now()
+	sol, err := solver.Budgeted(inst, weights, budget, opts)
+	if err != nil {
+		return err
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	covered := 0
+	for _, c := range sol.Covered {
+		if c {
+			covered++
+		}
+	}
+	fmt.Fprintf(out, "budget %g: spent %g on %d classifiers\n", budget, sol.Cost, len(sol.Selected))
+	fmt.Fprintf(out, "covered %d/%d queries, weight %g/%g\n", covered, inst.NumQueries(), sol.CoveredWeight, total)
+	fmt.Fprintf(out, "time: %v\n", time.Since(start))
+	for _, names := range textio.SolutionNames(inst, &core.Solution{Selected: sol.Selected, Cost: sol.Cost}) {
+		fmt.Fprintf(out, "  %v\n", names)
+	}
+	return nil
+}
+
+// analyzeInstance prints the Section 5 instance parameters, the query
+// length histogram, and Algorithm 1's report.
+func analyzeInstance(out io.Writer, inst *core.Instance) error {
+	p := core.Analyze(inst)
+	fmt.Fprintf(out, "queries: %d   properties: %d   classifiers: %d\n",
+		p.NumQueries, p.NumProperties, p.NumClassifiers)
+	fmt.Fprintf(out, "max query length k = %d   max classifier length = %d\n",
+		p.MaxQueryLen, p.MaxClassifierLen)
+	fmt.Fprintf(out, "incidence I = %d   frequency f = %d   degree Δ = %d\n",
+		p.Incidence, p.Frequency, p.Degree)
+	guarantee := math.Min(
+		math.Log(math.Max(float64(p.Incidence), 1))+math.Log(math.Max(float64(p.MaxQueryLen-1), 1))+1,
+		math.Pow(2, float64(p.MaxQueryLen-1)),
+	)
+	if guarantee < 1 {
+		guarantee = 1
+	}
+	fmt.Fprintf(out, "Algorithm 3 guarantee (Theorem 5.3): %.3f × optimal\n", guarantee)
+
+	hist := make([]int, p.MaxQueryLen+1)
+	for qi := 0; qi < inst.NumQueries(); qi++ {
+		hist[inst.Query(qi).Len()]++
+	}
+	fmt.Fprintf(out, "length histogram:")
+	for l := 1; l < len(hist); l++ {
+		fmt.Fprintf(out, "  %d:%d", l, hist[l])
+	}
+	fmt.Fprintln(out)
+
+	r, err := prep.Run(inst, prep.Full)
+	if err != nil {
+		return err
+	}
+	st := r.Stats
+	fmt.Fprintf(out, "preprocessing: %d selected (singleton %d, zero-cost %d, forced %d, step4 %d)\n",
+		len(r.Selected), st.SingletonSelected, st.ZeroCostSelected, st.Step3Selected, st.Step4Selected)
+	fmt.Fprintf(out, "               %d removed (step3 %d, step4 %d)\n",
+		st.Step3Removed+st.Step4Removed, st.Step3Removed, st.Step4Removed)
+	fmt.Fprintf(out, "               %d/%d queries resolved, %d components\n",
+		st.QueriesCovered, inst.NumQueries(), st.Components)
+	return nil
+}
+
+// jsonSolution is the -json output document.
+type jsonSolution struct {
+	Cost        float64    `json:"cost"`
+	Classifiers [][]string `json:"classifiers"`
+	Queries     int        `json:"queries"`
+	Seconds     float64    `json:"seconds"`
+}
+
+func writeJSONSolution(out io.Writer, inst *core.Instance, sol *core.Solution, elapsed time.Duration) error {
+	doc := jsonSolution{
+		Cost:        sol.Cost,
+		Classifiers: textio.SolutionNames(inst, sol),
+		Queries:     inst.NumQueries(),
+		Seconds:     elapsed.Seconds(),
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func buildOptions(wsc, prepStr, engine string) (solver.Options, error) {
+	opts := solver.DefaultOptions()
+	switch wsc {
+	case "auto":
+		opts.WSC = solver.WSCAuto
+	case "greedy":
+		opts.WSC = solver.WSCGreedy
+	case "primal-dual":
+		opts.WSC = solver.WSCPrimalDual
+	case "lp-rounding":
+		opts.WSC = solver.WSCLPRounding
+	case "auto-lp":
+		opts.WSC = solver.WSCAutoLP
+	default:
+		return opts, fmt.Errorf("unknown -wsc %q", wsc)
+	}
+	switch prepStr {
+	case "full":
+		opts.Prep = prep.Full
+	case "minimal":
+		opts.Prep = prep.Minimal
+	default:
+		return opts, fmt.Errorf("unknown -prep %q", prepStr)
+	}
+	switch engine {
+	case "dinic":
+		opts.Engine = bipartite.Dinic
+	case "push-relabel":
+		opts.Engine = bipartite.PushRelabel
+	case "capacity-scaling":
+		opts.Engine = bipartite.CapacityScaling
+	default:
+		return opts, fmt.Errorf("unknown -engine %q", engine)
+	}
+	return opts, nil
+}
+
+func pickAlgorithm(name string, inst *core.Instance) (solver.Func, error) {
+	switch name {
+	case "auto":
+		if inst.MaxQueryLen() <= 2 {
+			return solver.KTwo, nil
+		}
+		return solver.General, nil
+	case "ktwo":
+		return solver.KTwo, nil
+	case "general":
+		return solver.General, nil
+	case "short-first":
+		return solver.ShortFirst, nil
+	case "exact":
+		return solver.Exact, nil
+	case "mixed":
+		return solver.Mixed, nil
+	case "property-oriented":
+		return solver.PropertyOriented, nil
+	case "query-oriented":
+		return solver.QueryOriented, nil
+	case "local-greedy":
+		return solver.LocalGreedy, nil
+	default:
+		return nil, fmt.Errorf("unknown -algo %q", name)
+	}
+}

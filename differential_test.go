@@ -1,0 +1,178 @@
+package mc3
+
+// Differential testing: one randomized sweep driving every public solver on
+// the same instances and checking the full web of cross-algorithm
+// invariants in one place. The per-package tests verify each algorithm in
+// isolation; this file verifies they agree with each other.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/solver"
+)
+
+// randomInstanceForDiff builds a small random instance over ≤7 properties
+// with occasional unavailable conjunctions.
+func randomInstanceForDiff(rng *rand.Rand) *Instance {
+	u := NewUniverse()
+	names := []string{"a", "b", "c", "d", "e", "f", "g"}
+	nq := 1 + rng.Intn(6)
+	var queries []PropSet
+	for i := 0; i < nq; i++ {
+		qLen := 1 + rng.Intn(4)
+		perm := rng.Perm(len(names))[:qLen]
+		var qn []string
+		for _, p := range perm {
+			qn = append(qn, names[p])
+		}
+		queries = append(queries, u.Set(qn...))
+	}
+	seed := rng.Int63()
+	cm := CostFunc(func(s PropSet) float64 {
+		h := seed ^ int64(len(s))
+		for _, id := range s {
+			h = (h*2654435761 + int64(id)) & 0x7fffffff
+		}
+		if s.Len() > 1 && h%7 == 0 {
+			return math.Inf(1)
+		}
+		return float64(1 + h%20)
+	})
+	inst, err := NewInstance(u, queries, cm, InstanceOptions{})
+	if err != nil {
+		return nil
+	}
+	return inst
+}
+
+func TestDifferentialSolverWeb(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260706))
+	feasible := 0
+	for trial := 0; trial < 250; trial++ {
+		inst := randomInstanceForDiff(rng)
+		if inst == nil || inst.NumClassifiers() > 40 {
+			continue
+		}
+
+		exact, exactErr := SolveExact(inst, DefaultSolveOptions())
+		if exactErr != nil {
+			// Infeasible: every solver must refuse too.
+			for name, fn := range map[string]SolverFunc{
+				"general": SolveGeneral, "portfolio": SolvePortfolio, "local-greedy": LocalGreedy,
+			} {
+				if _, err := fn(inst, DefaultSolveOptions()); err == nil {
+					t.Fatalf("trial %d: %s accepted an infeasible instance", trial, name)
+				}
+			}
+			continue
+		}
+		feasible++
+
+		opts := DefaultSolveOptions()
+		opts.Validate = true
+
+		results := map[string]*Solution{}
+		for name, fn := range map[string]SolverFunc{
+			"general":      SolveGeneral,
+			"short-first":  SolveShortFirst,
+			"portfolio":    SolvePortfolio,
+			"local-greedy": LocalGreedy,
+		} {
+			sol, err := fn(inst, opts)
+			if err != nil {
+				t.Fatalf("trial %d: %s: %v", trial, name, err)
+			}
+			if err := inst.Verify(sol); err != nil {
+				t.Fatalf("trial %d: %s produced invalid solution: %v", trial, name, err)
+			}
+			results[name] = sol
+		}
+
+		// (1) Nothing beats the exact optimum.
+		for name, sol := range results {
+			if sol.Cost < exact.Cost-1e-9 {
+				t.Fatalf("trial %d: %s (%v) beats the exact optimum (%v)", trial, name, sol.Cost, exact.Cost)
+			}
+		}
+		// (2) Portfolio ≤ each of its members.
+		for _, name := range []string{"general", "short-first", "local-greedy"} {
+			if results["portfolio"].Cost > results[name].Cost+1e-9 {
+				t.Fatalf("trial %d: portfolio (%v) worse than %s (%v)",
+					trial, results["portfolio"].Cost, name, results[name].Cost)
+			}
+		}
+		// (3) The exact algorithm dispatches through Solve for k ≤ 2.
+		if inst.MaxQueryLen() <= 2 {
+			sol, err := Solve(inst, opts)
+			if err != nil {
+				t.Fatalf("trial %d: Solve: %v", trial, err)
+			}
+			if math.Abs(sol.Cost-exact.Cost) > 1e-9 {
+				t.Fatalf("trial %d: Solve (k≤2) = %v, optimum %v", trial, sol.Cost, exact.Cost)
+			}
+		}
+		// (4) The certified LP lower bound is sound and not vacuous.
+		bound, err := solver.LPLowerBound(inst, DefaultSolveOptions())
+		if err != nil {
+			t.Fatalf("trial %d: LPLowerBound: %v", trial, err)
+		}
+		if bound > exact.Cost+1e-6 {
+			t.Fatalf("trial %d: bound %v exceeds optimum %v", trial, bound, exact.Cost)
+		}
+		p := Analyze(inst)
+		if f := float64(p.Frequency); f >= 1 && exact.Cost > f*bound+1e-6 {
+			t.Fatalf("trial %d: optimum %v exceeds f×bound = %v×%v", trial, exact.Cost, f, bound)
+		}
+		// (5) Budgeted at the exact cost covers everything; at 0 covers
+		// only free queries.
+		weights := make([]float64, inst.NumQueries())
+		for i := range weights {
+			weights[i] = 1
+		}
+		bsol, err := SolveBudgeted(inst, weights, exact.Cost, opts)
+		if err != nil {
+			t.Fatalf("trial %d: SolveBudgeted: %v", trial, err)
+		}
+		if bsol.Cost > exact.Cost+1e-9 {
+			t.Fatalf("trial %d: budgeted overspent: %v > %v", trial, bsol.Cost, exact.Cost)
+		}
+		// The greedy heuristic may not reach full coverage at exactly the
+		// optimal budget, but it must never claim more weight than exists.
+		if bsol.CoveredWeight > float64(inst.NumQueries())+1e-9 {
+			t.Fatalf("trial %d: covered weight %v exceeds query count", trial, bsol.CoveredWeight)
+		}
+		// (6) Explanations exist for every valid solution.
+		if _, err := solver.Explain(inst, results["general"]); err != nil {
+			t.Fatalf("trial %d: Explain: %v", trial, err)
+		}
+	}
+	if feasible < 100 {
+		t.Fatalf("too few feasible instances exercised: %d", feasible)
+	}
+}
+
+func TestDifferentialParallelismInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(777777))
+	for trial := 0; trial < 40; trial++ {
+		inst := randomInstanceForDiff(rng)
+		if inst == nil {
+			continue
+		}
+		serial := DefaultSolveOptions()
+		par := DefaultSolveOptions()
+		par.Parallelism = 4
+		s1, err1 := SolveGeneral(inst, serial)
+		s2, err2 := SolveGeneral(inst, par)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: feasibility disagreement", trial)
+		}
+		if err1 != nil {
+			continue
+		}
+		if s1.Cost != s2.Cost || len(s1.Selected) != len(s2.Selected) {
+			t.Fatalf("trial %d: parallelism changed the solution (%v vs %v)", trial, s1.Cost, s2.Cost)
+		}
+	}
+}

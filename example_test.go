@@ -1,0 +1,126 @@
+package mc3_test
+
+// Runnable godoc examples for the public API.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	mc3 "repro"
+)
+
+// ExampleSolve reproduces the paper's Example 1.1: two soccer-shirt queries
+// whose optimal classifier set is {AC, AJ, W} at cost 7N.
+func ExampleSolve() {
+	u := mc3.NewUniverse()
+	queries := []mc3.PropSet{
+		u.Set("team:juventus", "color:white", "brand:adidas"),
+		u.Set("team:chelsea", "brand:adidas"),
+	}
+	costs := mc3.NewCostTable(math.Inf(1))
+	set := func(c float64, props ...string) { costs.Set(u.Set(props...), c) }
+	set(5, "team:chelsea")
+	set(5, "brand:adidas")
+	set(5, "team:juventus")
+	set(1, "color:white")
+	set(3, "brand:adidas", "team:chelsea")
+	set(5, "brand:adidas", "color:white")
+	set(3, "brand:adidas", "team:juventus")
+	set(4, "team:juventus", "color:white")
+	set(5, "team:juventus", "color:white", "brand:adidas")
+
+	inst, err := mc3.NewInstance(u, queries, costs, mc3.InstanceOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sol, err := mc3.Solve(inst, mc3.DefaultSolveOptions())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("cost %g with %d classifiers\n", sol.Cost, len(sol.Selected))
+	// Output: cost 7 with 3 classifiers
+}
+
+// ExampleSolveKTwo shows the exact polynomial algorithm on a short-query
+// load (every query tests at most two properties).
+func ExampleSolveKTwo() {
+	u := mc3.NewUniverse()
+	queries := []mc3.PropSet{u.Set("a", "b"), u.Set("b", "c")}
+	costs := mc3.NewCostTable(math.Inf(1))
+	costs.Set(u.Set("a"), 3)
+	costs.Set(u.Set("b"), 3)
+	costs.Set(u.Set("c"), 3)
+	costs.Set(u.Set("a", "b"), 4)
+	costs.Set(u.Set("b", "c"), 4)
+
+	inst, _ := mc3.NewInstance(u, queries, costs, mc3.InstanceOptions{})
+	sol, _ := mc3.SolveKTwo(inst, mc3.DefaultSolveOptions())
+	fmt.Printf("optimal cost %g\n", sol.Cost)
+	// Output: optimal cost 8
+}
+
+// ExampleMergeAttributes demonstrates the multi-valued transformation of
+// Section 5.3: value-properties merge into attribute-properties.
+func ExampleMergeAttributes() {
+	u := mc3.NewUniverse()
+	queries := []mc3.PropSet{
+		u.Set("team:juventus", "color:white", "brand:adidas"),
+		u.Set("team:chelsea", "brand:adidas"),
+	}
+	mu, merged := mc3.MergeAttributes(u, queries, mc3.AttrPrefix(":"))
+	fmt.Printf("%d attributes; query lengths %d and %d\n",
+		mu.Size(), merged[0].Len(), merged[1].Len())
+	// Output: 3 attributes; query lengths 3 and 2
+}
+
+// ExampleParseQueryLog ingests a curated plain-text query log.
+func ExampleParseQueryLog() {
+	log := `
+# curated from user sessions
+team:juventus, color:white
+team:chelsea, brand:adidas
+`
+	u := mc3.NewUniverse()
+	queries, err := mc3.ParseQueryLog(strings.NewReader(log), u)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d queries over %d properties\n", len(queries), u.Size())
+	// Output: 2 queries over 4 properties
+}
+
+// ExampleSolveBudgeted shows the future-work budgeted variant: with half
+// the budget, the heavier query wins.
+func ExampleSolveBudgeted() {
+	u := mc3.NewUniverse()
+	queries := []mc3.PropSet{u.Set("x", "y"), u.Set("p", "q")}
+	costs := mc3.NewCostTable(math.Inf(1))
+	costs.Set(u.Set("x", "y"), 5)
+	costs.Set(u.Set("p", "q"), 5)
+
+	inst, _ := mc3.NewInstance(u, queries, costs, mc3.InstanceOptions{})
+	sol, _ := mc3.SolveBudgeted(inst, []float64{10, 1}, 5, mc3.DefaultSolveOptions())
+	fmt.Printf("covered weight %g at cost %g\n", sol.CoveredWeight, sol.Cost)
+	// Output: covered weight 10 at cost 5
+}
+
+// ExamplePreprocess shows Algorithm 1 resolving part of an instance before
+// any search.
+func ExamplePreprocess() {
+	u := mc3.NewUniverse()
+	queries := []mc3.PropSet{u.Set("x"), u.Set("x", "y")}
+	costs := mc3.NewCostTable(math.Inf(1))
+	costs.Set(u.Set("x"), 5)
+	costs.Set(u.Set("y"), 3)
+	costs.Set(u.Set("x", "y"), 4)
+
+	inst, _ := mc3.NewInstance(u, queries, costs, mc3.InstanceOptions{})
+	r, _ := mc3.Preprocess(inst, mc3.PrepFull)
+	fmt.Printf("selected %d classifiers, %d queries already covered\n",
+		len(r.Selected), r.Stats.QueriesCovered)
+	// Output: selected 2 classifiers, 2 queries already covered
+}

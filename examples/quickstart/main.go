@@ -1,0 +1,95 @@
+// Quickstart: the soccer-shirts example of the paper's Section 1
+// (Example 1.1), end to end through the public API.
+//
+// Two search queries — "white adidas juventus shirt" and "adidas chelsea
+// shirt" — must be answerable by classifiers. Every classifier over a subset
+// of a query's properties has a training-cost estimate; the solver picks the
+// cheapest set of classifiers that covers both queries.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	mc3 "repro"
+)
+
+func main() {
+	u := mc3.NewUniverse()
+
+	// The paper's pipeline starts from free text: the e-commerce
+	// application translates user queries into property conjunctions.
+	vocab := mc3.NewVocabulary(u)
+	vocab.Register("team:juventus", "juventus")
+	vocab.Register("team:chelsea", "chelsea")
+	vocab.Register("color:white", "white")
+	vocab.Register("brand:adidas", "adidas")
+
+	freeText := []string{
+		"white adidas juventus shirt",
+		"adidas chelsea shirt",
+	}
+	queries, _ := vocab.ParseLoad(freeText)
+	for i, q := range queries {
+		sql, err := mc3.QuerySQL(u, "Shirts", q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%q\n  translates to: %s\n", freeText[i], sql)
+	}
+	fmt.Println()
+
+	// Classifier training-cost estimates (in cost units N). Classifiers
+	// not listed are unavailable — the table's default is +Inf.
+	costs := mc3.NewCostTable(math.Inf(1))
+	set := func(cost float64, props ...string) { costs.Set(u.Set(props...), cost) }
+	set(5, "team:chelsea")
+	set(5, "brand:adidas")
+	set(5, "team:juventus")
+	set(1, "color:white")
+	set(3, "brand:adidas", "team:chelsea")
+	set(5, "brand:adidas", "color:white")
+	set(3, "brand:adidas", "team:juventus")
+	set(4, "team:juventus", "color:white")
+	set(5, "team:juventus", "color:white", "brand:adidas")
+
+	inst, err := mc3.NewInstance(u, queries, costs, mc3.InstanceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("instance: %d queries, %d candidate classifiers\n",
+		inst.NumQueries(), inst.NumClassifiers())
+
+	// Solve: dispatches to the exact algorithm for short-query loads and
+	// to the approximation algorithm (Algorithm 3) here (k = 3).
+	sol, err := mc3.Solve(inst, mc3.DefaultSolveOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := inst.Verify(sol); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("total construction cost: %gN\n", sol.Cost)
+	fmt.Println("classifiers to train:")
+	for _, id := range sol.Selected {
+		fmt.Printf("  %v  (cost %gN)\n", u.SetNames(inst.Classifier(id)), inst.Cost(id))
+	}
+
+	// The paper's optimum is {AC, AJ, W} at 7N; compare against the
+	// naive extremes.
+	po, err := mc3.PropertyOriented(inst, mc3.DefaultSolveOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	qo, err := mc3.QueryOriented(inst, mc3.DefaultSolveOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbaselines: one-classifier-per-property %gN, one-classifier-per-query %gN\n",
+		po.Cost, qo.Cost)
+}

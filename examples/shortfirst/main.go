@@ -1,0 +1,65 @@
+// Short-First: the "almost k = 2" strategy of the paper's Sections 4 and 6
+// on a fashion-category query load, where ~96% of queries test at most two
+// properties. The exact polynomial algorithm covers the short queries first;
+// the general approximation then covers the residual long queries with the
+// already-trained classifiers priced at zero.
+//
+// Run with: go run ./examples/shortfirst
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mc3 "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	fashion := workload.Private(1).CategorySlice(workload.CategoryFashion)
+	inst, err := fashion.Instance()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	short, long := 0, 0
+	for i := 0; i < inst.NumQueries(); i++ {
+		if inst.Query(i).Len() <= 2 {
+			short++
+		} else {
+			long++
+		}
+	}
+	fmt.Printf("fashion load: %d queries (%d short ≤2, %d long) over %d properties\n",
+		inst.NumQueries(), short, long, inst.Universe.Size())
+
+	run := func(name string, fn mc3.SolverFunc) float64 {
+		sol, err := fn(inst, mc3.DefaultSolveOptions())
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if err := inst.Verify(sol); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("  %-22s cost %6.0f  (%d classifiers)\n", name, sol.Cost, len(sol.Selected))
+		return sol.Cost
+	}
+
+	fmt.Println("covering the load:")
+	sf := run("Short-First", mc3.SolveShortFirst)
+	gen := run("MC3[G] (Algorithm 3)", mc3.SolveGeneral)
+	run("Local-Greedy", mc3.LocalGreedy)
+	run("Query-Oriented", mc3.QueryOriented)
+	run("Property-Oriented", mc3.PropertyOriented)
+
+	switch {
+	case sf < gen:
+		fmt.Printf("\nShort-First wins by %.1f%% — exact coverage of the dominant short slice pays off,\n"+
+			"matching the paper's finding on its fashion sub-dataset.\n", (gen/sf-1)*100)
+	case sf == gen:
+		fmt.Println("\nShort-First ties the general algorithm on this load.")
+	default:
+		fmt.Printf("\nThe general algorithm edges out Short-First by %.1f%% on this draw;\n"+
+			"on short-query-dominated loads the two are typically within a percent.\n", (sf/gen-1)*100)
+	}
+}

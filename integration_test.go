@@ -1,0 +1,185 @@
+package mc3
+
+// Integration tests exercising the full pipeline across modules:
+// dataset generation → file serialization → parsing → preprocessing →
+// solving with every algorithm → verification, plus cross-algorithm
+// consistency invariants.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/prep"
+	"repro/internal/solver"
+	"repro/internal/textio"
+	"repro/internal/workload"
+)
+
+// roundTrip pushes an instance through the file format and back.
+func roundTrip(t *testing.T, inst *core.Instance) *core.Instance {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := textio.Write(&buf, textio.FromInstance(inst)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := textio.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, inst2, err := f.Build(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst2
+}
+
+func TestPipelineSyntheticShort(t *testing.T) {
+	d := workload.SyntheticShort(300, 11)
+	inst, err := d.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst2 := roundTrip(t, inst)
+
+	// The exact solver must agree across the round trip and across
+	// preprocessing levels and engines.
+	var costs []float64
+	for _, in := range []*core.Instance{inst, inst2} {
+		for _, level := range []prep.Level{prep.Minimal, prep.Full} {
+			for _, engine := range []bipartite.Engine{bipartite.Dinic, bipartite.PushRelabel} {
+				opts := solver.DefaultOptions()
+				opts.Prep = level
+				opts.Engine = engine
+				opts.Validate = true
+				sol, err := solver.KTwo(in, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				costs = append(costs, sol.Cost)
+			}
+		}
+	}
+	for _, c := range costs[1:] {
+		if math.Abs(c-costs[0]) > 1e-9 {
+			t.Fatalf("exact costs diverge across configurations: %v", costs)
+		}
+	}
+}
+
+func TestPipelinePrivateFashion(t *testing.T) {
+	d := workload.Private(3).CategorySlice(workload.CategoryFashion)
+	sub, err := d.SubsetInstance(200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := roundTrip(t, sub)
+
+	results := map[string]float64{}
+	for name, fn := range solver.Registry() {
+		opts := solver.DefaultOptions()
+		opts.Validate = true
+		sol, err := fn(inst, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		results[name] = sol.Cost
+	}
+	// MC3[G] must not lose to the naive baselines.
+	if results["mc3-general"] > results["property-oriented"]+1e-9 {
+		t.Errorf("MC3[G] (%v) lost to Property-Oriented (%v)", results["mc3-general"], results["property-oriented"])
+	}
+	if results["mc3-general"] > results["query-oriented"]+1e-9 {
+		t.Errorf("MC3[G] (%v) lost to Query-Oriented (%v)", results["mc3-general"], results["query-oriented"])
+	}
+}
+
+func TestPipelineBestBuyUniform(t *testing.T) {
+	d := workload.BestBuy(9).ShortSlice()
+	inst, err := d.SubsetInstance(250, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := solver.DefaultOptions()
+	opts.Validate = true
+	ktwo, err := solver.KTwo(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := solver.Mixed(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both are optimal under uniform costs.
+	if math.Abs(ktwo.Cost-mixed.Cost) > 1e-9 {
+		t.Errorf("KTwo (%v) and Mixed (%v) must coincide on uniform costs", ktwo.Cost, mixed.Cost)
+	}
+	sf, err := solver.ShortFirst(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sf.Cost-ktwo.Cost) > 1e-9 {
+		t.Errorf("ShortFirst (%v) must match KTwo (%v) on a pure-short load", sf.Cost, ktwo.Cost)
+	}
+}
+
+func TestPipelineGeneralWithinGuarantee(t *testing.T) {
+	// On a small synthetic instance the general solver must stay within
+	// its Theorem 5.3 guarantee of the exact optimum.
+	d := workload.Synthetic(30, 17)
+	inst, err := d.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumClassifiers() > solver.ExactLimit {
+		t.Skip("instance too large for the exact oracle")
+	}
+	exact, err := solver.Exact(inst, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := solver.General(inst, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Analyze(inst)
+	guarantee := math.Min(
+		math.Log(float64(p.Incidence))+math.Log(math.Max(float64(p.MaxQueryLen-1), 1))+1,
+		math.Pow(2, float64(p.MaxQueryLen-1)),
+	)
+	if guarantee < 1 {
+		guarantee = 1
+	}
+	if exact.Cost > 0 && gen.Cost > guarantee*exact.Cost+1e-9 {
+		t.Errorf("Algorithm 3 cost %v exceeds %v × optimal %v", gen.Cost, guarantee, exact.Cost)
+	}
+}
+
+func TestPipelinePreprocessSolveConsistency(t *testing.T) {
+	// The prep result's covered queries plus any residual solution must
+	// form a full cover — checked through the public API.
+	d := workload.Private(21).CategorySlice(workload.CategoryHomeGarden)
+	inst, err := d.SubsetInstance(150, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Preprocess(inst, PrepFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := inst.Covered(r.Selected)
+	for qi, c := range r.CoveredQuery {
+		if c && !covered[qi] {
+			t.Fatalf("prep claims query %d covered but selections do not cover it", qi)
+		}
+	}
+	sol, err := Solve(inst, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(sol); err != nil {
+		t.Fatal(err)
+	}
+}

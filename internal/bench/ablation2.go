@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/solver"
+	"repro/internal/workload"
+)
+
+// AblationBoundedK studies the bounded-classifiers variant of Section 5.3:
+// restricting the classifier universe to length ≤ k' shrinks the instance
+// and improves the frequency parameter (f ≤ k for k' = 2) at some cost in
+// solution quality. Run on a Private subset.
+func AblationBoundedK(cfg Config) (*Table, error) {
+	cfg = cfg.Defaults()
+	d := workload.Private(cfg.Seed)
+	m := minInt(maxInt(cfg.PSizes), len(d.Queries))
+	queries, err := d.SubsetQueries(m, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "ablation-bounded-k",
+		Title:  fmt.Sprintf("Bounded classifiers (Section 5.3) on a %d-query Private subset", m),
+		XLabel: "k' (max classifier length)",
+		Series: []Series{
+			{Name: "classifiers"}, {Name: "frequency f"}, {Name: "degree"}, {Name: "MC3[G] cost"},
+		},
+		Notes: "f ≤ k for k'=2 and f ≤ 2^{k'-1} in general; smaller universes trade quality for parameters",
+	}
+	full := 0
+	for _, q := range queries {
+		if q.Len() > full {
+			full = q.Len()
+		}
+	}
+	for kPrime := 1; kPrime <= full; kPrime++ {
+		inst, err := core.NewInstance(d.Universe, queries, d.Costs, core.Options{MaxClassifierLen: kPrime})
+		if err != nil {
+			return nil, err
+		}
+		sol, err := solver.General(inst, solver.DefaultOptions())
+		if err != nil {
+			if kPrime == 1 {
+				// Some property may lack a singleton classifier; the k'=1
+				// universe can be infeasible. Record and continue.
+				t.XValues = append(t.XValues, fmt.Sprintf("%d (infeasible)", kPrime))
+				for i := range t.Series {
+					t.Series[i].Values = append(t.Series[i].Values, math.NaN())
+				}
+				continue
+			}
+			return nil, err
+		}
+		p := core.Analyze(inst)
+		t.XValues = append(t.XValues, fmt.Sprintf("%d", kPrime))
+		t.Series[0].Values = append(t.Series[0].Values, float64(p.NumClassifiers))
+		t.Series[1].Values = append(t.Series[1].Values, float64(p.Frequency))
+		t.Series[2].Values = append(t.Series[2].Values, float64(p.Degree))
+		t.Series[3].Values = append(t.Series[3].Values, sol.Cost)
+	}
+	return t, nil
+}
+
+// AblationApproxRatio measures the empirical approximation ratio of
+// Algorithm 3 (and the baselines) against the exact branch-and-bound
+// optimum on small random instances — the guarantees of Theorem 5.3 are
+// worst-case; this reports what the algorithms actually achieve.
+func AblationApproxRatio(cfg Config) (*Table, error) {
+	cfg = cfg.Defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	algos := []namedAlgo{
+		{"MC3[G]", solver.General},
+		{"Local-Greedy", solver.LocalGreedy},
+	}
+	type acc struct {
+		sum, worst float64
+		n          int
+	}
+	accs := make([]acc, len(algos))
+
+	trials := 120
+	solved := 0
+	for trial := 0; trial < trials; trial++ {
+		inst := smallRandomInstance(rng)
+		if inst == nil || inst.NumClassifiers() > 40 {
+			continue
+		}
+		exact, err := solver.Exact(inst, solver.DefaultOptions())
+		if err != nil {
+			continue
+		}
+		solved++
+		for i, a := range algos {
+			sol, err := a.fn(inst, solver.DefaultOptions())
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", a.name, err)
+			}
+			ratio := 1.0
+			if exact.Cost > 0 {
+				ratio = sol.Cost / exact.Cost
+			}
+			accs[i].sum += ratio
+			accs[i].n++
+			if ratio > accs[i].worst {
+				accs[i].worst = ratio
+			}
+		}
+	}
+	if solved == 0 {
+		return nil, fmt.Errorf("bench: no feasible small instances generated")
+	}
+
+	t := &Table{
+		ID:      "ablation-approx-ratio",
+		Title:   fmt.Sprintf("Empirical approximation ratios vs exact optimum (%d random small instances)", solved),
+		XLabel:  "algorithm",
+		Unit:    "cost / optimal cost",
+		Series:  []Series{{Name: "mean ratio"}, {Name: "worst ratio"}},
+		Notes:   "Theorem 5.3's worst-case guarantee for Algorithm 3 is min{ln I + ln(k-1) + 1, 2^{k-1}}",
+		XValues: nil,
+	}
+	for i, a := range algos {
+		t.XValues = append(t.XValues, a.name)
+		t.Series[0].Values = append(t.Series[0].Values, round4(accs[i].sum/float64(accs[i].n)))
+		t.Series[1].Values = append(t.Series[1].Values, round4(accs[i].worst))
+	}
+	return t, nil
+}
+
+// smallRandomInstance builds a tiny random instance suitable for the exact
+// oracle; returns nil when generation fails.
+func smallRandomInstance(rng *rand.Rand) *core.Instance {
+	u := core.NewUniverse()
+	names := []string{"a", "b", "c", "d", "e", "f", "g"}
+	nProps := 4 + rng.Intn(4)
+	nQueries := 2 + rng.Intn(4)
+	var queries []core.PropSet
+	for i := 0; i < nQueries; i++ {
+		qLen := 1 + rng.Intn(4)
+		perm := rng.Perm(nProps)
+		var qn []string
+		for _, p := range perm[:minInt(qLen, nProps)] {
+			qn = append(qn, names[p])
+		}
+		queries = append(queries, u.Set(qn...))
+	}
+	seed := rng.Int63()
+	cm := core.CostFunc(func(s core.PropSet) float64 {
+		h := seed ^ int64(len(s))
+		for _, id := range s {
+			h = (h*131 + int64(id)) & 0x7fffffff
+		}
+		if s.Len() > 1 && h%6 == 0 {
+			return math.Inf(1)
+		}
+		return float64(1 + h%15)
+	})
+	inst, err := core.NewInstance(u, queries, cm, core.Options{})
+	if err != nil {
+		return nil
+	}
+	return inst
+}
+
+func round4(v float64) float64 { return math.Round(v*10000) / 10000 }

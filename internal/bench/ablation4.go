@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/solver"
+	"repro/internal/workload"
+)
+
+// AblationBudgeted sweeps the construction budget on a Private subset and
+// reports the fraction of the query load the budgeted heuristic covers —
+// the cost/coverage trade-off curve of the paper's future-work variant
+// (Sections 5.3, 8). The 100% point is the full MC³[G] cover cost, so the
+// curve shows how much of the load survives aggressive budget cuts.
+func AblationBudgeted(cfg Config) (*Table, error) {
+	cfg = cfg.Defaults()
+	d := workload.Private(cfg.Seed)
+	m := minInt(2000, len(d.Queries))
+	inst, err := d.SubsetInstance(m, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	full, err := solver.General(inst, solver.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	weights := make([]float64, inst.NumQueries())
+	for i := range weights {
+		weights[i] = 1
+	}
+
+	t := &Table{
+		ID:     "ablation-budgeted",
+		Title:  fmt.Sprintf("Budgeted partial cover on a %d-query Private subset (full-cover cost %.0f)", inst.NumQueries(), full.Cost),
+		XLabel: "budget (% of full-cover cost)",
+		Series: []Series{{Name: "queries covered (%)"}, {Name: "budget spent (%)"}},
+		Notes:  "future-work variant: greedy weight-per-completion-cost heuristic (no guarantee)",
+	}
+	for _, pct := range []int{10, 25, 50, 75, 90, 100} {
+		budget := full.Cost * float64(pct) / 100
+		sol, err := solver.Budgeted(inst, weights, budget, solver.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		t.XValues = append(t.XValues, fmt.Sprintf("%d%%", pct))
+		t.Series[0].Values = append(t.Series[0].Values,
+			round4(100*sol.CoveredWeight/float64(inst.NumQueries())))
+		spent := 0.0
+		if budget > 0 {
+			spent = 100 * sol.Cost / full.Cost
+		}
+		t.Series[1].Values = append(t.Series[1].Values, round4(spent))
+	}
+	return t, nil
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+)
+
+// Aggregate runs an experiment under several seeds and merges the resulting
+// tables point-wise: each series value becomes the mean over seeds (NaN
+// entries skipped), and a companion "± span" series records the half-range
+// (max−min)/2 of the first series as a dispersion hint. All seeds must
+// produce tables with identical shape (same series names and row count);
+// row labels may differ when the workload regenerates per seed (e.g.
+// fashion-slice sizes), in which case the first seed's labels are kept.
+func Aggregate(runner func(Config) (*Table, error), cfg Config, seeds []int64) (*Table, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("bench: no seeds")
+	}
+	var tables []*Table
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		t, err := runner(c)
+		if err != nil {
+			return nil, fmt.Errorf("bench: seed %d: %w", seed, err)
+		}
+		tables = append(tables, t)
+	}
+
+	base := tables[0]
+	for _, t := range tables[1:] {
+		if len(t.Series) != len(base.Series) || len(t.XValues) != len(base.XValues) {
+			return nil, fmt.Errorf("bench: seed tables have mismatched shapes (%dx%d vs %dx%d)",
+				len(t.Series), len(t.XValues), len(base.Series), len(base.XValues))
+		}
+		for si := range t.Series {
+			if t.Series[si].Name != base.Series[si].Name {
+				return nil, fmt.Errorf("bench: series %q vs %q across seeds", t.Series[si].Name, base.Series[si].Name)
+			}
+		}
+	}
+
+	out := &Table{
+		ID:      base.ID,
+		Title:   fmt.Sprintf("%s (mean of %d seeds)", base.Title, len(seeds)),
+		XLabel:  base.XLabel,
+		XValues: append([]string(nil), base.XValues...),
+		Unit:    base.Unit,
+		Notes:   base.Notes,
+	}
+	for si := range base.Series {
+		mean := Series{Name: base.Series[si].Name}
+		for xi := range base.XValues {
+			sum, cnt := 0.0, 0
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, t := range tables {
+				if xi >= len(t.Series[si].Values) {
+					continue
+				}
+				v := t.Series[si].Values[xi]
+				if math.IsNaN(v) {
+					continue
+				}
+				sum += v
+				cnt++
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if cnt == 0 {
+				mean.Values = append(mean.Values, math.NaN())
+			} else {
+				mean.Values = append(mean.Values, sum/float64(cnt))
+			}
+		}
+		out.Series = append(out.Series, mean)
+	}
+
+	// Dispersion hint for the first series.
+	if len(base.Series) > 0 {
+		span := Series{Name: base.Series[0].Name + " ± span"}
+		for xi := range base.XValues {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			cnt := 0
+			for _, t := range tables {
+				if xi >= len(t.Series[0].Values) {
+					continue
+				}
+				v := t.Series[0].Values[xi]
+				if math.IsNaN(v) {
+					continue
+				}
+				cnt++
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if cnt == 0 {
+				span.Values = append(span.Values, math.NaN())
+			} else {
+				span.Values = append(span.Values, (hi-lo)/2)
+			}
+		}
+		out.Series = append(out.Series, span)
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package bench
+
+// Golden regression tests: the experiment costs are deterministic functions
+// of (seed, scale) — any change to the model, preprocessing, solvers, or
+// generators that alters behavior shows up here. Timings are never golden.
+// If an intentional algorithm change shifts these values, re-derive them
+// with: go run ./cmd/mc3bench -quick -seed 7 -exp fig3a,fig3b
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGoldenFigure3aCosts(t *testing.T) {
+	tab, err := Figure3a(Quick(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Series: MC3[S], Mixed, Query-Oriented, Property-Oriented at
+	// subset sizes {100, 300} of the seed-7 BestBuy short slice.
+	want := map[string][]float64{
+		"MC3[S]":            {100, 299},
+		"Mixed":             {100, 299},
+		"Query-Oriented":    {100, 300},
+		"Property-Oriented": {156, 409},
+	}
+	checkGolden(t, tab, want)
+}
+
+func TestGoldenFigure3bCosts(t *testing.T) {
+	tab, err := Figure3b(Quick(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]float64{
+		"MC3[S]":            {9818, 26083},
+		"Query-Oriented":    {9820, 26230},
+		"Property-Oriented": {15367, 39415},
+	}
+	checkGolden(t, tab, want)
+}
+
+// checkGolden compares series values, reporting current values on mismatch
+// so intentional changes can update the goldens easily.
+func checkGolden(t *testing.T, tab *Table, want map[string][]float64) {
+	t.Helper()
+	for _, s := range tab.Series {
+		exp, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected series %q", s.Name)
+			continue
+		}
+		if len(s.Values) != len(exp) {
+			t.Errorf("%s: %d points, want %d (got %v)", s.Name, len(s.Values), len(exp), s.Values)
+			continue
+		}
+		for i := range exp {
+			if math.Abs(s.Values[i]-exp[i]) > 1e-9 {
+				t.Errorf("%s[%d] = %v, want %v (full series: %v)", s.Name, i, s.Values[i], exp[i], s.Values)
+				break
+			}
+		}
+	}
+}

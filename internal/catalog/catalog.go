@@ -1,0 +1,513 @@
+// Package catalog is the end-to-end application substrate of the paper's
+// motivating scenario (Section 1): a product catalog whose items have
+// *hidden* attribute values — derivable only from pictures or free-text
+// descriptions — so conjunctive search queries return incomplete results.
+// Companies train classifiers to complete the missing values offline
+// (Section 2.1, footnote 2: a positive classification for a conjunction
+// yields a positive annotation for each individual condition; otherwise the
+// value stays unknown).
+//
+// The package provides:
+//
+//   - a synthetic catalog generator with per-item ground truth and a
+//     configurable visibility rate (what sellers actually filled in);
+//   - query evaluation over the visible+annotated catalog versus ground
+//     truth, with recall/precision measurement;
+//   - classifier application ("training"), which annotates exactly the
+//     items whose ground truth satisfies the classifier's conjunction;
+//   - a labeling-effort cost model: the cost of training a classifier is
+//     driven by how many catalog items must be labeled to reach a fixed
+//     number of positive training examples — rare conjunctions are
+//     expensive, mirroring how the paper's private dataset priced its
+//     classifiers ("the estimated number of labeled examples experts must
+//     annotate").
+//
+// Together with package solver this closes the loop the paper describes:
+// choose classifiers with MC³, train them, complete the catalog, and watch
+// every query's recall reach 1.0 — at minimal labeling cost.
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Attribute describes one catalog attribute and its value domain.
+type Attribute struct {
+	Name   string
+	Values []string
+	// VisibleRate is the probability a seller filled this attribute in
+	// (the rest is hidden in pictures/descriptions).
+	VisibleRate float64
+}
+
+// Item is one catalog entry.
+type Item struct {
+	// ID identifies the item.
+	ID string
+	// truth holds the full ground-truth attribute values.
+	truth map[string]string
+	// visible marks which attributes the seller provided.
+	visible map[string]bool
+	// annotated holds positive property annotations produced by trained
+	// classifiers (property = "attr:value").
+	annotated map[string]bool
+}
+
+// Truth returns the item's ground-truth value for an attribute.
+func (it *Item) Truth(attr string) (string, bool) {
+	v, ok := it.truth[attr]
+	return v, ok
+}
+
+// Visible reports whether the seller provided the attribute.
+func (it *Item) Visible(attr string) bool { return it.visible[attr] }
+
+// Catalog is a collection of items over a fixed attribute schema.
+type Catalog struct {
+	Attributes []Attribute
+	Items      []*Item
+}
+
+// Generate builds a catalog of n items with independent attributes: every
+// item gets a ground-truth value for every attribute (Zipf-skewed toward the
+// head values), and each attribute is visible with its VisibleRate.
+func Generate(n int, attrs []Attribute, seed int64) (*Catalog, error) {
+	return GenerateCorrelated(n, attrs, 0, 0, seed)
+}
+
+// GenerateCorrelated builds a catalog whose attributes are correlated
+// through product archetypes: each item is drawn from one of `archetypes`
+// latent designs, and with probability corr an attribute takes the
+// archetype's value rather than an independent draw. Correlation is what
+// makes some conjunctions homogeneous — a real "Adidas Juventus shirt" comes
+// in few variants even though adidas items and Juventus items individually
+// are diverse (the cost phenomenon of Example 1.1). archetypes = 0 or
+// corr = 0 yields independent attributes.
+func GenerateCorrelated(n int, attrs []Attribute, archetypes int, corr float64, seed int64) (*Catalog, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("catalog: need n > 0, got %d", n)
+	}
+	if corr < 0 || corr > 1 {
+		return nil, fmt.Errorf("catalog: correlation %v outside [0,1]", corr)
+	}
+	if archetypes < 0 {
+		return nil, fmt.Errorf("catalog: negative archetype count")
+	}
+	for _, a := range attrs {
+		if len(a.Values) == 0 {
+			return nil, fmt.Errorf("catalog: attribute %q has no values", a.Name)
+		}
+		if a.VisibleRate < 0 || a.VisibleRate > 1 {
+			return nil, fmt.Errorf("catalog: attribute %q has visible rate %v outside [0,1]", a.Name, a.VisibleRate)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Zipf-ish pick: squaring biases toward low indices.
+	pick := func(values []string) string {
+		idx := int(rng.Float64() * rng.Float64() * float64(len(values)))
+		if idx >= len(values) {
+			idx = len(values) - 1
+		}
+		return values[idx]
+	}
+
+	// Latent archetypes: fixed full assignments items gravitate toward.
+	arch := make([]map[string]string, archetypes)
+	for i := range arch {
+		arch[i] = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			arch[i][a.Name] = pick(a.Values)
+		}
+	}
+
+	c := &Catalog{Attributes: attrs}
+	for i := 0; i < n; i++ {
+		it := &Item{
+			ID:        fmt.Sprintf("item-%06d", i),
+			truth:     make(map[string]string, len(attrs)),
+			visible:   make(map[string]bool, len(attrs)),
+			annotated: make(map[string]bool),
+		}
+		var proto map[string]string
+		if archetypes > 0 && corr > 0 {
+			proto = arch[rng.Intn(archetypes)]
+		}
+		for _, a := range attrs {
+			if proto != nil && rng.Float64() < corr {
+				it.truth[a.Name] = proto[a.Name]
+			} else {
+				it.truth[a.Name] = pick(a.Values)
+			}
+			if rng.Float64() < a.VisibleRate {
+				it.visible[a.Name] = true
+			}
+		}
+		c.Items = append(c.Items, it)
+	}
+	return c, nil
+}
+
+// PropertyName renders an attribute=value pair as the canonical property
+// string used across this repository.
+func PropertyName(attr, value string) string { return attr + ":" + value }
+
+// splitProperty inverts PropertyName.
+func splitProperty(p string) (attr, value string, ok bool) {
+	i := strings.IndexByte(p, ':')
+	if i <= 0 || i == len(p)-1 {
+		return "", "", false
+	}
+	return p[:i], p[i+1:], true
+}
+
+// SatisfiesTruth reports whether the item's ground truth satisfies the
+// property "attr:value".
+func (it *Item) SatisfiesTruth(property string) bool {
+	attr, value, ok := splitProperty(property)
+	if !ok {
+		return false
+	}
+	return it.truth[attr] == value
+}
+
+// Decided reports whether the property's satisfaction is decidable from the
+// completed catalog view (seller-visible value or classifier annotation),
+// and if so whether it holds.
+func (it *Item) Decided(property string) (holds, decided bool) {
+	attr, value, ok := splitProperty(property)
+	if !ok {
+		return false, false
+	}
+	if it.visible[attr] {
+		return it.truth[attr] == value, true
+	}
+	if it.annotated[property] {
+		return true, true
+	}
+	return false, false
+}
+
+// ApplyClassifier simulates training and running a (perfect) binary
+// classifier for the conjunction of properties: every item whose ground
+// truth satisfies all of them receives a positive annotation for each
+// individual property (footnote 2 of the paper); other items learn nothing.
+// It returns the number of items annotated.
+func (c *Catalog) ApplyClassifier(properties []string) int {
+	count := 0
+	for _, it := range c.Items {
+		all := true
+		for _, p := range properties {
+			if !it.SatisfiesTruth(p) {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		count++
+		for _, p := range properties {
+			it.annotated[p] = true
+		}
+	}
+	return count
+}
+
+// ResetAnnotations clears every classifier annotation.
+func (c *Catalog) ResetAnnotations() {
+	for _, it := range c.Items {
+		it.annotated = make(map[string]bool)
+	}
+}
+
+// QueryResult measures one conjunctive query's answer quality against
+// ground truth.
+type QueryResult struct {
+	// Ideal is the number of items whose ground truth satisfies the query.
+	Ideal int
+	// Retrieved is the number of items returned by evaluating the query
+	// over the visible+annotated view (an item is returned only when every
+	// property is decided positive).
+	Retrieved int
+	// Correct is the number of retrieved items that are truly relevant.
+	Correct int
+}
+
+// Recall is Correct/Ideal (1 when Ideal is 0).
+func (r QueryResult) Recall() float64 {
+	if r.Ideal == 0 {
+		return 1
+	}
+	return float64(r.Correct) / float64(r.Ideal)
+}
+
+// Precision is Correct/Retrieved (1 when nothing is retrieved).
+func (r QueryResult) Precision() float64 {
+	if r.Retrieved == 0 {
+		return 1
+	}
+	return float64(r.Correct) / float64(r.Retrieved)
+}
+
+// Evaluate runs a conjunctive query (property strings) against the catalog.
+func (c *Catalog) Evaluate(properties []string) QueryResult {
+	var res QueryResult
+	for _, it := range c.Items {
+		ideal := true
+		for _, p := range properties {
+			if !it.SatisfiesTruth(p) {
+				ideal = false
+				break
+			}
+		}
+		if ideal {
+			res.Ideal++
+		}
+		retrieved := true
+		for _, p := range properties {
+			holds, decided := it.Decided(p)
+			if !decided || !holds {
+				retrieved = false
+				break
+			}
+		}
+		if retrieved {
+			res.Retrieved++
+			if ideal {
+				res.Correct++
+			}
+		}
+	}
+	return res
+}
+
+// MacroRecall averages per-query recall over a load of queries (each query
+// a list of property strings).
+func (c *Catalog) MacroRecall(queries [][]string) float64 {
+	if len(queries) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, q := range queries {
+		sum += c.Evaluate(q).Recall()
+	}
+	return sum / float64(len(queries))
+}
+
+// SampleQueries draws a query load guaranteed non-vacuous: each query is a
+// subset of some item's ground truth, so its ideal answer is non-empty.
+// Lengths cycle between minLen and maxLen.
+func (c *Catalog) SampleQueries(n, minLen, maxLen int, seed int64) ([][]string, error) {
+	if len(c.Items) == 0 {
+		return nil, fmt.Errorf("catalog: empty catalog")
+	}
+	if minLen < 1 || maxLen < minLen || maxLen > len(c.Attributes) {
+		return nil, fmt.Errorf("catalog: bad length range [%d,%d] over %d attributes", minLen, maxLen, len(c.Attributes))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	var out [][]string
+	attempts := 0
+	for len(out) < n && attempts < 200*n {
+		attempts++
+		it := c.Items[rng.Intn(len(c.Items))]
+		l := minLen + rng.Intn(maxLen-minLen+1)
+		perm := rng.Perm(len(c.Attributes))[:l]
+		props := make([]string, 0, l)
+		for _, ai := range perm {
+			a := c.Attributes[ai]
+			props = append(props, PropertyName(a.Name, it.truth[a.Name]))
+		}
+		sort.Strings(props)
+		key := strings.Join(props, "|")
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, props)
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("catalog: could only derive %d distinct queries of %d requested", len(out), n)
+	}
+	return out, nil
+}
+
+// LabelingCostModel prices classifiers by simulated labeling effort,
+// capturing both cost forces the paper describes:
+//
+//   - To train the classifier for conjunction S one needs enough positive
+//     examples. The positive class of a *homogeneous* conjunction has few
+//     visual/textual variants ("Adidas Juventus shirts have just a few
+//     variants", Example 1.1), so fewer positives suffice: positives
+//     needed = min(PositivesNeeded, VariantFactor × distinct ground-truth
+//     profiles among the positives).
+//   - Experts label random catalog items until the positives are found, so
+//     the expected effort is positives-needed divided by the conjunction's
+//     selectivity (capped at the catalog size).
+//
+// Costs are the label counts normalized by Unit and truncated to integers,
+// matching how the paper's private dataset derived its costs ("the
+// estimated number of labeled examples experts must annotate", normalized).
+// Conjunctions with no positive examples at all are infeasible (+Inf) — the
+// "not enough training data available" case of Section 2.
+type LabelingCostModel struct {
+	catalog         *Catalog
+	universe        *core.Universe
+	positivesNeeded float64
+	variantFactor   float64
+	unit            float64
+}
+
+// NewLabelingCostModel builds the cost model over a catalog. universe must
+// be the one the queries were interned into. positivesNeeded caps the
+// positive examples required, variantFactor is labels-per-variant for
+// homogeneous classes (0 disables the variant discount), and unit scales
+// labels into cost points.
+func NewLabelingCostModel(c *Catalog, u *core.Universe, positivesNeeded, variantFactor, unit float64) (*LabelingCostModel, error) {
+	if positivesNeeded <= 0 || unit <= 0 {
+		return nil, fmt.Errorf("catalog: positivesNeeded and unit must be positive")
+	}
+	if variantFactor < 0 {
+		return nil, fmt.Errorf("catalog: variantFactor must be non-negative")
+	}
+	return &LabelingCostModel{
+		catalog:         c,
+		universe:        u,
+		positivesNeeded: positivesNeeded,
+		variantFactor:   variantFactor,
+		unit:            unit,
+	}, nil
+}
+
+// Cost implements core.CostModel.
+func (m *LabelingCostModel) Cost(s core.PropSet) float64 {
+	positives := 0
+	variants := make(map[string]bool)
+	var profile strings.Builder
+	for _, it := range m.catalog.Items {
+		all := true
+		for _, pid := range s {
+			if !it.SatisfiesTruth(m.universe.Name(pid)) {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		positives++
+		profile.Reset()
+		for _, a := range m.catalog.Attributes {
+			profile.WriteString(it.truth[a.Name])
+			profile.WriteByte('\x00')
+		}
+		variants[profile.String()] = true
+	}
+	n := float64(len(m.catalog.Items))
+	if positives == 0 {
+		return inf()
+	}
+	needed := m.positivesNeeded
+	if m.variantFactor > 0 {
+		if v := m.variantFactor * float64(len(variants)); v < needed {
+			needed = v
+		}
+	}
+	if needed < 1 {
+		needed = 1
+	}
+	selectivity := float64(positives) / n
+	labels := needed / selectivity
+	if labels > n {
+		labels = n
+	}
+	cost := labels / m.unit
+	if cost < 1 {
+		cost = 1
+	}
+	return float64(int(cost))
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// ApplyMultiValuedClassifier simulates training a multi-valued classifier
+// for an attribute (Section 5.3): the model decides the attribute's value
+// for every item, so the attribute becomes effectively visible catalog-wide.
+// It returns the number of items whose attribute was previously hidden.
+func (c *Catalog) ApplyMultiValuedClassifier(attr string) int {
+	known := false
+	for _, a := range c.Attributes {
+		if a.Name == attr {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return 0
+	}
+	count := 0
+	for _, it := range c.Items {
+		if !it.visible[attr] {
+			count++
+		}
+		// Annotate every value-property the item satisfies for this
+		// attribute (equivalent to revealing the value).
+		it.annotated[PropertyName(attr, it.truth[attr])] = true
+	}
+	return count
+}
+
+// ApplyNoisyClassifier simulates training a classifier below the paper's
+// fixed accuracy threshold (the cost/accuracy trade-off the paper names as
+// future work in Section 8 and deliberately keeps out of the MC³ model):
+// items whose ground truth satisfies the conjunction are annotated with
+// probability tpr (true-positive rate); items that do not satisfy it are
+// *wrongly* annotated with probability fpr. Wrong annotations break the
+// precision-1 guarantee of perfect classifiers, quantifying why the paper
+// prices classifiers at a predefined accuracy level. Deterministic in seed.
+// It returns the number of correct and incorrect annotations made.
+func (c *Catalog) ApplyNoisyClassifier(properties []string, tpr, fpr float64, seed int64) (correct, wrong int) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, it := range c.Items {
+		all := true
+		for _, p := range properties {
+			if !it.SatisfiesTruth(p) {
+				all = false
+				break
+			}
+		}
+		if all {
+			if rng.Float64() < tpr {
+				correct++
+				for _, p := range properties {
+					it.annotated[p] = true
+				}
+			}
+		} else if rng.Float64() < fpr {
+			wrong++
+			for _, p := range properties {
+				it.annotated[p] = true
+			}
+		}
+	}
+	return correct, wrong
+}
+
+// MacroPrecision averages per-query precision over a load.
+func (c *Catalog) MacroPrecision(queries [][]string) float64 {
+	if len(queries) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, q := range queries {
+		sum += c.Evaluate(q).Precision()
+	}
+	return sum / float64(len(queries))
+}

@@ -1,0 +1,404 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/solver"
+)
+
+func testAttrs() []Attribute {
+	return []Attribute{
+		{Name: "type", Values: []string{"shirt", "dress", "jacket"}, VisibleRate: 0.9},
+		{Name: "color", Values: []string{"white", "black", "red", "blue"}, VisibleRate: 0.3},
+		{Name: "brand", Values: []string{"adidas", "nike", "puma"}, VisibleRate: 0.5},
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	c, err := Generate(500, testAttrs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Items) != 500 {
+		t.Fatalf("items = %d", len(c.Items))
+	}
+	// Every item has full ground truth; visibility roughly matches rates.
+	visible := map[string]int{}
+	for _, it := range c.Items {
+		for _, a := range c.Attributes {
+			v, ok := it.Truth(a.Name)
+			if !ok || v == "" {
+				t.Fatal("missing ground truth")
+			}
+			if it.Visible(a.Name) {
+				visible[a.Name]++
+			}
+		}
+	}
+	if f := float64(visible["type"]) / 500; f < 0.8 || f > 1.0 {
+		t.Errorf("type visibility = %v, want ≈ 0.9", f)
+	}
+	if f := float64(visible["color"]) / 500; f < 0.2 || f > 0.45 {
+		t.Errorf("color visibility = %v, want ≈ 0.3", f)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(0, testAttrs(), 1); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := Generate(1, []Attribute{{Name: "x"}}, 1); err == nil {
+		t.Error("empty value domain must fail")
+	}
+	if _, err := Generate(1, []Attribute{{Name: "x", Values: []string{"v"}, VisibleRate: 2}}, 1); err == nil {
+		t.Error("bad visible rate must fail")
+	}
+}
+
+func TestEvaluateBeforeAndAfterClassifier(t *testing.T) {
+	c, err := Generate(1000, testAttrs(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []string{"color:white", "brand:adidas"}
+	before := c.Evaluate(q)
+	if before.Ideal == 0 {
+		t.Skip("unlucky draw: no white adidas items")
+	}
+	// With color mostly hidden, recall is incomplete but precision perfect.
+	if before.Recall() >= 1 {
+		t.Errorf("recall before training should be < 1, got %v (ideal %d, correct %d)",
+			before.Recall(), before.Ideal, before.Correct)
+	}
+	if before.Precision() != 1 {
+		t.Errorf("precision must be 1 (annotations and visible values are truthful), got %v", before.Precision())
+	}
+
+	// Train the conjunction classifier: recall hits 1.
+	annotated := c.ApplyClassifier(q)
+	if annotated != before.Ideal {
+		t.Errorf("classifier annotated %d items, want the %d true positives", annotated, before.Ideal)
+	}
+	after := c.Evaluate(q)
+	if after.Recall() != 1 || after.Precision() != 1 {
+		t.Errorf("after training: recall %v precision %v, want 1/1", after.Recall(), after.Precision())
+	}
+
+	c.ResetAnnotations()
+	if got := c.Evaluate(q); got.Recall() != before.Recall() {
+		t.Error("ResetAnnotations must restore the original recall")
+	}
+}
+
+func TestSingletonClassifierHelpsOtherQueries(t *testing.T) {
+	c, err := Generate(800, testAttrs(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A singleton classifier annotates the property everywhere it holds,
+	// helping every query containing it.
+	c.ApplyClassifier([]string{"color:red"})
+	q := []string{"type:shirt", "color:red"}
+	res := c.Evaluate(q)
+	// Each truly-red shirt is retrieved iff its type is decided; type is
+	// 90% visible, so recall must be high (no annotation for type though).
+	if res.Ideal > 10 && res.Recall() < 0.7 {
+		t.Errorf("recall = %v, expected ≥ 0.7 with color fully annotated", res.Recall())
+	}
+	if res.Precision() != 1 {
+		t.Errorf("precision = %v", res.Precision())
+	}
+}
+
+func TestSampleQueriesNonVacuous(t *testing.T) {
+	c, err := Generate(400, testAttrs(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := c.SampleQueries(30, 1, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 30 {
+		t.Fatalf("queries = %d", len(queries))
+	}
+	for _, q := range queries {
+		if res := c.Evaluate(q); res.Ideal == 0 {
+			t.Fatalf("query %v has an empty ideal answer", q)
+		}
+	}
+	if _, err := c.SampleQueries(10, 0, 3, 1); err == nil {
+		t.Error("minLen 0 must fail")
+	}
+	if _, err := c.SampleQueries(10, 2, 9, 1); err == nil {
+		t.Error("maxLen beyond attributes must fail")
+	}
+}
+
+func TestLabelingCostModel(t *testing.T) {
+	c, err := Generate(1000, testAttrs(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := core.NewUniverse()
+	m, err := NewLabelingCostModel(c, u, 20, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	common := u.Set("type:shirt")              // head value: cheap
+	rare := u.Set("type:jacket", "color:blue") // tail conjunction: expensive
+	cCommon := m.Cost(common)
+	cRare := m.Cost(rare)
+	if math.IsInf(cRare, 1) {
+		t.Skip("no blue jackets in this draw")
+	}
+	if cCommon >= cRare {
+		t.Errorf("common property cost %v should be below rare conjunction cost %v", cCommon, cRare)
+	}
+	// Impossible conjunction (same attribute, two values) → infeasible.
+	impossible := u.Set("type:shirt", "type:dress")
+	if !math.IsInf(m.Cost(impossible), 1) {
+		t.Error("impossible conjunction must be priced +Inf")
+	}
+	if _, err := NewLabelingCostModel(c, u, 0, 0, 1); err == nil {
+		t.Error("positivesNeeded 0 must fail")
+	}
+}
+
+// TestEndToEndMC3Loop is the full paper story: sample a query load from the
+// catalog, derive labeling costs, pick classifiers with Algorithm 3, train
+// them, and confirm every query reaches perfect recall — at lower cost than
+// the naive baselines.
+func TestEndToEndMC3Loop(t *testing.T) {
+	c, err := Generate(2000, testAttrs(), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawQueries, err := c.SampleQueries(40, 1, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := core.NewUniverse()
+	queries := make([]core.PropSet, len(rawQueries))
+	for i, q := range rawQueries {
+		queries[i] = u.Set(q...)
+	}
+	cm, err := NewLabelingCostModel(c, u, 25, 2, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := core.NewInstance(u, queries, cm, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sol, err := solver.General(inst, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(sol); err != nil {
+		t.Fatal(err)
+	}
+
+	baselineRecall := c.MacroRecall(rawQueries)
+	for _, id := range sol.Selected {
+		c.ApplyClassifier(u.SetNames(inst.Classifier(id)))
+	}
+	afterRecall := c.MacroRecall(rawQueries)
+	if afterRecall != 1 {
+		t.Fatalf("after training the MC3 cover, macro recall = %v, want exactly 1", afterRecall)
+	}
+	if baselineRecall >= 1 {
+		t.Skip("catalog draw had no hidden values affecting the load")
+	}
+	if afterRecall <= baselineRecall {
+		t.Errorf("recall did not improve: %v → %v", baselineRecall, afterRecall)
+	}
+
+	// The MC3 plan should not cost more than the naive baselines.
+	if po, err := solver.PropertyOriented(inst, solver.DefaultOptions()); err == nil && sol.Cost > po.Cost+1e-9 {
+		t.Errorf("MC3 plan %v costs more than Property-Oriented %v", sol.Cost, po.Cost)
+	}
+	if qo, err := solver.QueryOriented(inst, solver.DefaultOptions()); err == nil && sol.Cost > qo.Cost+1e-9 {
+		t.Errorf("MC3 plan %v costs more than Query-Oriented %v", sol.Cost, qo.Cost)
+	}
+}
+
+func TestSplitProperty(t *testing.T) {
+	for _, c := range []struct {
+		in        string
+		attr, val string
+		ok        bool
+	}{
+		{"color:white", "color", "white", true},
+		{"a:b:c", "a", "b:c", true},
+		{"nocolon", "", "", false},
+		{":x", "", "", false},
+		{"x:", "", "", false},
+	} {
+		attr, val, ok := splitProperty(c.in)
+		if ok != c.ok || attr != c.attr || val != c.val {
+			t.Errorf("splitProperty(%q) = %q,%q,%v", c.in, attr, val, ok)
+		}
+	}
+}
+
+func TestGenerateCorrelatedHomogeneity(t *testing.T) {
+	attrs := testAttrs()
+	ind, err := Generate(3000, attrs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cor, err := GenerateCorrelated(3000, attrs, 20, 0.9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count distinct full profiles: correlation must reduce diversity.
+	profiles := func(c *Catalog) int {
+		seen := map[string]bool{}
+		for _, it := range c.Items {
+			key := ""
+			for _, a := range c.Attributes {
+				v, _ := it.Truth(a.Name)
+				key += v + "\x00"
+			}
+			seen[key] = true
+		}
+		return len(seen)
+	}
+	pi, pc := profiles(ind), profiles(cor)
+	if pc >= pi {
+		t.Errorf("correlated catalog has %d profiles, independent has %d; want fewer", pc, pi)
+	}
+}
+
+func TestGenerateCorrelatedValidation(t *testing.T) {
+	attrs := testAttrs()
+	if _, err := GenerateCorrelated(10, attrs, -1, 0.5, 1); err == nil {
+		t.Error("negative archetypes must fail")
+	}
+	if _, err := GenerateCorrelated(10, attrs, 5, 1.5, 1); err == nil {
+		t.Error("correlation > 1 must fail")
+	}
+}
+
+func TestVariantDiscountMakesConjunctionsCompetitive(t *testing.T) {
+	attrs := testAttrs()
+	c, err := GenerateCorrelated(4000, attrs, 15, 0.9, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := core.NewUniverse()
+	withDiscount, err := NewLabelingCostModel(c, u, 100, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noDiscount, err := NewLabelingCostModel(c, u, 100, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find some conjunction that actually occurs.
+	var pair core.PropSet
+	for _, it := range c.Items {
+		t1, _ := it.Truth("type")
+		b1, _ := it.Truth("brand")
+		pair = u.Set(PropertyName("type", t1), PropertyName("brand", b1))
+		break
+	}
+	cd := withDiscount.Cost(pair)
+	cn := noDiscount.Cost(pair)
+	if cd > cn {
+		t.Errorf("variant discount must not increase cost: %v > %v", cd, cn)
+	}
+}
+
+func TestApplyMultiValuedClassifier(t *testing.T) {
+	c, err := Generate(600, testAttrs(), 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []string{"color:red", "type:shirt"}
+	before := c.Evaluate(q)
+	hidden := c.ApplyMultiValuedClassifier("color")
+	if hidden == 0 {
+		t.Fatal("some colors must have been hidden (visible rate 0.3)")
+	}
+	after := c.Evaluate(q)
+	if after.Recall() < before.Recall() {
+		t.Error("multi-valued color classifier must not reduce recall")
+	}
+	// Every query over color alone now has perfect recall.
+	for _, color := range []string{"white", "black", "red", "blue"} {
+		res := c.Evaluate([]string{PropertyName("color", color)})
+		if res.Recall() != 1 {
+			t.Errorf("color:%s recall = %v after multi-valued training", color, res.Recall())
+		}
+	}
+	if got := c.ApplyMultiValuedClassifier("nonexistent"); got != 0 {
+		t.Error("unknown attribute must be a no-op")
+	}
+}
+
+func TestApplyNoisyClassifier(t *testing.T) {
+	c, err := Generate(2000, testAttrs(), 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []string{"color:white", "brand:nike"}
+	ideal := c.Evaluate(q).Ideal
+	if ideal == 0 {
+		t.Skip("no white nike items in this draw")
+	}
+
+	// Perfect classifier: recall 1, precision 1.
+	correct, wrong := c.ApplyNoisyClassifier(q, 1.0, 0.0, 1)
+	if wrong != 0 || correct != ideal {
+		t.Fatalf("perfect classifier: correct=%d wrong=%d ideal=%d", correct, wrong, ideal)
+	}
+	res := c.Evaluate(q)
+	if res.Recall() != 1 || res.Precision() != 1 {
+		t.Errorf("perfect: recall %v precision %v", res.Recall(), res.Precision())
+	}
+
+	// Noisy classifier: false positives break precision.
+	c.ResetAnnotations()
+	_, wrong2 := c.ApplyNoisyClassifier(q, 0.9, 0.1, 2)
+	if wrong2 == 0 {
+		t.Fatal("10% fpr on 2000 items must produce false positives")
+	}
+	res2 := c.Evaluate(q)
+	if res2.Precision() >= 1 {
+		t.Errorf("noisy classifier must hurt precision, got %v", res2.Precision())
+	}
+	if res2.Recall() >= 1 {
+		t.Errorf("tpr < 1 must hurt recall, got %v", res2.Recall())
+	}
+	// Determinism.
+	c.ResetAnnotations()
+	c1, w1 := c.ApplyNoisyClassifier(q, 0.9, 0.1, 7)
+	c.ResetAnnotations()
+	c2, w2 := c.ApplyNoisyClassifier(q, 0.9, 0.1, 7)
+	if c1 != c2 || w1 != w2 {
+		t.Error("noisy application must be deterministic in seed")
+	}
+}
+
+func TestMacroPrecision(t *testing.T) {
+	c, err := Generate(500, testAttrs(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := c.SampleQueries(10, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without annotations, everything visible is truthful: precision 1.
+	if p := c.MacroPrecision(queries); p != 1 {
+		t.Errorf("baseline macro precision = %v, want 1", p)
+	}
+	if p := c.MacroPrecision(nil); p != 1 {
+		t.Errorf("empty load precision = %v", p)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// FuzzPropSetAlgebra drives the set operations with arbitrary bit patterns
+// and cross-checks them against uint64 bit arithmetic (the reference model
+// for sets over a small ID range).
+func FuzzPropSetAlgebra(f *testing.F) {
+	f.Add(uint64(0b1011), uint64(0b0110))
+	f.Add(uint64(0), uint64(0))
+	f.Add(^uint64(0), uint64(1))
+
+	fromBits := func(m uint64) PropSet {
+		var ids []PropID
+		for m != 0 {
+			ids = append(ids, PropID(bits.TrailingZeros64(m)))
+			m &= m - 1
+		}
+		return NewPropSet(ids...)
+	}
+	toBits := func(s PropSet) uint64 {
+		var m uint64
+		for _, id := range s {
+			m |= 1 << uint(id)
+		}
+		return m
+	}
+
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		sa, sb := fromBits(a), fromBits(b)
+		if got := toBits(sa.Union(sb)); got != a|b {
+			t.Fatalf("Union: %b, want %b", got, a|b)
+		}
+		if got := toBits(sa.Intersect(sb)); got != a&b {
+			t.Fatalf("Intersect: %b, want %b", got, a&b)
+		}
+		if got := toBits(sa.Minus(sb)); got != a&^b {
+			t.Fatalf("Minus: %b, want %b", got, a&^b)
+		}
+		if got := sa.SubsetOf(sb); got != (a&^b == 0) {
+			t.Fatalf("SubsetOf: %v, want %v", got, a&^b == 0)
+		}
+		if got := sa.Intersects(sb); got != (a&b != 0) {
+			t.Fatalf("Intersects: %v, want %v", got, a&b != 0)
+		}
+		if !fromBits(a).Equal(sa) {
+			t.Fatal("fromBits not stable")
+		}
+		if (sa.Key() == sb.Key()) != (a == b) {
+			t.Fatal("Key equality disagrees with set equality")
+		}
+		if !KeyToPropSet(sa.Key()).Equal(sa) {
+			t.Fatal("Key round trip failed")
+		}
+	})
+}

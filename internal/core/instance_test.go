@@ -1,0 +1,369 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// paperExample builds Example 1.1 from the paper: queries {JWA, CA} with the
+// cost table C:5, A:5, J:5, W:1, AC:3, AW:5, AJ:3, JW:4, JAW:5.
+// The optimal solution is {AC, AJ, W} with cost 7.
+func paperExample(t testing.TB) (*Universe, *Instance) {
+	t.Helper()
+	u := NewUniverse()
+	j, w, a, c := u.Intern("team:juventus"), u.Intern("color:white"), u.Intern("brand:adidas"), u.Intern("team:chelsea")
+	queries := []PropSet{NewPropSet(j, w, a), NewPropSet(c, a)}
+	ct := NewCostTable(math.Inf(1))
+	ct.Set(NewPropSet(c), 5)
+	ct.Set(NewPropSet(a), 5)
+	ct.Set(NewPropSet(j), 5)
+	ct.Set(NewPropSet(w), 1)
+	ct.Set(NewPropSet(a, c), 3)
+	ct.Set(NewPropSet(a, w), 5)
+	ct.Set(NewPropSet(a, j), 3)
+	ct.Set(NewPropSet(j, w), 4)
+	ct.Set(NewPropSet(j, a, w), 5)
+	inst, err := NewInstance(u, queries, ct, Options{})
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return u, inst
+}
+
+func TestInstancePaperExample(t *testing.T) {
+	u, inst := paperExample(t)
+	if inst.NumQueries() != 2 {
+		t.Fatalf("NumQueries = %d", inst.NumQueries())
+	}
+	// C_Q has 9 finite-cost classifiers (all listed ones).
+	if inst.NumClassifiers() != 9 {
+		t.Fatalf("NumClassifiers = %d, want 9", inst.NumClassifiers())
+	}
+	if inst.MaxQueryLen() != 3 {
+		t.Errorf("MaxQueryLen = %d, want 3", inst.MaxQueryLen())
+	}
+	if inst.SumQueryLen() != 5 {
+		t.Errorf("SumQueryLen = %d, want 5", inst.SumQueryLen())
+	}
+	a, _ := u.Lookup("brand:adidas")
+	cID, ok := inst.ClassifierIDOf(NewPropSet(a))
+	if !ok {
+		t.Fatal("classifier A must exist")
+	}
+	if inst.Cost(cID) != 5 {
+		t.Errorf("Cost(A) = %v, want 5", inst.Cost(cID))
+	}
+	// A appears in both queries: incidence 2.
+	if inst.Incidence(cID) != 2 {
+		t.Errorf("Incidence(A) = %d, want 2", inst.Incidence(cID))
+	}
+}
+
+func TestInstanceOptimalSolutionVerifies(t *testing.T) {
+	u, inst := paperExample(t)
+	j, _ := u.Lookup("team:juventus")
+	w, _ := u.Lookup("color:white")
+	a, _ := u.Lookup("brand:adidas")
+	c, _ := u.Lookup("team:chelsea")
+	var ids []ClassifierID
+	for _, s := range []PropSet{NewPropSet(a, c), NewPropSet(a, j), NewPropSet(w)} {
+		id, ok := inst.ClassifierIDOf(s)
+		if !ok {
+			t.Fatalf("classifier %v missing", s)
+		}
+		ids = append(ids, id)
+	}
+	sol := NewSolution(inst, ids)
+	if sol.Cost != 7 {
+		t.Errorf("optimal cost = %v, want 7", sol.Cost)
+	}
+	if err := inst.Verify(sol); err != nil {
+		t.Errorf("Verify(optimal) = %v", err)
+	}
+}
+
+func TestInstanceIncompleteSolutionFailsVerify(t *testing.T) {
+	u, inst := paperExample(t)
+	a, _ := u.Lookup("brand:adidas")
+	c, _ := u.Lookup("team:chelsea")
+	id, _ := inst.ClassifierIDOf(NewPropSet(a, c))
+	sol := NewSolution(inst, []ClassifierID{id})
+	if err := inst.Verify(sol); err == nil {
+		t.Error("Verify must reject a solution leaving the JWA query uncovered")
+	}
+}
+
+func TestInstanceVerifyRejectsBadCost(t *testing.T) {
+	u, inst := paperExample(t)
+	a, _ := u.Lookup("brand:adidas")
+	c, _ := u.Lookup("team:chelsea")
+	j, _ := u.Lookup("team:juventus")
+	w, _ := u.Lookup("color:white")
+	var ids []ClassifierID
+	for _, s := range []PropSet{NewPropSet(a, c), NewPropSet(a, j), NewPropSet(w)} {
+		id, _ := inst.ClassifierIDOf(s)
+		ids = append(ids, id)
+	}
+	sol := NewSolution(inst, ids)
+	sol.Cost = 3 // lie
+	if err := inst.Verify(sol); err == nil || !strings.Contains(err.Error(), "cost") {
+		t.Errorf("Verify must reject mismatched cost, got %v", err)
+	}
+}
+
+func TestInstanceVerifyRejectsBadIDs(t *testing.T) {
+	_, inst := paperExample(t)
+	if err := inst.Verify(&Solution{Selected: []ClassifierID{99}, Cost: 0}); err == nil {
+		t.Error("Verify must reject out-of-range IDs")
+	}
+	if err := inst.Verify(&Solution{Selected: []ClassifierID{1, 1}, Cost: inst.Cost(1) * 2}); err == nil {
+		t.Error("Verify must reject duplicate IDs")
+	}
+	if err := inst.Verify(nil); err == nil {
+		t.Error("Verify must reject nil")
+	}
+}
+
+func TestInstanceDeduplicatesQueries(t *testing.T) {
+	u := NewUniverse()
+	q := u.Set("x", "y")
+	inst, err := NewInstance(u, []PropSet{q, q, q}, UniformCost(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumQueries() != 1 {
+		t.Errorf("NumQueries = %d, want 1 after dedup", inst.NumQueries())
+	}
+	kept, err := NewInstance(u, []PropSet{q, q}, UniformCost(1), Options{KeepDuplicateQueries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.NumQueries() != 2 {
+		t.Errorf("NumQueries = %d, want 2 with KeepDuplicateQueries", kept.NumQueries())
+	}
+}
+
+func TestInstanceRejectsEmptyInput(t *testing.T) {
+	u := NewUniverse()
+	if _, err := NewInstance(u, nil, UniformCost(1), Options{}); err == nil {
+		t.Error("no queries must be rejected")
+	}
+	if _, err := NewInstance(u, []PropSet{nil}, UniformCost(1), Options{}); err == nil {
+		t.Error("empty query must be rejected")
+	}
+	if _, err := NewInstance(nil, []PropSet{u.Set("x")}, UniformCost(1), Options{}); err == nil {
+		t.Error("nil universe must be rejected")
+	}
+	if _, err := NewInstance(u, []PropSet{u.Set("x")}, nil, Options{}); err == nil {
+		t.Error("nil cost model must be rejected")
+	}
+}
+
+func TestInstanceRejectsBadCosts(t *testing.T) {
+	u := NewUniverse()
+	q := u.Set("x", "y")
+	if _, err := NewInstance(u, []PropSet{q}, UniformCost(-1), Options{}); err == nil {
+		t.Error("negative costs must be rejected")
+	}
+	nan := CostFunc(func(PropSet) float64 { return math.NaN() })
+	if _, err := NewInstance(u, []PropSet{q}, nan, Options{}); err == nil {
+		t.Error("NaN costs must be rejected")
+	}
+}
+
+func TestInstanceRejectsOverlongQuery(t *testing.T) {
+	u := NewUniverse()
+	ids := make([]PropID, MaxEnumQueryLen+1)
+	for i := range ids {
+		ids[i] = PropID(i)
+		u.Intern(strings.Repeat("p", i+1))
+	}
+	if _, err := NewInstance(u, []PropSet{NewPropSet(ids...)}, UniformCost(1), Options{}); err == nil {
+		t.Error("queries beyond MaxEnumQueryLen must be rejected")
+	}
+	q3 := NewPropSet(0, 1, 2)
+	if _, err := NewInstance(u, []PropSet{q3}, UniformCost(1), Options{MaxQueryLen: 2}); err == nil {
+		t.Error("queries beyond Options.MaxQueryLen must be rejected")
+	}
+}
+
+func TestInstanceInfiniteCostsOmitted(t *testing.T) {
+	u := NewUniverse()
+	q := u.Set("x", "y", "z")
+	// Only singletons are available.
+	cm := CostFunc(func(s PropSet) float64 {
+		if s.Len() == 1 {
+			return 2
+		}
+		return math.Inf(1)
+	})
+	inst, err := NewInstance(u, []PropSet{q}, cm, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumClassifiers() != 3 {
+		t.Errorf("NumClassifiers = %d, want 3 (singletons only)", inst.NumClassifiers())
+	}
+	if got := len(inst.QueryClassifiers(0)); got != 3 {
+		t.Errorf("QueryClassifiers = %d entries, want 3", got)
+	}
+	if inst.MaxClassifierLen() != 1 {
+		t.Errorf("MaxClassifierLen = %d, want 1", inst.MaxClassifierLen())
+	}
+}
+
+func TestInstanceBoundedClassifiers(t *testing.T) {
+	u := NewUniverse()
+	q := u.Set("x", "y", "z")
+	inst, err := NewInstance(u, []PropSet{q}, UniformCost(1), Options{MaxClassifierLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(3,1)+C(3,2) = 6 classifiers.
+	if inst.NumClassifiers() != 6 {
+		t.Errorf("NumClassifiers = %d, want 6 with k'=2", inst.NumClassifiers())
+	}
+	if inst.MaxClassifierLen() != 2 {
+		t.Errorf("MaxClassifierLen = %d, want 2", inst.MaxClassifierLen())
+	}
+}
+
+func TestInstanceSharedClassifierAcrossQueries(t *testing.T) {
+	u := NewUniverse()
+	q1 := u.Set("x", "y")
+	q2 := u.Set("y", "z")
+	inst, err := NewInstance(u, []PropSet{q1, q2}, UniformCost(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Universe: X, Y, XY, Z, YZ — Y shared.
+	if inst.NumClassifiers() != 5 {
+		t.Fatalf("NumClassifiers = %d, want 5", inst.NumClassifiers())
+	}
+	y, _ := u.Lookup("y")
+	yID, ok := inst.ClassifierIDOf(NewPropSet(y))
+	if !ok {
+		t.Fatal("Y missing")
+	}
+	if inst.Incidence(yID) != 2 {
+		t.Errorf("Incidence(Y) = %d, want 2", inst.Incidence(yID))
+	}
+	qs := inst.ClassifierQueries(yID)
+	if len(qs) != 2 {
+		t.Errorf("ClassifierQueries(Y) = %v", qs)
+	}
+}
+
+func TestCoveredSemantics(t *testing.T) {
+	u := NewUniverse()
+	q := u.Set("x", "y", "z")
+	inst, err := NewInstance(u, []PropSet{q}, UniformCost(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := u.Lookup("x")
+	y, _ := u.Lookup("y")
+	z, _ := u.Lookup("z")
+	idXY, _ := inst.ClassifierIDOf(NewPropSet(x, y))
+	idYZ, _ := inst.ClassifierIDOf(NewPropSet(y, z))
+	idX, _ := inst.ClassifierIDOf(NewPropSet(x))
+
+	// Overlapping classifiers may combine: {XY, YZ} covers xyz.
+	if cov := inst.Covered([]ClassifierID{idXY, idYZ}); !cov[0] {
+		t.Error("{XY,YZ} must cover xyz")
+	}
+	// {XY, X} does not.
+	if cov := inst.Covered([]ClassifierID{idXY, idX}); cov[0] {
+		t.Error("{XY,X} must not cover xyz")
+	}
+	if !inst.CoversQuery(0, map[ClassifierID]bool{idXY: true, idYZ: true}) {
+		t.Error("CoversQuery disagrees with Covered")
+	}
+}
+
+func TestCostTable(t *testing.T) {
+	u := NewUniverse()
+	s := u.Set("a", "b")
+	ct := NewCostTable(7)
+	ct.Set(s, 3)
+	if got := ct.Cost(s); got != 3 {
+		t.Errorf("Cost(set) = %v", got)
+	}
+	if got := ct.Cost(u.Set("a")); got != 7 {
+		t.Errorf("Cost(default) = %v", got)
+	}
+}
+
+func TestAnalyzeParams(t *testing.T) {
+	_, inst := paperExample(t)
+	p := Analyze(inst)
+	if p.NumQueries != 2 || p.NumProperties != 4 || p.NumClassifiers != 9 {
+		t.Errorf("basic params wrong: %+v", p)
+	}
+	if p.MaxQueryLen != 3 {
+		t.Errorf("MaxQueryLen = %d", p.MaxQueryLen)
+	}
+	if p.SumQueryLen != 5 {
+		t.Errorf("SumQueryLen = %d", p.SumQueryLen)
+	}
+	// A is in both queries → I = 2.
+	if p.Incidence != 2 {
+		t.Errorf("Incidence = %d, want 2", p.Incidence)
+	}
+	// In query jwa, property a is in classifiers A, AW, AJ, JAW → f = 4 = 2^{k-1}.
+	if p.Frequency != 4 {
+		t.Errorf("Frequency = %d, want 4", p.Frequency)
+	}
+	// Degree: |S|·I(S); JAW has |S|=3, I=1 → 3; A has |S|=1, I=2 → 2. Max is 3.
+	if p.Degree != 3 {
+		t.Errorf("Degree = %d, want 3", p.Degree)
+	}
+}
+
+func TestAnalyzeBoundedClassifiersFrequency(t *testing.T) {
+	u := NewUniverse()
+	q := u.Set("x", "y", "z", "w")
+	inst, err := NewInstance(u, []PropSet{q}, UniformCost(1), Options{MaxClassifierLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Analyze(inst)
+	// For k'=2: each property is in its singleton plus (k−1) pairs → f = k = 4.
+	if p.Frequency != 4 {
+		t.Errorf("Frequency = %d, want k=4 for k'=2 (Section 5.3)", p.Frequency)
+	}
+}
+
+func TestRepresentationSize(t *testing.T) {
+	// A single disjoint query of length k with all classifiers priced:
+	// size = k + k·2^{k−1} = k(1 + 2^{k−1}) — the paper's bound met with
+	// equality.
+	u := NewUniverse()
+	q := u.Set("a", "b", "c")
+	inst, err := NewInstance(u, []PropSet{q}, UniformCost(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 3
+	want := k * (1 + 1<<(k-1)) // 3·(1+4) = 15
+	if got := RepresentationSize(inst); got != want {
+		t.Errorf("RepresentationSize = %d, want %d", got, want)
+	}
+
+	// Omitting classifiers (infinite cost) shrinks the representation,
+	// matching the paper's remark that such classifiers are not counted.
+	cm := CostFunc(func(s PropSet) float64 {
+		if s.Len() > 1 {
+			return math.Inf(1)
+		}
+		return 1
+	})
+	inst2, err := NewInstance(u, []PropSet{q}, cm, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RepresentationSize(inst2); got != 3+3 {
+		t.Errorf("RepresentationSize (singletons only) = %d, want 6", got)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import "math/bits"
+
+// Params are the instance parameters of Section 5's approximation analysis:
+// the incidence I, and the frequency f and degree Δ of the instance's
+// Weighted Set Cover reduction (Section 5.2, "Parameter analysis").
+type Params struct {
+	// NumQueries is n.
+	NumQueries int
+	// NumProperties is |P| restricted to properties appearing in queries.
+	NumProperties int
+	// NumClassifiers is m̂, the number of finite-cost classifiers in C_Q.
+	NumClassifiers int
+	// MaxQueryLen is k.
+	MaxQueryLen int
+	// MaxClassifierLen is the maximal classifier length (k' if bounded).
+	MaxClassifierLen int
+	// SumQueryLen is n̂ = Σ|q|, the WSC universe size.
+	SumQueryLen int
+	// Incidence is I = max over finite-cost classifiers S of I(S) = |Q_S|.
+	Incidence int
+	// Frequency is f: the maximal number of classifiers containing any
+	// single element (p,q) of the WSC universe; bounded by 2^{k−1} in
+	// general and by Σ_{i<k'} C(k−1,i) with bounded classifiers.
+	Frequency int
+	// Degree is Δ: the maximal WSC set size, |S|·I(S); bounded by (k−1)·I
+	// for instances surviving preprocessing.
+	Degree int
+}
+
+// Analyze computes the Params of inst by direct inspection (not the worst-
+// case bounds — the actual values, which the approximation guarantees of
+// Theorem 5.3 then apply to).
+func Analyze(inst *Instance) Params {
+	p := Params{
+		NumQueries:       inst.NumQueries(),
+		NumClassifiers:   inst.NumClassifiers(),
+		MaxQueryLen:      inst.MaxQueryLen(),
+		MaxClassifierLen: inst.MaxClassifierLen(),
+		SumQueryLen:      inst.SumQueryLen(),
+	}
+
+	props := make(map[PropID]bool)
+	for _, q := range inst.Queries() {
+		for _, id := range q {
+			props[id] = true
+		}
+	}
+	p.NumProperties = len(props)
+
+	for id := 0; id < inst.NumClassifiers(); id++ {
+		cid := ClassifierID(id)
+		inc := inst.Incidence(cid)
+		if inc > p.Incidence {
+			p.Incidence = inc
+		}
+		if d := inst.Classifier(cid).Len() * inc; d > p.Degree {
+			p.Degree = d
+		}
+	}
+
+	// Frequency: for each query and each of its property positions, count
+	// classifiers (⊆ the query) whose mask includes that position.
+	for qi := 0; qi < inst.NumQueries(); qi++ {
+		L := inst.Query(qi).Len()
+		counts := make([]int, L)
+		for _, qc := range inst.QueryClassifiers(qi) {
+			m := qc.Mask
+			for m != 0 {
+				j := bits.TrailingZeros64(m)
+				counts[j]++
+				m &= m - 1
+			}
+		}
+		for _, c := range counts {
+			if c > p.Frequency {
+				p.Frequency = c
+			}
+		}
+	}
+	return p
+}
+
+// RepresentationSize returns the input-size measure of Section 2.1: the sum
+// of query lengths plus the sum of lengths of all finite-cost classifiers in
+// C_Q (the paper treats W's input size as the total length of its domain,
+// ignoring logarithmic factors). For disjoint maximal queries this is
+// nk·(1 + 2^{k−1}), i.e. Θ(n) for constant k.
+func RepresentationSize(inst *Instance) int {
+	size := inst.SumQueryLen()
+	for id := 0; id < inst.NumClassifiers(); id++ {
+		size += inst.Classifier(ClassifierID(id)).Len()
+	}
+	return size
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func ps(ids ...PropID) PropSet { return NewPropSet(ids...) }
+
+func TestNewPropSetCanonicalizes(t *testing.T) {
+	cases := []struct {
+		in   []PropID
+		want PropSet
+	}{
+		{nil, nil},
+		{[]PropID{3}, PropSet{3}},
+		{[]PropID{3, 1, 2}, PropSet{1, 2, 3}},
+		{[]PropID{5, 5, 5}, PropSet{5}},
+		{[]PropID{4, 1, 4, 1, 9}, PropSet{1, 4, 9}},
+	}
+	for _, c := range cases {
+		got := NewPropSet(c.in...)
+		if !got.Equal(c.want) {
+			t.Errorf("NewPropSet(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPropSetKeyRoundTrip(t *testing.T) {
+	sets := []PropSet{nil, ps(0), ps(1, 2, 3), ps(0, 1<<20, 1<<30-1)}
+	for _, s := range sets {
+		back := KeyToPropSet(s.Key())
+		if !back.Equal(s) {
+			t.Errorf("KeyToPropSet(Key(%v)) = %v", s, back)
+		}
+	}
+	if KeyToPropSet("abc") != nil {
+		t.Error("KeyToPropSet should reject keys whose length is not a multiple of 4")
+	}
+}
+
+func TestPropSetKeyDistinct(t *testing.T) {
+	seen := map[string]PropSet{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(6)
+		ids := make([]PropID, n)
+		for j := range ids {
+			ids[j] = PropID(rng.Intn(50))
+		}
+		s := NewPropSet(ids...)
+		k := s.Key()
+		if prev, ok := seen[k]; ok && !prev.Equal(s) {
+			t.Fatalf("key collision: %v and %v share key", prev, s)
+		}
+		seen[k] = s
+	}
+}
+
+func TestPropSetContains(t *testing.T) {
+	s := ps(2, 5, 9)
+	for _, p := range []PropID{2, 5, 9} {
+		if !s.Contains(p) {
+			t.Errorf("%v should contain %d", s, p)
+		}
+	}
+	for _, p := range []PropID{0, 3, 10} {
+		if s.Contains(p) {
+			t.Errorf("%v should not contain %d", s, p)
+		}
+	}
+	if PropSet(nil).Contains(1) {
+		t.Error("empty set contains nothing")
+	}
+}
+
+func TestPropSetSubsetOf(t *testing.T) {
+	cases := []struct {
+		s, t PropSet
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, ps(1), true},
+		{ps(1), nil, false},
+		{ps(1, 3), ps(1, 2, 3), true},
+		{ps(1, 4), ps(1, 2, 3), false},
+		{ps(1, 2, 3), ps(1, 2, 3), true},
+		{ps(1, 2, 3, 4), ps(1, 2, 3), false},
+	}
+	for _, c := range cases {
+		if got := c.s.SubsetOf(c.t); got != c.want {
+			t.Errorf("%v.SubsetOf(%v) = %v, want %v", c.s, c.t, got, c.want)
+		}
+	}
+}
+
+func TestPropSetSetAlgebra(t *testing.T) {
+	a, b := ps(1, 2, 4), ps(2, 3, 4, 6)
+	if got := a.Union(b); !got.Equal(ps(1, 2, 3, 4, 6)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(ps(2, 4)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(ps(1)) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := b.Minus(a); !got.Equal(ps(3, 6)) {
+		t.Errorf("Minus = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("a and b intersect")
+	}
+	if ps(1, 2).Intersects(ps(3, 4)) {
+		t.Error("disjoint sets should not intersect")
+	}
+}
+
+func TestPropSetImmutability(t *testing.T) {
+	a, b := ps(1, 3), ps(2, 4)
+	aCopy := append(PropSet(nil), a...)
+	bCopy := append(PropSet(nil), b...)
+	_ = a.Union(b)
+	_ = a.Intersect(b)
+	_ = a.Minus(b)
+	if !a.Equal(aCopy) || !b.Equal(bCopy) {
+		t.Error("set operations must not mutate their operands")
+	}
+}
+
+func TestSubsetByMask(t *testing.T) {
+	s := ps(10, 20, 30)
+	cases := []struct {
+		mask uint64
+		want PropSet
+	}{
+		{0b000, nil},
+		{0b001, ps(10)},
+		{0b010, ps(20)},
+		{0b101, ps(10, 30)},
+		{0b111, ps(10, 20, 30)},
+	}
+	for _, c := range cases {
+		if got := s.SubsetByMask(c.mask); !got.Equal(c.want) {
+			t.Errorf("SubsetByMask(%b) = %v, want %v", c.mask, got, c.want)
+		}
+	}
+}
+
+func TestMaskIn(t *testing.T) {
+	q := ps(10, 20, 30, 40)
+	cases := []struct {
+		s    PropSet
+		want uint64
+		ok   bool
+	}{
+		{nil, 0, true},
+		{ps(10), 0b0001, true},
+		{ps(20, 40), 0b1010, true},
+		{ps(10, 20, 30, 40), 0b1111, true},
+		{ps(15), 0, false},
+		{ps(10, 50), 0, false},
+	}
+	for _, c := range cases {
+		got, ok := c.s.MaskIn(q)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("MaskIn(%v, %v) = %b,%v want %b,%v", c.s, q, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestMaskInSubsetByMaskInverse(t *testing.T) {
+	f := func(qRaw []uint16, mask uint64) bool {
+		ids := make([]PropID, len(qRaw))
+		for i, v := range qRaw {
+			ids[i] = PropID(v % 100)
+		}
+		q := NewPropSet(ids...)
+		if q.Len() > 64 {
+			return true
+		}
+		mask &= uint64(1)<<uint(q.Len()) - 1
+		sub := q.SubsetByMask(mask)
+		got, ok := sub.MaskIn(q)
+		return ok && got == mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionIsCommutativeAndIdempotent(t *testing.T) {
+	gen := func(raw []uint16) PropSet {
+		ids := make([]PropID, len(raw))
+		for i, v := range raw {
+			ids[i] = PropID(v % 40)
+		}
+		return NewPropSet(ids...)
+	}
+	f := func(aRaw, bRaw []uint16) bool {
+		a, b := gen(aRaw), gen(bRaw)
+		ab, ba := a.Union(b), b.Union(a)
+		return ab.Equal(ba) && ab.Union(a).Equal(ab) && a.SubsetOf(ab) && b.SubsetOf(ab)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinusIntersectPartition(t *testing.T) {
+	// a = (a\b) ∪ (a∩b), and the two parts are disjoint.
+	gen := func(raw []uint16) PropSet {
+		ids := make([]PropID, len(raw))
+		for i, v := range raw {
+			ids[i] = PropID(v % 40)
+		}
+		return NewPropSet(ids...)
+	}
+	f := func(aRaw, bRaw []uint16) bool {
+		a, b := gen(aRaw), gen(bRaw)
+		diff, inter := a.Minus(b), a.Intersect(b)
+		if diff.Intersects(inter) {
+			return false
+		}
+		return diff.Union(inter).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSetSortedInvariant(t *testing.T) {
+	f := func(raw []uint16) bool {
+		ids := make([]PropID, len(raw))
+		for i, v := range raw {
+			ids[i] = PropID(v)
+		}
+		s := NewPropSet(ids...)
+		return sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSetString(t *testing.T) {
+	if got := ps(3, 1, 2).String(); got != "{1,2,3}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := PropSet(nil).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestUniverseIntern(t *testing.T) {
+	u := NewUniverse()
+	a := u.Intern("color:white")
+	b := u.Intern("brand:adidas")
+	if a == b {
+		t.Fatal("distinct names must get distinct IDs")
+	}
+	if got := u.Intern("color:white"); got != a {
+		t.Error("re-interning must return the same ID")
+	}
+	if u.Name(a) != "color:white" || u.Name(b) != "brand:adidas" {
+		t.Error("Name round-trip failed")
+	}
+	if u.Size() != 2 {
+		t.Errorf("Size = %d, want 2", u.Size())
+	}
+	if _, ok := u.Lookup("nope"); ok {
+		t.Error("Lookup of unknown name must report !ok")
+	}
+	if id, ok := u.Lookup("brand:adidas"); !ok || id != b {
+		t.Error("Lookup of known name failed")
+	}
+}
+
+func TestUniverseSetAndNames(t *testing.T) {
+	u := NewUniverse()
+	s := u.Set("b", "a", "b", "c")
+	if s.Len() != 3 {
+		t.Fatalf("Set length = %d, want 3", s.Len())
+	}
+	names := u.SetNames(s)
+	if !reflect.DeepEqual(names, []string{"a", "b", "c"}) {
+		t.Errorf("SetNames = %v", names)
+	}
+	all := u.Names()
+	if !reflect.DeepEqual(all, []string{"b", "a", "c"}) {
+		t.Errorf("Names (ID order) = %v", all)
+	}
+	all[0] = "mutated"
+	if u.Name(0) == "mutated" {
+		t.Error("Names must return a copy")
+	}
+}
+
+func TestUniverseNamePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Name on out-of-range ID must panic")
+		}
+	}()
+	NewUniverse().Name(0)
+}

@@ -1,0 +1,22 @@
+package hardness_test
+
+import (
+	"fmt"
+
+	"repro/internal/hardness"
+	"repro/internal/solver"
+)
+
+// ExampleBuildTheorem51 reduces a Set Cover instance to MC³, solves it
+// exactly, and maps the solution back — costs coincide.
+func ExampleBuildTheorem51() {
+	sc := &hardness.SetCover{
+		NumElements: 3,
+		Sets:        [][]int{{0, 1}, {1, 2}, {0, 2}},
+	}
+	r, _ := hardness.BuildTheorem51(sc)
+	sol, _ := solver.Exact(r.Inst, solver.DefaultOptions())
+	cover, _ := r.ToSetCover(sol)
+	fmt.Println(sol.Cost, len(cover))
+	// Output: 2 2
+}

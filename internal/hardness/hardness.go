@@ -1,0 +1,315 @@
+// Package hardness implements the paper's approximation-hardness
+// constructions (Section 5.1) as executable reductions:
+//
+//   - Theorem 5.1: an approximation-preserving reduction from (unweighted)
+//     Set Cover to MC³ with k = f+1 and I = Δ — every element becomes a
+//     query over the sets containing it plus a shared marker property e;
+//     set–set pair classifiers are free and e-pair classifiers cost 1, so a
+//     solution's cost is exactly the number of sets chosen.
+//   - Theorem 5.2: a reduction from Set Cover to a single-query MC³
+//     instance whose classifiers are the sets, proving hardness in k.
+//
+// Beyond documenting the theory, these constructions are test vehicles: the
+// package maps MC³ solutions back to set covers and verifies that costs are
+// preserved in both directions, which exercises the solvers on the
+// adversarial instance family the lower bounds are built from.
+package hardness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// SetCover is an unweighted Set Cover instance: Sets[i] lists the elements
+// (0..NumElements−1) of set i.
+type SetCover struct {
+	NumElements int
+	Sets        [][]int
+}
+
+// Validate checks structural sanity and coverability.
+func (sc *SetCover) Validate() error {
+	if sc.NumElements < 0 {
+		return errors.New("hardness: negative universe")
+	}
+	covered := make([]bool, sc.NumElements)
+	for si, s := range sc.Sets {
+		for _, e := range s {
+			if e < 0 || e >= sc.NumElements {
+				return fmt.Errorf("hardness: set %d contains out-of-range element %d", si, e)
+			}
+			covered[e] = true
+		}
+	}
+	for e, c := range covered {
+		if !c {
+			return fmt.Errorf("hardness: element %d is uncoverable", e)
+		}
+	}
+	return nil
+}
+
+// frequency returns the number of sets each element belongs to.
+func (sc *SetCover) frequency() []int {
+	f := make([]int, sc.NumElements)
+	for _, s := range sc.Sets {
+		for _, e := range s {
+			f[e]++
+		}
+	}
+	return f
+}
+
+// IsCover reports whether the chosen set indices cover every element.
+func (sc *SetCover) IsCover(chosen []int) bool {
+	covered := make([]bool, sc.NumElements)
+	cnt := 0
+	for _, si := range chosen {
+		if si < 0 || si >= len(sc.Sets) {
+			return false
+		}
+		for _, e := range sc.Sets[si] {
+			if !covered[e] {
+				covered[e] = true
+				cnt++
+			}
+		}
+	}
+	return cnt == sc.NumElements
+}
+
+// Theorem51 is the reduction of Theorem 5.1 applied to one Set Cover
+// instance: it owns the produced MC³ instance and the mapping needed to
+// translate solutions back.
+type Theorem51 struct {
+	// Inst is the produced MC³ instance.
+	Inst *core.Instance
+	// Universe is the property universe (one property per set, plus e).
+	Universe *core.Universe
+	// Marker is the shared property e present in every query.
+	Marker core.PropID
+
+	sc      *SetCover
+	setProp []core.PropID // set index → property
+	propSet map[core.PropID]int
+}
+
+// MarkerName is the name of the shared property e.
+const MarkerName = "e"
+
+// setPropName names the property of set i.
+func setPropName(i int) string { return "s" + strconv.Itoa(i) }
+
+// BuildTheorem51 constructs the MC³ instance of Theorem 5.1 from sc.
+// Requirements mirror the theorem's setting: every element must appear in at
+// least two sets (f > 1), so that every query has length ≥ 3 (k = f+1 > 2).
+// Elements belonging to exactly the same sets should be merged beforehand;
+// duplicate queries are merged here, matching the proof's remark.
+//
+// The instance prices length-2 classifiers only: {s_i, s_j} pairs cost 0,
+// {e, s_i} pairs cost 1; everything else is unavailable. Covering a query
+// therefore costs exactly the number of distinct {e, s_i} classifiers used,
+// and an MC³ solution of cost c maps to a set cover of size ≤ c.
+func BuildTheorem51(sc *SetCover) (*Theorem51, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	for e, f := range sc.frequency() {
+		if f < 2 {
+			return nil, fmt.Errorf("hardness: Theorem 5.1 needs every element in ≥2 sets; element %d is in %d", e, f)
+		}
+	}
+
+	u := core.NewUniverse()
+	marker := u.Intern(MarkerName)
+	setProp := make([]core.PropID, len(sc.Sets))
+	propSet := make(map[core.PropID]int, len(sc.Sets))
+	for i := range sc.Sets {
+		setProp[i] = u.Intern(setPropName(i))
+		propSet[setProp[i]] = i
+	}
+
+	// One query per element: the sets containing it, plus e.
+	elemSets := make([][]int, sc.NumElements)
+	for si, s := range sc.Sets {
+		for _, e := range s {
+			elemSets[e] = append(elemSets[e], si)
+		}
+	}
+	queries := make([]core.PropSet, 0, sc.NumElements)
+	for e := 0; e < sc.NumElements; e++ {
+		ids := make([]core.PropID, 0, len(elemSets[e])+1)
+		ids = append(ids, marker)
+		for _, si := range elemSets[e] {
+			ids = append(ids, setProp[si])
+		}
+		queries = append(queries, core.NewPropSet(ids...))
+	}
+
+	cm := core.CostFunc(func(s core.PropSet) float64 {
+		if s.Len() != 2 {
+			return inf()
+		}
+		if s.Contains(marker) {
+			return 1 // {e, s_i}
+		}
+		return 0 // {s_i, s_j}
+	})
+	inst, err := core.NewInstance(u, queries, cm, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Theorem51{
+		Inst:     inst,
+		Universe: u,
+		Marker:   marker,
+		sc:       sc,
+		setProp:  setProp,
+		propSet:  propSet,
+	}, nil
+}
+
+// ToSetCover maps an MC³ solution back to a set cover, per the proof: every
+// selected classifier of the form {e, s_i} contributes set i. The returned
+// cover has cardinality equal to the solution's cost (free classifiers
+// contribute nothing).
+func (r *Theorem51) ToSetCover(sol *core.Solution) ([]int, error) {
+	var chosen []int
+	for _, id := range sol.Selected {
+		s := r.Inst.Classifier(id)
+		if !s.Contains(r.Marker) {
+			continue // free set–set classifier
+		}
+		if s.Len() != 2 {
+			return nil, fmt.Errorf("hardness: unexpected classifier %v in Theorem 5.1 solution", s)
+		}
+		other := s[0]
+		if other == r.Marker {
+			other = s[1]
+		}
+		si, ok := r.propSet[other]
+		if !ok {
+			return nil, fmt.Errorf("hardness: classifier %v pairs e with a non-set property", s)
+		}
+		chosen = append(chosen, si)
+	}
+	if !r.sc.IsCover(chosen) {
+		return nil, errors.New("hardness: mapped selection is not a set cover")
+	}
+	return chosen, nil
+}
+
+// FromSetCover maps a set cover to an MC³ solution of equal cost: the
+// {e, s_i} classifier per chosen set, plus every free set–set classifier.
+func (r *Theorem51) FromSetCover(chosen []int) (*core.Solution, error) {
+	if !r.sc.IsCover(chosen) {
+		return nil, errors.New("hardness: input is not a set cover")
+	}
+	var ids []core.ClassifierID
+	for _, si := range chosen {
+		id, ok := r.Inst.ClassifierIDOf(core.NewPropSet(r.Marker, r.setProp[si]))
+		if !ok {
+			return nil, fmt.Errorf("hardness: classifier {e,s%d} missing", si)
+		}
+		ids = append(ids, id)
+	}
+	// All free pair classifiers.
+	for id := 0; id < r.Inst.NumClassifiers(); id++ {
+		cid := core.ClassifierID(id)
+		if r.Inst.Cost(cid) == 0 {
+			ids = append(ids, cid)
+		}
+	}
+	sol := core.NewSolution(r.Inst, ids)
+	if err := r.Inst.Verify(sol); err != nil {
+		return nil, fmt.Errorf("hardness: constructed solution invalid: %w", err)
+	}
+	return sol, nil
+}
+
+// Theorem52 is the single-query reduction of Theorem 5.2.
+type Theorem52 struct {
+	// Inst is the produced MC³ instance (one query of length
+	// NumElements; one unit-cost classifier per set).
+	Inst *core.Instance
+	// Universe is the property universe (one property per element).
+	Universe *core.Universe
+
+	sc       *SetCover
+	elemProp []core.PropID
+}
+
+// BuildTheorem52 constructs the Theorem 5.2 instance: a single query whose
+// properties are the elements, with one unit-cost classifier per set
+// (testing the conjunction of the set's elements). Any MC³ solution is a set
+// cover of the same cardinality and vice versa.
+func BuildTheorem52(sc *SetCover) (*Theorem52, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.NumElements == 0 {
+		return nil, errors.New("hardness: empty universe")
+	}
+	if sc.NumElements > core.MaxEnumQueryLen {
+		return nil, fmt.Errorf("hardness: Theorem 5.2 instance needs query length %d > enumeration cap %d", sc.NumElements, core.MaxEnumQueryLen)
+	}
+
+	u := core.NewUniverse()
+	elemProp := make([]core.PropID, sc.NumElements)
+	for e := range elemProp {
+		elemProp[e] = u.Intern("x" + strconv.Itoa(e))
+	}
+	query := core.NewPropSet(elemProp...)
+
+	// Price exactly the set classifiers at 1.
+	setKeys := make(map[string]bool, len(sc.Sets))
+	for _, s := range sc.Sets {
+		ids := make([]core.PropID, 0, len(s))
+		for _, e := range s {
+			ids = append(ids, elemProp[e])
+		}
+		setKeys[core.NewPropSet(ids...).Key()] = true
+	}
+	cm := core.CostFunc(func(s core.PropSet) float64 {
+		if setKeys[s.Key()] {
+			return 1
+		}
+		return inf()
+	})
+	inst, err := core.NewInstance(u, []core.PropSet{query}, cm, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Theorem52{Inst: inst, Universe: u, sc: sc, elemProp: elemProp}, nil
+}
+
+// ToSetCover maps an MC³ solution back to set indices.
+func (r *Theorem52) ToSetCover(sol *core.Solution) ([]int, error) {
+	// Classifier property sets correspond to sets; find each by content.
+	keyToSet := make(map[string]int, len(r.sc.Sets))
+	for si, s := range r.sc.Sets {
+		ids := make([]core.PropID, 0, len(s))
+		for _, e := range s {
+			ids = append(ids, r.elemProp[e])
+		}
+		keyToSet[core.NewPropSet(ids...).Key()] = si
+	}
+	var chosen []int
+	for _, id := range sol.Selected {
+		si, ok := keyToSet[r.Inst.Classifier(id).Key()]
+		if !ok {
+			return nil, fmt.Errorf("hardness: classifier %v is not a set", r.Inst.Classifier(id))
+		}
+		chosen = append(chosen, si)
+	}
+	if !r.sc.IsCover(chosen) {
+		return nil, errors.New("hardness: mapped selection is not a set cover")
+	}
+	return chosen, nil
+}
+
+func inf() float64 { return math.Inf(1) }

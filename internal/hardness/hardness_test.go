@@ -1,0 +1,241 @@
+package hardness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/solver"
+)
+
+// randomSetCover generates a coverable instance with every element in ≥ 2
+// sets (Theorem 5.1's setting).
+func randomSetCover(rng *rand.Rand, nElems, nSets int) *SetCover {
+	sc := &SetCover{NumElements: nElems, Sets: make([][]int, nSets)}
+	for e := 0; e < nElems; e++ {
+		// Place each element in 2..min(4,nSets) distinct sets.
+		want := 2 + rng.Intn(3)
+		if want > nSets {
+			want = nSets
+		}
+		perm := rng.Perm(nSets)[:want]
+		for _, si := range perm {
+			sc.Sets[si] = append(sc.Sets[si], e)
+		}
+	}
+	return sc
+}
+
+// bruteOptCover finds the minimum set-cover size by enumeration.
+func bruteOptCover(sc *SetCover) int {
+	best := sc.NumElements + len(sc.Sets) + 1
+	for mask := 0; mask < 1<<uint(len(sc.Sets)); mask++ {
+		var chosen []int
+		for si := 0; si < len(sc.Sets); si++ {
+			if mask&(1<<uint(si)) != 0 {
+				chosen = append(chosen, si)
+			}
+		}
+		if len(chosen) < best && sc.IsCover(chosen) {
+			best = len(chosen)
+		}
+	}
+	return best
+}
+
+func TestValidate(t *testing.T) {
+	good := &SetCover{NumElements: 2, Sets: [][]int{{0, 1}}}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := &SetCover{NumElements: 2, Sets: [][]int{{0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("uncoverable element must fail validation")
+	}
+	oob := &SetCover{NumElements: 1, Sets: [][]int{{3}}}
+	if err := oob.Validate(); err == nil {
+		t.Error("out-of-range element must fail validation")
+	}
+}
+
+func TestTheorem51Shape(t *testing.T) {
+	// Triangle cover: elements {0,1,2}, sets A={0,1}, B={1,2}, C={0,2}.
+	sc := &SetCover{NumElements: 3, Sets: [][]int{{0, 1}, {1, 2}, {0, 2}}}
+	r, err := BuildTheorem51(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One query per element, each of length f+1 = 3 (k = f+1, I = Δ).
+	if r.Inst.NumQueries() != 3 {
+		t.Errorf("queries = %d, want 3", r.Inst.NumQueries())
+	}
+	if r.Inst.MaxQueryLen() != 3 {
+		t.Errorf("k = %d, want 3 (= f+1)", r.Inst.MaxQueryLen())
+	}
+	p := core.Analyze(r.Inst)
+	// Δ of the SC instance is 2 (every set has two elements) and the
+	// theorem promises I = Δ.
+	if p.Incidence != 2 {
+		t.Errorf("I = %d, want Δ = 2", p.Incidence)
+	}
+	// Every classifier has length exactly 2, costs in {0, 1}: the
+	// restricted setting of the theorem's last sentence.
+	for id := 0; id < r.Inst.NumClassifiers(); id++ {
+		cid := core.ClassifierID(id)
+		if r.Inst.Classifier(cid).Len() != 2 {
+			t.Fatalf("classifier %v has length ≠ 2", r.Inst.Classifier(cid))
+		}
+		if c := r.Inst.Cost(cid); c != 0 && c != 1 {
+			t.Fatalf("classifier cost %v not in {0,1}", c)
+		}
+	}
+}
+
+func TestTheorem51CostEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 60; trial++ {
+		sc := randomSetCover(rng, 2+rng.Intn(5), 3+rng.Intn(4))
+		r, err := BuildTheorem51(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := bruteOptCover(sc)
+
+		// Forward: an optimal MC³ solution maps to a set cover of equal
+		// size; since the reduction is cost-preserving both ways, the MC³
+		// optimum equals the SC optimum.
+		sol, err := solver.Exact(r.Inst, solver.DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if int(sol.Cost) != opt {
+			t.Fatalf("trial %d: MC3 optimum %v != SC optimum %d", trial, sol.Cost, opt)
+		}
+		chosen, err := r.ToSetCover(sol)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(chosen) != opt {
+			t.Fatalf("trial %d: mapped cover size %d != %d", trial, len(chosen), opt)
+		}
+
+		// Backward: any set cover maps to an MC³ solution of equal cost.
+		back, err := r.FromSetCover(chosen)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if int(back.Cost) != len(chosen) {
+			t.Fatalf("trial %d: back-mapped cost %v != %d", trial, back.Cost, len(chosen))
+		}
+	}
+}
+
+func TestTheorem51ApproximationPreserved(t *testing.T) {
+	// Running the approximation algorithm on the hard instance family and
+	// mapping back yields a set cover whose size is the algorithm's cost —
+	// the approximation-preservation property the lower bound relies on.
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 40; trial++ {
+		sc := randomSetCover(rng, 3+rng.Intn(6), 3+rng.Intn(5))
+		r, err := BuildTheorem51(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := solver.General(r.Inst, solver.DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		chosen, err := r.ToSetCover(sol)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if float64(len(chosen)) > sol.Cost+1e-9 {
+			t.Fatalf("trial %d: mapped cover size %d exceeds solution cost %v", trial, len(chosen), sol.Cost)
+		}
+	}
+}
+
+func TestTheorem51RejectsLowFrequency(t *testing.T) {
+	sc := &SetCover{NumElements: 2, Sets: [][]int{{0, 1}, {1}}}
+	if _, err := BuildTheorem51(sc); err == nil {
+		t.Error("element 0 appears in one set; the theorem's setting requires ≥ 2")
+	}
+}
+
+func TestTheorem52Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 60; trial++ {
+		nElems := 2 + rng.Intn(6)
+		nSets := 2 + rng.Intn(5)
+		sc := &SetCover{NumElements: nElems, Sets: make([][]int, nSets)}
+		for e := 0; e < nElems; e++ {
+			sc.Sets[rng.Intn(nSets)] = append(sc.Sets[rng.Intn(nSets)], e)
+			sc.Sets[rng.Intn(nSets)] = append(sc.Sets[rng.Intn(nSets)], e)
+		}
+		// Deduplicate set contents.
+		for si := range sc.Sets {
+			seen := map[int]bool{}
+			var out []int
+			for _, e := range sc.Sets[si] {
+				if !seen[e] {
+					seen[e] = true
+					out = append(out, e)
+				}
+			}
+			sc.Sets[si] = out
+		}
+		if sc.Validate() != nil {
+			continue
+		}
+		r, err := BuildTheorem52(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Inst.NumQueries() != 1 {
+			t.Fatal("Theorem 5.2 instance must have a single query")
+		}
+		opt := bruteOptCover(sc)
+		sol, err := solver.Exact(r.Inst, solver.DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if int(sol.Cost) != opt {
+			t.Fatalf("trial %d: MC3 optimum %v != SC optimum %d", trial, sol.Cost, opt)
+		}
+		chosen, err := r.ToSetCover(sol)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(chosen) != opt {
+			t.Fatalf("trial %d: mapped size %d != %d", trial, len(chosen), opt)
+		}
+	}
+}
+
+func TestTheorem52RejectsOversizedUniverse(t *testing.T) {
+	sc := &SetCover{NumElements: core.MaxEnumQueryLen + 1, Sets: [][]int{{}}}
+	for e := 0; e < sc.NumElements; e++ {
+		sc.Sets[0] = append(sc.Sets[0], e)
+	}
+	if _, err := BuildTheorem52(sc); err == nil {
+		t.Error("universe beyond the enumeration cap must be rejected")
+	}
+}
+
+func TestFromSetCoverRejectsNonCover(t *testing.T) {
+	sc := &SetCover{NumElements: 3, Sets: [][]int{{0, 1}, {1, 2}, {0, 2}}}
+	r, err := BuildTheorem51(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.FromSetCover([]int{0}); err == nil {
+		t.Error("non-cover must be rejected")
+	}
+}
+
+func TestInfHelper(t *testing.T) {
+	if !math.IsInf(inf(), 1) {
+		t.Error("inf() must be +Inf")
+	}
+}

@@ -1,0 +1,20 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+)
+
+// ExampleProblem_Solve minimizes over the vertex-cover relaxation of a
+// triangle — the classic half-integral optimum.
+func ExampleProblem_Solve() {
+	p := lp.NewProblem(3)
+	_ = p.SetObjective([]float64{1, 1, 1})
+	_ = p.AddConstraint([]float64{1, 1, 0}, lp.GE, 1)
+	_ = p.AddConstraint([]float64{0, 1, 1}, lp.GE, 1)
+	_ = p.AddConstraint([]float64{1, 0, 1}, lp.GE, 1)
+	sol, _ := p.Solve()
+	fmt.Println(sol.Status, sol.Objective)
+	// Output: optimal 1.5
+}

@@ -1,0 +1,51 @@
+package lp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// coveringLP builds a random 0/1 covering LP of the WSC-relaxation shape.
+func coveringLP(nVars, nRows int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewProblem(nVars)
+	obj := make([]float64, nVars)
+	for i := range obj {
+		obj[i] = float64(1 + rng.Intn(50))
+	}
+	_ = p.SetObjective(obj)
+	for r := 0; r < nRows; r++ {
+		deg := 2 + rng.Intn(6)
+		vars := make([]int, 0, deg)
+		ones := make([]float64, 0, deg)
+		seen := map[int]bool{}
+		for len(vars) < deg {
+			v := rng.Intn(nVars)
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+				ones = append(ones, 1)
+			}
+		}
+		_ = p.AddSparseConstraint(vars, ones, GE, 1)
+	}
+	return p
+}
+
+// BenchmarkSimplexCovering measures the two-phase simplex on covering LPs
+// at the scales the LP-rounding engine runs.
+func BenchmarkSimplexCovering(b *testing.B) {
+	for _, size := range []struct{ vars, rows int }{{100, 60}, {400, 250}} {
+		b.Run(fmt.Sprintf("vars=%d_rows=%d", size.vars, size.rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := coveringLP(size.vars, size.rows, 1)
+				sol, err := p.Solve()
+				if err != nil || sol.Status != Optimal {
+					b.Fatalf("status %v err %v", sol.Status, err)
+				}
+			}
+		})
+	}
+}

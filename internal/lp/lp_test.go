@@ -1,0 +1,443 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustSolve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestSimpleMaximization(t *testing.T) {
+	// max x+y (as min −x−y) s.t. x+2y ≤ 4, 3x+y ≤ 6 → optimum at
+	// (8/5, 6/5), value 14/5.
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{-1, -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1, 2}, LE, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{3, 1}, LE, 6); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-(-2.8)) > 1e-7 {
+		t.Errorf("objective = %v, want -2.8", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-1.6) > 1e-7 || math.Abs(sol.X[1]-1.2) > 1e-7 {
+		t.Errorf("X = %v, want (1.6, 1.2)", sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	_ = p.SetObjective([]float64{1})
+	_ = p.AddConstraint([]float64{1}, GE, 2)
+	_ = p.AddConstraint([]float64{1}, LE, 1)
+	sol := mustSolve(t, p)
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	_ = p.SetObjective([]float64{-1, 0})
+	_ = p.AddConstraint([]float64{0, 1}, LE, 5)
+	sol := mustSolve(t, p)
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestUnboundedNoConstraints(t *testing.T) {
+	p := NewProblem(1)
+	_ = p.SetObjective([]float64{-1})
+	sol := mustSolve(t, p)
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+	p2 := NewProblem(1)
+	_ = p2.SetObjective([]float64{1})
+	sol2 := mustSolve(t, p2)
+	if sol2.Status != Optimal || sol2.Objective != 0 {
+		t.Errorf("min over empty constraints with c≥0 should be 0 at origin, got %v %v", sol2.Status, sol2.Objective)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// min x s.t. x + y = 3 → x=0, y=3.
+	p := NewProblem(2)
+	_ = p.SetObjective([]float64{1, 0})
+	_ = p.AddConstraint([]float64{1, 1}, EQ, 3)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective) > 1e-9 {
+		t.Errorf("got %v obj=%v", sol.Status, sol.Objective)
+	}
+	if math.Abs(sol.X[1]-3) > 1e-9 {
+		t.Errorf("X = %v", sol.X)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// −x ≤ −2 means x ≥ 2; min x = 2.
+	p := NewProblem(1)
+	_ = p.SetObjective([]float64{1})
+	_ = p.AddConstraint([]float64{-1}, LE, -2)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-2) > 1e-9 {
+		t.Errorf("got %v obj=%v, want 2", sol.Status, sol.Objective)
+	}
+}
+
+func TestTriangleVertexCoverLP(t *testing.T) {
+	// LP relaxation of vertex cover on a triangle: the optimum is the
+	// half-integral point (0.5, 0.5, 0.5) of value 1.5.
+	p := NewProblem(3)
+	_ = p.SetObjective([]float64{1, 1, 1})
+	_ = p.AddConstraint([]float64{1, 1, 0}, GE, 1)
+	_ = p.AddConstraint([]float64{0, 1, 1}, GE, 1)
+	_ = p.AddConstraint([]float64{1, 0, 1}, GE, 1)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-1.5) > 1e-7 {
+		t.Errorf("objective = %v, want 1.5", sol.Objective)
+	}
+}
+
+func TestBealeCyclingExampleTerminates(t *testing.T) {
+	// Beale's classic cycling example — Dantzig pivoting cycles forever,
+	// Bland's rule must terminate. Optimal value is −1/20.
+	p := NewProblem(4)
+	_ = p.SetObjective([]float64{-0.75, 150, -0.02, 6})
+	_ = p.AddConstraint([]float64{0.25, -60, -1.0 / 25, 9}, LE, 0)
+	_ = p.AddConstraint([]float64{0.5, -90, -1.0 / 50, 3}, LE, 0)
+	_ = p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-(-0.05)) > 1e-7 {
+		t.Errorf("objective = %v, want -0.05", sol.Objective)
+	}
+}
+
+func TestSparseConstraint(t *testing.T) {
+	p := NewProblem(4)
+	_ = p.SetObjective([]float64{1, 2, 3, 4})
+	if err := p.AddSparseConstraint([]int{0, 2}, []float64{1, 1}, GE, 2); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-2) > 1e-9 {
+		t.Errorf("got %v obj=%v, want 2 (x0=2)", sol.Status, sol.Objective)
+	}
+}
+
+func TestSolutionFeasibility(t *testing.T) {
+	// Random covering LPs: the returned point must satisfy all constraints
+	// and be non-negative, and the objective must equal c·x.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(8)
+		p := NewProblem(n)
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = float64(1 + rng.Intn(9))
+		}
+		_ = p.SetObjective(obj)
+		rows := make([][]float64, m)
+		rhs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			nonzero := false
+			for j := range row {
+				if rng.Intn(2) == 0 {
+					row[j] = 1
+					nonzero = true
+				}
+			}
+			if !nonzero {
+				row[rng.Intn(n)] = 1
+			}
+			rows[i] = row
+			rhs[i] = float64(1 + rng.Intn(3))
+			_ = p.AddConstraint(row, GE, rhs[i])
+		}
+		sol := mustSolve(t, p)
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: covering LP must be feasible and bounded, got %v", trial, sol.Status)
+		}
+		var dot float64
+		for j := range obj {
+			if sol.X[j] < -1e-9 {
+				t.Fatalf("trial %d: negative variable %v", trial, sol.X)
+			}
+			dot += obj[j] * sol.X[j]
+		}
+		if math.Abs(dot-sol.Objective) > 1e-6 {
+			t.Fatalf("trial %d: objective %v != c·x %v", trial, sol.Objective, dot)
+		}
+		for i := 0; i < m; i++ {
+			var lhs float64
+			for j := range rows[i] {
+				lhs += rows[i][j] * sol.X[j]
+			}
+			if lhs < rhs[i]-1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %v < %v", trial, i, lhs, rhs[i])
+			}
+		}
+	}
+}
+
+func TestCoveringLPLowerBoundsInteger(t *testing.T) {
+	// For random set-cover LPs, LP optimum ≤ best integral cover.
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 60; trial++ {
+		nSets := 2 + rng.Intn(5)
+		nElems := 1 + rng.Intn(5)
+		membership := make([][]bool, nSets)
+		costs := make([]float64, nSets)
+		for s := range membership {
+			membership[s] = make([]bool, nElems)
+			for e := range membership[s] {
+				membership[s][e] = rng.Intn(2) == 0
+			}
+			costs[s] = float64(1 + rng.Intn(10))
+		}
+		// Ensure every element is coverable.
+		for e := 0; e < nElems; e++ {
+			membership[rng.Intn(nSets)][e] = true
+		}
+		// Integer brute force.
+		bestInt := math.Inf(1)
+		for mask := 0; mask < 1<<uint(nSets); mask++ {
+			covered := make([]bool, nElems)
+			var c float64
+			for s := 0; s < nSets; s++ {
+				if mask&(1<<uint(s)) != 0 {
+					c += costs[s]
+					for e, in := range membership[s] {
+						if in {
+							covered[e] = true
+						}
+					}
+				}
+			}
+			all := true
+			for _, cv := range covered {
+				all = all && cv
+			}
+			if all && c < bestInt {
+				bestInt = c
+			}
+		}
+		// LP.
+		p := NewProblem(nSets)
+		_ = p.SetObjective(costs)
+		for e := 0; e < nElems; e++ {
+			row := make([]float64, nSets)
+			for s := 0; s < nSets; s++ {
+				if membership[s][e] {
+					row[s] = 1
+				}
+			}
+			_ = p.AddConstraint(row, GE, 1)
+		}
+		sol := mustSolve(t, p)
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		if sol.Objective > bestInt+1e-6 {
+			t.Fatalf("trial %d: LP %v exceeds integer optimum %v", trial, sol.Objective, bestInt)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{1}); err == nil {
+		t.Error("objective length mismatch must error")
+	}
+	if err := p.AddConstraint([]float64{1}, LE, 1); err == nil {
+		t.Error("constraint length mismatch must error")
+	}
+	if err := p.AddConstraint([]float64{math.NaN(), 0}, LE, 1); err == nil {
+		t.Error("NaN coefficient must error")
+	}
+	if err := p.AddConstraint([]float64{1, 1}, LE, math.Inf(1)); err == nil {
+		t.Error("infinite rhs must error")
+	}
+	if err := p.AddSparseConstraint([]int{5}, []float64{1}, GE, 1); err == nil {
+		t.Error("out-of-range sparse var must error")
+	}
+	if err := p.AddSparseConstraint([]int{0}, []float64{1, 2}, GE, 1); err == nil {
+		t.Error("sparse length mismatch must error")
+	}
+	if err := p.SetObjectiveCoeff(9, 1); err == nil {
+		t.Error("out-of-range objective var must error")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewProblem(0) must panic")
+			}
+		}()
+		NewProblem(0)
+	}()
+}
+
+func TestDegenerateRedundantRows(t *testing.T) {
+	// Duplicate constraints produce redundant rows in phase 1.
+	p := NewProblem(2)
+	_ = p.SetObjective([]float64{1, 1})
+	for i := 0; i < 4; i++ {
+		_ = p.AddConstraint([]float64{1, 1}, EQ, 2)
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-2) > 1e-7 {
+		t.Errorf("got %v obj=%v, want 2", sol.Status, sol.Objective)
+	}
+}
+
+// checkDualCertificate verifies the returned duals independently: strong
+// duality (b·y == objective), sign feasibility per constraint sense, and
+// dual constraint feasibility Aᵀy ≤ c.
+func checkDualCertificate(t *testing.T, p *Problem, rows [][]float64, senses []Sense, rhs []float64, obj []float64, sol *Solution) {
+	t.Helper()
+	if len(sol.Duals) != len(rows) {
+		t.Fatalf("duals = %d entries, want %d", len(sol.Duals), len(rows))
+	}
+	var by float64
+	for i, y := range sol.Duals {
+		by += rhs[i] * y
+		switch senses[i] {
+		case GE:
+			if y < -1e-6 {
+				t.Fatalf("constraint %d (GE): dual %v must be ≥ 0", i, y)
+			}
+		case LE:
+			if y > 1e-6 {
+				t.Fatalf("constraint %d (LE): dual %v must be ≤ 0", i, y)
+			}
+		}
+	}
+	if math.Abs(by-sol.Objective) > 1e-6*(1+math.Abs(sol.Objective)) {
+		t.Fatalf("strong duality violated: b·y = %v, objective = %v", by, sol.Objective)
+	}
+	for j := range obj {
+		var aty float64
+		for i := range rows {
+			aty += rows[i][j] * sol.Duals[i]
+		}
+		if aty > obj[j]+1e-6 {
+			t.Fatalf("dual infeasible at var %d: Aᵀy = %v > c = %v", j, aty, obj[j])
+		}
+	}
+}
+
+func TestDualsOnSimpleLP(t *testing.T) {
+	// min x+y s.t. x+y ≥ 2, x ≥ 0.5: optimum 2; dual of the first row 1.
+	p := NewProblem(2)
+	obj := []float64{1, 1}
+	_ = p.SetObjective(obj)
+	rows := [][]float64{{1, 1}, {1, 0}}
+	senses := []Sense{GE, GE}
+	rhs := []float64{2, 0.5}
+	for i := range rows {
+		_ = p.AddConstraint(rows[i], senses[i], rhs[i])
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatal(sol.Status)
+	}
+	checkDualCertificate(t, p, rows, senses, rhs, obj, sol)
+}
+
+func TestDualsOnMixedSenses(t *testing.T) {
+	// min 2x+3y s.t. x+y ≥ 4, x ≤ 3, x−y = 1.
+	p := NewProblem(2)
+	obj := []float64{2, 3}
+	_ = p.SetObjective(obj)
+	rows := [][]float64{{1, 1}, {1, 0}, {1, -1}}
+	senses := []Sense{GE, LE, EQ}
+	rhs := []float64{4, 3, 1}
+	for i := range rows {
+		_ = p.AddConstraint(rows[i], senses[i], rhs[i])
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatal(sol.Status)
+	}
+	checkDualCertificate(t, p, rows, senses, rhs, obj, sol)
+}
+
+func TestDualsOnRandomCoveringLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(7)
+		m := 1 + rng.Intn(9)
+		p := NewProblem(n)
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = float64(1 + rng.Intn(12))
+		}
+		_ = p.SetObjective(obj)
+		rows := make([][]float64, m)
+		senses := make([]Sense, m)
+		rhs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			nz := false
+			for j := range row {
+				if rng.Intn(2) == 0 {
+					row[j] = 1
+					nz = true
+				}
+			}
+			if !nz {
+				row[rng.Intn(n)] = 1
+			}
+			rows[i] = row
+			senses[i] = GE
+			rhs[i] = float64(1 + rng.Intn(3))
+			_ = p.AddConstraint(row, GE, rhs[i])
+		}
+		sol := mustSolve(t, p)
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: %v", trial, sol.Status)
+		}
+		checkDualCertificate(t, p, rows, senses, rhs, obj, sol)
+	}
+}
+
+func TestDualsWithNegativeRHS(t *testing.T) {
+	// −x ≤ −2 is x ≥ 2 after standardization flips the row; the dual must
+	// be reported against the ORIGINAL row (−x ≤ −2: dual ≤ 0).
+	p := NewProblem(1)
+	obj := []float64{1}
+	_ = p.SetObjective(obj)
+	rows := [][]float64{{-1}}
+	senses := []Sense{LE}
+	rhs := []float64{-2}
+	_ = p.AddConstraint(rows[0], LE, rhs[0])
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-2) > 1e-9 {
+		t.Fatalf("got %v obj %v", sol.Status, sol.Objective)
+	}
+	checkDualCertificate(t, p, rows, senses, rhs, obj, sol)
+}

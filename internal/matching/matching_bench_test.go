@@ -1,0 +1,38 @@
+package matching
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkHopcroftKarp measures maximum matching on sparse bipartite
+// graphs of the Mixed-baseline shape.
+func BenchmarkHopcroftKarp(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			base := NewBipartite(n, n)
+			for i := 0; i < 3*n; i++ {
+				base.AddEdge(rng.Intn(n), rng.Intn(n))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				base.MaxMatching()
+			}
+		})
+	}
+}
+
+// BenchmarkKonigCover measures the full min-vertex-cover extraction.
+func BenchmarkKonigCover(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	base := NewBipartite(5000, 5000)
+	for i := 0; i < 15000; i++ {
+		base.AddEdge(rng.Intn(5000), rng.Intn(5000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base.MinVertexCover()
+	}
+}

@@ -1,0 +1,186 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteMaxMatching enumerates assignments for small graphs.
+func bruteMaxMatching(nLeft, nRight int, edges [][2]int) int {
+	best := 0
+	var rec func(l int, usedR uint32, size int)
+	rec = func(l int, usedR uint32, size int) {
+		if size > best {
+			best = size
+		}
+		if l == nLeft {
+			return
+		}
+		rec(l+1, usedR, size) // leave l unmatched
+		for _, e := range edges {
+			if e[0] != l {
+				continue
+			}
+			bit := uint32(1) << uint(e[1])
+			if usedR&bit == 0 {
+				rec(l+1, usedR|bit, size+1)
+			}
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+// isVertexCover checks that every edge has an endpoint in the cover.
+func isVertexCover(edges [][2]int, coverL, coverR []bool) bool {
+	for _, e := range edges {
+		if !coverL[e[0]] && !coverR[e[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+func build(nLeft, nRight int, edges [][2]int) *Bipartite {
+	b := NewBipartite(nLeft, nRight)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b
+}
+
+func TestMaxMatchingSimple(t *testing.T) {
+	cases := []struct {
+		nL, nR int
+		edges  [][2]int
+		want   int
+	}{
+		{0, 0, nil, 0},
+		{1, 1, [][2]int{{0, 0}}, 1},
+		{2, 2, [][2]int{{0, 0}, {1, 0}}, 1},
+		{2, 2, [][2]int{{0, 0}, {0, 1}, {1, 0}}, 2},
+		{3, 3, [][2]int{{0, 0}, {1, 0}, {1, 1}, {2, 1}}, 2},
+		// Perfect matching on K_{3,3}.
+		{3, 3, [][2]int{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}, {2, 0}, {2, 1}, {2, 2}}, 3},
+	}
+	for i, c := range cases {
+		size, matchL, matchR := build(c.nL, c.nR, c.edges).MaxMatching()
+		if size != c.want {
+			t.Errorf("case %d: size = %d, want %d", i, size, c.want)
+		}
+		// Consistency of partner arrays.
+		for l, r := range matchL {
+			if r != NoMatch && matchR[r] != int32(l) {
+				t.Errorf("case %d: inconsistent matching at left %d", i, l)
+			}
+		}
+	}
+}
+
+func TestMaxMatchingAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		nL := 1 + rng.Intn(6)
+		nR := 1 + rng.Intn(6)
+		var edges [][2]int
+		for l := 0; l < nL; l++ {
+			for r := 0; r < nR; r++ {
+				if rng.Intn(3) == 0 {
+					edges = append(edges, [2]int{l, r})
+				}
+			}
+		}
+		want := bruteMaxMatching(nL, nR, edges)
+		got, _, _ := build(nL, nR, edges).MaxMatching()
+		if got != want {
+			t.Fatalf("trial %d: matching = %d, want %d (edges=%v)", trial, got, want, edges)
+		}
+	}
+}
+
+func TestKonigCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		nL := 1 + rng.Intn(7)
+		nR := 1 + rng.Intn(7)
+		var edges [][2]int
+		for l := 0; l < nL; l++ {
+			for r := 0; r < nR; r++ {
+				if rng.Intn(3) == 0 {
+					edges = append(edges, [2]int{l, r})
+				}
+			}
+		}
+		b := build(nL, nR, edges)
+		matchSize, _, _ := b.MaxMatching()
+		coverL, coverR := b.MinVertexCover()
+		if !isVertexCover(edges, coverL, coverR) {
+			t.Fatalf("trial %d: not a vertex cover (edges=%v coverL=%v coverR=%v)", trial, edges, coverL, coverR)
+		}
+		size := 0
+		for _, c := range coverL {
+			if c {
+				size++
+			}
+		}
+		for _, c := range coverR {
+			if c {
+				size++
+			}
+		}
+		// König: |min cover| = |max matching|.
+		if size != matchSize {
+			t.Fatalf("trial %d: cover size %d != matching size %d", trial, size, matchSize)
+		}
+	}
+}
+
+func TestCoverOnEmptyGraph(t *testing.T) {
+	b := NewBipartite(3, 3)
+	coverL, coverR := b.MinVertexCover()
+	for i := range coverL {
+		if coverL[i] {
+			t.Error("empty graph needs no cover vertices")
+		}
+	}
+	for i := range coverR {
+		if coverR[i] {
+			t.Error("empty graph needs no cover vertices")
+		}
+	}
+}
+
+func TestLargeMatching(t *testing.T) {
+	// Disjoint perfect matching of size 5000 plus noise edges.
+	n := 5000
+	b := NewBipartite(n, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, i)
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	size, _, _ := b.MaxMatching()
+	if size != n {
+		t.Errorf("matching size = %d, want %d", size, n)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	b := NewBipartite(1, 1)
+	for _, fn := range []func(){
+		func() { b.AddEdge(-1, 0) },
+		func() { b.AddEdge(0, 1) },
+		func() { NewBipartite(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

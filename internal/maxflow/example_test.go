@@ -1,0 +1,20 @@
+package maxflow_test
+
+import (
+	"fmt"
+
+	"repro/internal/maxflow"
+)
+
+// ExampleDinic computes a max flow and reads off the min cut.
+func ExampleDinic() {
+	g := maxflow.NewGraph(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(2, 3, 3)
+	flow := maxflow.Dinic(g, 0, 3)
+	cut := g.CutEdges(g.SourceSide(0))
+	fmt.Println(flow, len(cut))
+	// Output: 4 2
+}

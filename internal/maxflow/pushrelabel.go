@@ -1,0 +1,138 @@
+package maxflow
+
+import "math"
+
+// PushRelabel computes the maximum s→t flow with the FIFO push-relabel
+// algorithm (Goldberg–Tarjan) plus the gap heuristic, mutating g's residual
+// capacities. It returns the flow value.
+//
+// It serves as an independent correctness cross-check for Dinic in tests and
+// as the alternative engine in the Algorithm 2 ablation. The max flow must be
+// finite; the initial saturating push from s clamps infinite-capacity source
+// edges to (sum of finite capacities + 1), which is unreachable by any finite
+// max flow and therefore does not change the result.
+func PushRelabel(g *Graph, s, t int) float64 {
+	if s == t {
+		return 0
+	}
+	n := g.n
+
+	var finiteSum float64
+	for e := 0; e < len(g.cap); e += 2 {
+		if !math.IsInf(g.cap[e], 1) {
+			finiteSum += g.cap[e]
+		}
+	}
+	bigM := finiteSum + 1
+
+	height := make([]int32, n)
+	excess := make([]float64, n)
+	current := make([]int32, n)
+	// heightCount[h] = number of nodes at height h (for the gap heuristic).
+	heightCount := make([]int32, 2*n+1)
+
+	height[s] = int32(n)
+	heightCount[0] = int32(n - 1)
+	heightCount[n]++
+
+	active := make([]int32, 0, n)
+	inQueue := make([]bool, n)
+	enqueue := func(v int32) {
+		if !inQueue[v] && v != int32(s) && v != int32(t) && excess[v] > Eps {
+			inQueue[v] = true
+			active = append(active, v)
+		}
+	}
+
+	push := func(e int32) {
+		u := g.to[e^1]
+		v := g.to[e]
+		amt := excess[u]
+		if g.cap[e] < amt {
+			amt = g.cap[e]
+		}
+		g.cap[e] -= amt
+		g.cap[e^1] += amt
+		excess[u] -= amt
+		excess[v] += amt
+		enqueue(v)
+	}
+
+	// Saturate all source edges.
+	for _, e := range g.adj[s] {
+		if e%2 != 0 {
+			continue // residual arc
+		}
+		c := g.cap[e]
+		if math.IsInf(c, 1) {
+			c = bigM
+		}
+		if c <= Eps {
+			continue
+		}
+		g.cap[e] -= c
+		g.cap[e^1] += c
+		excess[g.to[e]] += c
+		enqueue(g.to[e])
+	}
+
+	relabel := func(u int32) {
+		old := height[u]
+		minH := int32(2*n) + 1
+		for _, e := range g.adj[u] {
+			if g.cap[e] > Eps {
+				if h := height[g.to[e]] + 1; h < minH {
+					minH = h
+				}
+			}
+		}
+		heightCount[old]--
+		if heightCount[old] == 0 && old < int32(n) {
+			// Gap heuristic: no node remains at height old, so every node
+			// strictly between old and n is disconnected from t; lift them
+			// past n so they route excess back toward s.
+			for v := 0; v < n; v++ {
+				if height[v] > old && height[v] < int32(n) {
+					heightCount[height[v]]--
+					height[v] = int32(n + 1)
+					heightCount[height[v]]++
+				}
+			}
+		}
+		if minH > int32(2*n) {
+			minH = int32(2 * n) // cap preserves label validity (h[u] ≤ h[v]+1)
+		}
+		height[u] = minH
+		heightCount[minH]++
+	}
+
+	discharge := func(u int32) {
+		for excess[u] > Eps {
+			if current[u] >= int32(len(g.adj[u])) {
+				relabel(u)
+				current[u] = 0
+				if height[u] >= int32(2*n) {
+					return
+				}
+				continue
+			}
+			e := g.adj[u][current[u]]
+			if g.cap[e] > Eps && height[u] == height[g.to[e]]+1 {
+				push(e)
+			} else {
+				current[u]++
+			}
+		}
+	}
+
+	for len(active) > 0 {
+		u := active[0]
+		active = active[1:]
+		inQueue[u] = false
+		discharge(u)
+		if excess[u] > Eps && height[u] < int32(2*n) {
+			enqueue(u)
+		}
+	}
+	return excess[t]
+}

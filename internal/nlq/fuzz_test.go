@@ -1,0 +1,47 @@
+package nlq
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzParse checks the free-text parser never panics and maintains its
+// invariants on arbitrary input: parsed properties are registered ones, and
+// unmatched tokens are normalized non-stopword tokens of the input.
+func FuzzParse(f *testing.F) {
+	f.Add("white adidas juventus shirt")
+	f.Add("")
+	f.Add("REAL   madrid!!! jersey\t\n")
+	f.Add("ütf-8 ünïcode 混合")
+	f.Add("a the for with")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		u := core.NewUniverse()
+		v := NewVocabulary(u)
+		v.Register("team:juventus", "juventus", "juve")
+		v.Register("team:real-madrid", "real madrid")
+		v.Register("color:white", "white")
+
+		q, unmatched := v.Parse(text)
+		for _, id := range q {
+			name := u.Name(id) // must not panic: all IDs registered
+			if name == "" {
+				t.Fatal("empty property name")
+			}
+		}
+		for _, tok := range unmatched {
+			if tok == "" {
+				t.Fatal("empty unmatched token")
+			}
+			if normalize(tok) != tok {
+				t.Fatalf("unmatched token %q is not normalized", tok)
+			}
+		}
+		// Parsing is idempotent on the normalized text.
+		q2, _ := v.Parse(normalize(text))
+		if !q.Equal(q2) {
+			t.Fatalf("parse not stable under normalization: %v vs %v", q, q2)
+		}
+	})
+}

@@ -1,0 +1,195 @@
+// Package nlq implements the query-translation front end of the paper's
+// motivating pipeline (Section 1): free-text search queries such as
+//
+//	"white adidas juventus shirt"
+//
+// are translated into conjunctions of catalog properties and rendered as
+// the SQL the paper's introduction shows:
+//
+//	SELECT * FROM Shirts WHERE `team` = 'Juventus'
+//	AND `color` = 'White' AND `brand` = 'Adidas';
+//
+// Matching is vocabulary-driven: attribute values (and their registered
+// synonyms, including multi-word phrases like "real madrid") are matched
+// greedily longest-first against the normalized token stream. The paper
+// treats this step as given ("translated by the e-commerce application,
+// e.g., via NLP-based methods"); this deterministic matcher is the
+// executable stand-in that turns raw query logs into MC³ query loads.
+package nlq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Vocabulary maps normalized phrases to catalog properties.
+type Vocabulary struct {
+	universe *core.Universe
+	phrases  map[string]core.PropID
+	maxWords int
+	stop     map[string]bool
+}
+
+// defaultStopwords are tokens ignored during matching.
+var defaultStopwords = []string{
+	"a", "an", "the", "for", "with", "and", "in", "of", "on", "new", "buy", "cheap",
+}
+
+// NewVocabulary returns an empty vocabulary interning into u.
+func NewVocabulary(u *core.Universe) *Vocabulary {
+	if u == nil {
+		panic("nlq: nil universe")
+	}
+	v := &Vocabulary{
+		universe: u,
+		phrases:  make(map[string]core.PropID),
+		maxWords: 1,
+		stop:     make(map[string]bool, len(defaultStopwords)),
+	}
+	for _, w := range defaultStopwords {
+		v.stop[w] = true
+	}
+	return v
+}
+
+// Register associates one property (e.g. "team:juventus") with the phrases
+// that evoke it ("juventus", "juve"). Phrases are normalized; multi-word
+// phrases match as units. Returns the property's ID.
+func (v *Vocabulary) Register(property string, phrases ...string) core.PropID {
+	id := v.universe.Intern(property)
+	for _, p := range phrases {
+		norm := normalize(p)
+		if norm == "" {
+			continue
+		}
+		v.phrases[norm] = id
+		if w := len(strings.Fields(norm)); w > v.maxWords {
+			v.maxWords = w
+		}
+	}
+	return id
+}
+
+// RegisterAttribute registers every value of an attribute under its natural
+// phrase: value "real-madrid" of attribute "team" becomes property
+// "team:real-madrid" matched by the phrase "real madrid".
+func (v *Vocabulary) RegisterAttribute(attr string, values ...string) {
+	for _, val := range values {
+		v.Register(attr+":"+val, strings.ReplaceAll(val, "-", " "))
+	}
+}
+
+// normalize lowercases and strips punctuation, collapsing whitespace.
+func normalize(s string) string {
+	var b strings.Builder
+	lastSpace := true
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastSpace = false
+		default:
+			if !lastSpace {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Parse translates free text into a conjunctive property set, returning the
+// matched properties and any tokens that matched nothing (after stopword
+// removal). Longest phrases win; each token is consumed at most once.
+func (v *Vocabulary) Parse(text string) (core.PropSet, []string) {
+	tokens := strings.Fields(normalize(text))
+	var ids []core.PropID
+	var unmatched []string
+	for i := 0; i < len(tokens); {
+		matched := false
+		maxLen := v.maxWords
+		if rem := len(tokens) - i; maxLen > rem {
+			maxLen = rem
+		}
+		for l := maxLen; l >= 1; l-- {
+			phrase := strings.Join(tokens[i:i+l], " ")
+			if id, ok := v.phrases[phrase]; ok {
+				ids = append(ids, id)
+				i += l
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			if !v.stop[tokens[i]] {
+				unmatched = append(unmatched, tokens[i])
+			}
+			i++
+		}
+	}
+	return core.NewPropSet(ids...), unmatched
+}
+
+// ParseLoad translates a batch of free-text queries, dropping those that
+// yield no properties. It returns the query load plus, per input, the
+// unmatched tokens (parallel to the input slice).
+func (v *Vocabulary) ParseLoad(texts []string) ([]core.PropSet, [][]string) {
+	var queries []core.PropSet
+	leftovers := make([][]string, len(texts))
+	for i, text := range texts {
+		q, un := v.Parse(text)
+		leftovers[i] = un
+		if !q.Empty() {
+			queries = append(queries, q)
+		}
+	}
+	return queries, leftovers
+}
+
+// SQL renders a conjunctive property query as the SELECT statement of the
+// paper's introduction. Properties must follow the "attr:value" convention;
+// values are title-cased as in the paper's example. Conditions are emitted
+// in attribute order for determinism.
+func SQL(u *core.Universe, table string, q core.PropSet) (string, error) {
+	type cond struct{ attr, value string }
+	conds := make([]cond, 0, q.Len())
+	for _, id := range q {
+		name := u.Name(id)
+		i := strings.IndexByte(name, ':')
+		if i <= 0 || i == len(name)-1 {
+			return "", fmt.Errorf("nlq: property %q is not in attr:value form", name)
+		}
+		conds = append(conds, cond{attr: name[:i], value: name[i+1:]})
+	}
+	sort.Slice(conds, func(i, j int) bool {
+		if conds[i].attr != conds[j].attr {
+			return conds[i].attr < conds[j].attr
+		}
+		return conds[i].value < conds[j].value
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT * FROM %s WHERE ", table)
+	for i, c := range conds {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		fmt.Fprintf(&b, "`%s` = '%s'", c.attr, titleCase(c.value))
+	}
+	b.WriteByte(';')
+	return b.String(), nil
+}
+
+// titleCase capitalizes each hyphen- or space-separated word.
+func titleCase(s string) string {
+	words := strings.FieldsFunc(s, func(r rune) bool { return r == '-' || r == ' ' })
+	for i, w := range words {
+		if w == "" {
+			continue
+		}
+		words[i] = strings.ToUpper(w[:1]) + w[1:]
+	}
+	return strings.Join(words, " ")
+}

@@ -1,0 +1,203 @@
+package nlq
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/solver"
+)
+
+// paperVocabulary registers the soccer-shirt vocabulary of Example 1.1.
+func paperVocabulary(u *core.Universe) *Vocabulary {
+	v := NewVocabulary(u)
+	v.RegisterAttribute("team", "juventus", "chelsea", "real-madrid", "cska-moscow")
+	v.RegisterAttribute("color", "white", "blue", "red")
+	v.RegisterAttribute("brand", "adidas", "umbro", "nike")
+	v.Register("type:shirt", "shirt", "shirts", "jersey")
+	return v
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	u := core.NewUniverse()
+	v := paperVocabulary(u)
+
+	q1, un1 := v.Parse("white adidas juventus shirt")
+	if len(un1) != 0 {
+		t.Errorf("unmatched tokens: %v", un1)
+	}
+	want1 := u.Set("team:juventus", "color:white", "brand:adidas", "type:shirt")
+	if !q1.Equal(want1) {
+		t.Errorf("parsed %v, want %v", u.SetNames(q1), u.SetNames(want1))
+	}
+
+	q2, _ := v.Parse("adidas chelsea shirt")
+	want2 := u.Set("team:chelsea", "brand:adidas", "type:shirt")
+	if !q2.Equal(want2) {
+		t.Errorf("parsed %v, want %v", u.SetNames(q2), u.SetNames(want2))
+	}
+}
+
+func TestParseMultiWordPhrases(t *testing.T) {
+	u := core.NewUniverse()
+	v := paperVocabulary(u)
+	q, un := v.Parse("Real Madrid jersey, white!")
+	want := u.Set("team:real-madrid", "type:shirt", "color:white")
+	if !q.Equal(want) {
+		t.Errorf("parsed %v, want %v", u.SetNames(q), u.SetNames(want))
+	}
+	if len(un) != 0 {
+		t.Errorf("unmatched: %v", un)
+	}
+	// "cska moscow" matches as a unit too.
+	q2, _ := v.Parse("cska moscow shirt")
+	if !q2.Contains(mustID(t, u, "team:cska-moscow")) {
+		t.Error("multi-word team not matched")
+	}
+}
+
+func TestParseSynonymsAndStopwords(t *testing.T) {
+	u := core.NewUniverse()
+	v := NewVocabulary(u)
+	v.Register("team:juventus", "juventus", "juve")
+	q, un := v.Parse("buy a cheap juve top for the season")
+	if !q.Contains(mustID(t, u, "team:juventus")) {
+		t.Error("synonym not matched")
+	}
+	// "top" and "season" are unmatched non-stopwords.
+	if !reflect.DeepEqual(un, []string{"top", "season"}) {
+		t.Errorf("unmatched = %v", un)
+	}
+}
+
+func TestParseGreedyLongestMatch(t *testing.T) {
+	u := core.NewUniverse()
+	v := NewVocabulary(u)
+	v.Register("color:white", "white")
+	v.Register("material:off-white-leather", "off white leather")
+	q, _ := v.Parse("off white leather boots")
+	if !q.Contains(mustID(t, u, "material:off-white-leather")) {
+		t.Error("longest phrase must win")
+	}
+	if q.Contains(mustID(t, u, "color:white")) {
+		t.Error("tokens inside a longer match must not rematch")
+	}
+}
+
+func TestParseEmptyAndNoise(t *testing.T) {
+	u := core.NewUniverse()
+	v := paperVocabulary(u)
+	q, un := v.Parse("")
+	if !q.Empty() || un != nil {
+		t.Error("empty text must parse to nothing")
+	}
+	q2, un2 := v.Parse("zzz qqq")
+	if !q2.Empty() || len(un2) != 2 {
+		t.Errorf("noise must be unmatched: %v %v", q2, un2)
+	}
+}
+
+func TestParseLoad(t *testing.T) {
+	u := core.NewUniverse()
+	v := paperVocabulary(u)
+	texts := []string{
+		"white adidas juventus shirt",
+		"",
+		"adidas chelsea shirt",
+		"complete gibberish here",
+	}
+	queries, leftovers := v.ParseLoad(texts)
+	if len(queries) != 2 {
+		t.Fatalf("queries = %d, want 2 (empty and gibberish dropped)", len(queries))
+	}
+	if len(leftovers) != 4 {
+		t.Fatalf("leftovers must parallel inputs")
+	}
+	if len(leftovers[3]) == 0 {
+		t.Error("gibberish tokens must be reported")
+	}
+}
+
+func TestSQLPaperShape(t *testing.T) {
+	u := core.NewUniverse()
+	q := u.Set("team:juventus", "color:white", "brand:adidas")
+	sql, err := SQL(u, "Shirts", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT * FROM Shirts WHERE `brand` = 'Adidas' AND `color` = 'White' AND `team` = 'Juventus';"
+	if sql != want {
+		t.Errorf("SQL = %q\nwant  %q", sql, want)
+	}
+}
+
+func TestSQLMultiWordValue(t *testing.T) {
+	u := core.NewUniverse()
+	q := u.Set("team:real-madrid")
+	sql, err := SQL(u, "Shirts", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "'Real Madrid'") {
+		t.Errorf("SQL = %q, want title-cased multi-word value", sql)
+	}
+}
+
+func TestSQLRejectsNonAttrValue(t *testing.T) {
+	u := core.NewUniverse()
+	q := u.Set("plainproperty")
+	if _, err := SQL(u, "T", q); err == nil {
+		t.Error("non attr:value property must be rejected")
+	}
+}
+
+// TestFreeTextToMC3Pipeline wires the full front end: free text → parse →
+// instance → solve.
+func TestFreeTextToMC3Pipeline(t *testing.T) {
+	u := core.NewUniverse()
+	v := paperVocabulary(u)
+	texts := []string{
+		"white adidas juventus shirt",
+		"adidas chelsea shirt",
+		"umbro cska moscow shirt",
+	}
+	queries, _ := v.ParseLoad(texts)
+	inst, err := core.NewInstance(u, queries, core.UniformCost(2), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := solver.General(inst, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost <= 0 {
+		t.Error("nontrivial load must have positive cost")
+	}
+}
+
+func mustID(t *testing.T, u *core.Universe, name string) core.PropID {
+	t.Helper()
+	id, ok := u.Lookup(name)
+	if !ok {
+		t.Fatalf("property %q not interned", name)
+	}
+	return id
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"  White, ADIDAS!  ": "white adidas",
+		"real-madrid":        "real madrid",
+		"":                   "",
+		"a  b":               "a b",
+	}
+	for in, want := range cases {
+		if got := normalize(in); got != want {
+			t.Errorf("normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,662 @@
+// Package prep implements the paper's preprocessing procedure (Algorithm 1,
+// Section 3) — the initial step of every MC³ solver:
+//
+//	Step 1 (Obs. 3.1): select classifiers forced by singleton queries and all
+//	        zero-weight classifiers; discard queries they already cover.
+//	Step 2 (Obs. 3.2): partition the residual queries into property-disjoint
+//	        sub-instances (connected components), solvable independently.
+//	Step 3 (Obs. 3.3): remove every classifier that a pair of shorter
+//	        classifiers replaces at no extra cost, tracking replacement
+//	        chains; select classifiers that become forced, and iterate.
+//	Step 4 (Obs. 3.4, k = 2 only): eliminate a singleton classifier X when
+//	        the relevant classifiers intersecting it are collectively no more
+//	        expensive, with the chain reaction the paper describes.
+//
+// The procedure preserves at least one optimal solution. Its output is a
+// Result layered over the immutable core.Instance: effective costs (0 for
+// selected, +Inf conceptually for removed — tracked as a flag), residual
+// query coverage, and the component partition.
+//
+// One deliberate strengthening over the paper's line 10: instead of selecting
+// classifiers only when a query has a *unique* cover, we select every
+// classifier that is *forced* — contained in every cover of some query
+// (i.e. the remaining classifiers cannot cover the query without it). A
+// forced classifier belongs to every feasible solution, so this is sound for
+// every optimal solution, and it subsumes the unique-cover rule (a cover is
+// unique exactly when all available classifiers are forced).
+package prep
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Level selects how much of Algorithm 1 runs.
+type Level int
+
+const (
+	// Minimal performs only what solver correctness requires: Step 1's
+	// singleton-query selections (those classifiers are in every solution)
+	// plus feasibility checking. Used by the paper's "before preprocessing"
+	// experiment arms (Figures 3c, 3e, 3f).
+	Minimal Level = iota
+	// Full runs all four steps.
+	Full
+)
+
+// String returns the level name.
+func (l Level) String() string {
+	switch l {
+	case Minimal:
+		return "minimal"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Stats counts what each step accomplished.
+type Stats struct {
+	SingletonSelected int // Step 1: classifiers forced by singleton queries
+	ZeroCostSelected  int // Step 1: zero-weight classifiers selected
+	Step3Removed      int // Step 3: classifiers removed by decomposition
+	Step3Selected     int // Step 3/line 10: classifiers selected as forced
+	Step4Removed      int // Step 4: singleton classifiers eliminated
+	Step4Selected     int // Step 4: classifiers selected in exchange
+	QueriesCovered    int // queries fully covered during preprocessing
+	Components        int // property-disjoint sub-instances found (Step 2)
+}
+
+// Result is the outcome of preprocessing, layered over the instance.
+type Result struct {
+	// Inst is the underlying (unmodified) instance.
+	Inst *core.Instance
+	// Selected lists classifiers chosen during preprocessing; they are part
+	// of every solution built on this result.
+	Selected []core.ClassifierID
+	// SelectedSet is the indicator form of Selected.
+	SelectedSet []bool
+	// Removed marks classifiers pruned from consideration (conceptually
+	// weight +Inf). No optimal solution is lost by ignoring them.
+	Removed []bool
+	// EffCost is the working cost vector: 0 for selected classifiers,
+	// original cost otherwise. Removed classifiers retain a value but must
+	// not be used.
+	EffCost []float64
+	// CoveredQuery marks queries fully covered by the selections.
+	CoveredQuery []bool
+	// CoveredMask holds, per query, the bitmask of properties covered so
+	// far by selected classifiers (query-local bit positions).
+	CoveredMask []uint64
+	// Components partitions the indices of uncovered queries into
+	// property-disjoint groups (Step 2). With Level Minimal this is a
+	// single group.
+	Components [][]int
+	// Stats reports per-step counts.
+	Stats Stats
+
+	relCount []int32 // per classifier: number of uncovered queries containing it
+}
+
+// Relevant reports whether classifier id still matters: not removed and
+// contained in at least one uncovered query.
+func (r *Result) Relevant(id core.ClassifierID) bool {
+	return !r.Removed[id] && r.relCount[id] > 0
+}
+
+// ResidualQueries returns the indices of queries not yet covered.
+func (r *Result) ResidualQueries() []int {
+	var out []int
+	for qi, cov := range r.CoveredQuery {
+		if !cov {
+			out = append(out, qi)
+		}
+	}
+	return out
+}
+
+// state carries the mutable working structures during Run.
+type state struct {
+	inst *core.Instance
+	r    *Result
+
+	propCls map[core.PropID][]core.ClassifierID
+
+	// maskToID caches, per query, a dense mask → classifier-ID table
+	// (size 2^|q|), built lazily; core.NoClassifier marks absent subsets.
+	maskToID [][]core.ClassifierID
+
+	// Reusable scratch for step 3's per-classifier decomposition DP
+	// (avoids an allocation per examined classifier).
+	scratchEff []float64
+	scratchH   []float64
+	scratchBit []int
+}
+
+// maskTable returns (building if needed) query qi's mask → ID table.
+func (st *state) maskTable(qi int) []core.ClassifierID {
+	if st.maskToID == nil {
+		st.maskToID = make([][]core.ClassifierID, st.inst.NumQueries())
+	}
+	if st.maskToID[qi] == nil {
+		tbl := make([]core.ClassifierID, st.inst.FullMask(qi)+1)
+		for i := range tbl {
+			tbl[i] = core.NoClassifier
+		}
+		for _, qc := range st.inst.QueryClassifiers(qi) {
+			tbl[qc.Mask] = qc.ID
+		}
+		st.maskToID[qi] = tbl
+	}
+	return st.maskToID[qi]
+}
+
+// Run executes preprocessing at the given level. It fails if some query
+// cannot be covered by finite-cost classifiers at all.
+func Run(inst *core.Instance, level Level) (*Result, error) {
+	n := inst.NumQueries()
+	m := inst.NumClassifiers()
+	r := &Result{
+		Inst:         inst,
+		SelectedSet:  make([]bool, m),
+		Removed:      make([]bool, m),
+		EffCost:      append([]float64(nil), inst.Costs()...),
+		CoveredQuery: make([]bool, n),
+		CoveredMask:  make([]uint64, n),
+		relCount:     make([]int32, m),
+	}
+	for id := 0; id < m; id++ {
+		r.relCount[id] = int32(len(inst.ClassifierQueries(core.ClassifierID(id))))
+	}
+	st := &state{inst: inst, r: r}
+
+	// Feasibility: every query must be coverable by finite-cost classifiers.
+	for qi := 0; qi < n; qi++ {
+		var union uint64
+		for _, qc := range inst.QueryClassifiers(qi) {
+			union |= qc.Mask
+		}
+		if union != inst.FullMask(qi) {
+			return nil, fmt.Errorf("prep: query %d (%v) cannot be covered by any finite-cost classifiers", qi, inst.Query(qi))
+		}
+	}
+
+	// ---- Step 1 ----
+	for qi := 0; qi < n; qi++ {
+		q := inst.Query(qi)
+		if q.Len() != 1 {
+			continue
+		}
+		id, ok := inst.ClassifierIDOf(q)
+		if !ok {
+			return nil, fmt.Errorf("prep: singleton query %v has no finite-cost classifier", q)
+		}
+		if !r.SelectedSet[id] {
+			r.Stats.SingletonSelected++
+		}
+		st.selectClassifier(id)
+	}
+	if level == Full {
+		for id := 0; id < m; id++ {
+			cid := core.ClassifierID(id)
+			if inst.Cost(cid) == 0 && !r.SelectedSet[cid] && r.relCount[cid] > 0 {
+				r.Stats.ZeroCostSelected++
+				st.selectClassifier(cid)
+			}
+		}
+	}
+
+	if level == Full {
+		st.buildPropIndex()
+		st.step3()
+		if inst.MaxQueryLen() <= 2 {
+			st.step4()
+		}
+	}
+
+	// ---- Step 2: component partition of the residual ----
+	r.Components = st.components(level)
+	r.Stats.Components = len(r.Components)
+	for _, cov := range r.CoveredQuery {
+		if cov {
+			r.Stats.QueriesCovered++
+		}
+	}
+	return r, nil
+}
+
+// selectClassifier marks id selected: zero working cost, propagate coverage.
+func (st *state) selectClassifier(id core.ClassifierID) {
+	r := st.r
+	if r.SelectedSet[id] || r.Removed[id] {
+		return
+	}
+	r.SelectedSet[id] = true
+	r.Selected = append(r.Selected, id)
+	r.EffCost[id] = 0
+	for _, qi := range st.inst.ClassifierQueries(id) {
+		if r.CoveredQuery[qi] {
+			continue
+		}
+		mask := st.maskIn(int(qi), id)
+		r.CoveredMask[qi] |= mask
+		if r.CoveredMask[qi] == st.inst.FullMask(int(qi)) {
+			st.markCovered(int(qi))
+		}
+	}
+}
+
+// markCovered retires query qi and decrements classifier relevance.
+func (st *state) markCovered(qi int) {
+	r := st.r
+	if r.CoveredQuery[qi] {
+		return
+	}
+	r.CoveredQuery[qi] = true
+	for _, qc := range st.inst.QueryClassifiers(qi) {
+		r.relCount[qc.ID]--
+	}
+}
+
+// maskIn computes classifier id's bitmask within query qi.
+func (st *state) maskIn(qi int, id core.ClassifierID) uint64 {
+	mask, ok := st.inst.Classifier(id).MaskIn(st.inst.Query(qi))
+	if !ok {
+		panic(fmt.Sprintf("prep: classifier %d not in query %d", id, qi))
+	}
+	return mask
+}
+
+// buildPropIndex builds the property → classifiers index used to find
+// classifiers intersecting a selected classifier (Step 3, line 11).
+func (st *state) buildPropIndex() {
+	st.propCls = make(map[core.PropID][]core.ClassifierID)
+	for id := 0; id < st.inst.NumClassifiers(); id++ {
+		cid := core.ClassifierID(id)
+		for _, p := range st.inst.Classifier(cid) {
+			st.propCls[p] = append(st.propCls[p], cid)
+		}
+	}
+}
+
+// components computes Step 2's partition over uncovered queries.
+func (st *state) components(level Level) [][]int {
+	inst := st.inst
+	r := st.r
+	residual := r.ResidualQueries()
+	if level == Minimal {
+		if len(residual) == 0 {
+			return nil
+		}
+		return [][]int{residual}
+	}
+
+	// Union-find over properties.
+	parent := make(map[core.PropID]core.PropID)
+	var find func(p core.PropID) core.PropID
+	find = func(p core.PropID) core.PropID {
+		root, ok := parent[p]
+		if !ok || root == p {
+			parent[p] = p
+			return p
+		}
+		root = find(root)
+		parent[p] = root
+		return root
+	}
+	union := func(a, b core.PropID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, qi := range residual {
+		q := inst.Query(qi)
+		for i := 1; i < q.Len(); i++ {
+			union(q[0], q[i])
+		}
+	}
+	groups := make(map[core.PropID][]int)
+	var roots []core.PropID
+	for _, qi := range residual {
+		root := find(inst.Query(qi)[0])
+		if _, ok := groups[root]; !ok {
+			roots = append(roots, root)
+		}
+		groups[root] = append(groups[root], qi)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	out := make([][]int, 0, len(roots))
+	for _, root := range roots {
+		out = append(out, groups[root])
+	}
+	return out
+}
+
+// step3 removes classifiers with no-more-costly decompositions and selects
+// forced classifiers, repeating to a fixpoint (lines 7–11).
+func (st *state) step3() {
+	inst := st.inst
+	r := st.r
+
+	repl := make([]float64, inst.NumClassifiers()) // replacement cost of removed classifiers
+
+	// effVal is the cost of "obtaining" classifier id: its working cost if
+	// alive, or the cost of its recorded replacement decomposition.
+	effVal := func(id core.ClassifierID) float64 {
+		if r.Removed[id] {
+			return repl[id]
+		}
+		return r.EffCost[id]
+	}
+
+	// Classifier examination worklist, bucketed by classifier length and
+	// processed in increasing length (line 7).
+	maxLen := inst.MaxQueryLen()
+	st.scratchEff = make([]float64, 1<<uint(maxLen))
+	st.scratchH = make([]float64, 1<<uint(maxLen))
+	st.scratchBit = make([]int, 0, maxLen)
+	inQueue := make([]bool, inst.NumClassifiers())
+	buckets := make([][]core.ClassifierID, maxLen+1)
+	push := func(id core.ClassifierID) {
+		if inQueue[id] || r.Removed[id] || r.SelectedSet[id] || r.relCount[id] <= 0 {
+			return
+		}
+		if l := inst.Classifier(id).Len(); l >= 2 {
+			inQueue[id] = true
+			buckets[l] = append(buckets[l], id)
+		}
+	}
+	for id := 0; id < inst.NumClassifiers(); id++ {
+		push(core.ClassifierID(id))
+	}
+
+	queryCheck := make([]bool, inst.NumQueries())
+	var queryQueue []int
+	pushQuery := func(qi int) {
+		if !queryCheck[qi] && !r.CoveredQuery[qi] {
+			queryCheck[qi] = true
+			queryQueue = append(queryQueue, qi)
+		}
+	}
+	// Forced classifiers may exist before any removal (a query may depend
+	// on a classifier because other subsets are priced at +Inf), so every
+	// residual query gets one initial check.
+	for qi := 0; qi < inst.NumQueries(); qi++ {
+		if !r.CoveredQuery[qi] {
+			pushQuery(qi)
+		}
+	}
+
+	// examine tests classifier id for removal by decomposition (lines 8–9).
+	examine := func(id core.ClassifierID) bool {
+		s := inst.Classifier(id)
+		L := s.Len()
+		qi := int(inst.ClassifierQueries(id)[0]) // any query containing s
+		sMask, ok := s.MaskIn(inst.Query(qi))
+		if !ok {
+			panic("prep: classifier not a subset of its incidence query")
+		}
+		tbl := st.maskTable(qi)
+
+		effOf := func(cid core.ClassifierID) float64 {
+			if cid == core.NoClassifier {
+				return math.Inf(1)
+			}
+			return effVal(cid)
+		}
+
+		// Fast path for pairs: the only size-2 decomposition of XY is
+		// {X, Y}.
+		if L == 2 {
+			lo := sMask & -sMask
+			best := effOf(tbl[lo]) + effOf(tbl[sMask^lo])
+			if best <= r.EffCost[id] {
+				r.Removed[id] = true
+				repl[id] = best
+				r.Stats.Step3Removed++
+				for _, q := range inst.ClassifierQueries(id) {
+					pushQuery(int(q))
+				}
+				return true
+			}
+			return false
+		}
+
+		// Collect eff costs of all classifiers that are subsets of s, in
+		// s-local bit space, by enumerating submasks of sMask.
+		bitPos := st.scratchBit[:0] // query-local bit → s-local index
+		for m := sMask; m != 0; m &= m - 1 {
+			bitPos = append(bitPos, bits.TrailingZeros64(m))
+		}
+		toLocal := func(qMask uint64) uint64 {
+			var lm uint64
+			for i, b := range bitPos {
+				if qMask&(1<<uint(b)) != 0 {
+					lm |= 1 << uint(i)
+				}
+			}
+			return lm
+		}
+		size := 1 << uint(L)
+		full := uint64(size - 1)
+		eff := st.scratchEff[:size]
+		for i := range eff {
+			eff[i] = math.Inf(1)
+		}
+		for sub := (sMask - 1) & sMask; sub != 0; sub = (sub - 1) & sMask {
+			if cid := tbl[sub]; cid != core.NoClassifier {
+				eff[toLocal(sub)] = effVal(cid)
+			}
+		}
+
+		// h[T] = min eff(B) over proper submasks B of s with B ⊇ T.
+		h := st.scratchH[:size]
+		copy(h, eff)
+		h[full] = math.Inf(1)
+		for b := 0; b < L; b++ {
+			bit := uint64(1) << uint(b)
+			for T := full; ; T-- {
+				if T&bit == 0 && h[T|bit] < h[T] {
+					h[T] = h[T|bit]
+				}
+				if T == 0 {
+					break
+				}
+			}
+		}
+
+		best := math.Inf(1)
+		for A := uint64(1); A < full; A++ {
+			if eff[A] == math.Inf(1) {
+				continue
+			}
+			if c := eff[A] + h[full&^A]; c < best {
+				best = c
+			}
+		}
+		if best <= r.EffCost[id] {
+			r.Removed[id] = true
+			repl[id] = best
+			r.Stats.Step3Removed++
+			for _, q := range inst.ClassifierQueries(id) {
+				pushQuery(int(q))
+			}
+			return true
+		}
+		return false
+	}
+
+	// checkForced selects classifiers forced for query qi (strengthened
+	// line 10) and returns those selected.
+	checkForced := func(qi int) []core.ClassifierID {
+		full := inst.FullMask(qi)
+		L := bits.OnesCount64(full)
+		cnt := make([]int32, L)
+		for _, qc := range inst.QueryClassifiers(qi) {
+			if r.Removed[qc.ID] {
+				continue
+			}
+			for m := qc.Mask; m != 0; m &= m - 1 {
+				cnt[bits.TrailingZeros64(m)]++
+			}
+		}
+		var forced []core.ClassifierID
+		for _, qc := range inst.QueryClassifiers(qi) {
+			if r.Removed[qc.ID] || r.SelectedSet[qc.ID] {
+				continue
+			}
+			for m := qc.Mask; m != 0; m &= m - 1 {
+				if cnt[bits.TrailingZeros64(m)] == 1 {
+					forced = append(forced, qc.ID)
+					break
+				}
+			}
+		}
+		return forced
+	}
+
+	pending := func() bool {
+		for _, b := range buckets {
+			if len(b) > 0 {
+				return true
+			}
+		}
+		return len(queryQueue) > 0
+	}
+	for pending() {
+		// Drain classifier examinations in increasing length order.
+		for l := 2; l <= maxLen; l++ {
+			for len(buckets[l]) > 0 {
+				id := buckets[l][len(buckets[l])-1]
+				buckets[l] = buckets[l][:len(buckets[l])-1]
+				inQueue[id] = false
+				if r.Removed[id] || r.SelectedSet[id] || r.relCount[id] <= 0 {
+					continue
+				}
+				examine(id)
+			}
+		}
+		// Then run query forcing checks; selections re-arm the classifier
+		// buckets for intersecting classifiers (line 11).
+		checks := queryQueue
+		queryQueue = nil
+		for _, qi := range checks {
+			queryCheck[qi] = false
+			if r.CoveredQuery[qi] {
+				continue
+			}
+			for _, id := range checkForced(qi) {
+				if r.SelectedSet[id] {
+					continue
+				}
+				r.Stats.Step3Selected++
+				st.selectClassifier(id)
+				for _, p := range inst.Classifier(id) {
+					for _, other := range st.propCls[p] {
+						push(other)
+					}
+				}
+			}
+		}
+	}
+}
+
+// step4 runs the k = 2 singleton-elimination rule (lines 12–13).
+func (st *state) step4() {
+	inst := st.inst
+	r := st.r
+
+	// Property worklist.
+	inQueue := make(map[core.PropID]bool)
+	var queue []core.PropID
+	push := func(p core.PropID) {
+		if !inQueue[p] {
+			inQueue[p] = true
+			queue = append(queue, p)
+		}
+	}
+	for id := 0; id < inst.NumClassifiers(); id++ {
+		cid := core.ClassifierID(id)
+		if inst.Classifier(cid).Len() == 1 {
+			push(inst.Classifier(cid)[0])
+		}
+	}
+
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		inQueue[p] = false
+
+		xid, ok := inst.ClassifierIDOf(core.NewPropSet(p))
+		if !ok {
+			continue
+		}
+		if r.Removed[xid] || r.SelectedSet[xid] || r.relCount[xid] <= 0 {
+			continue
+		}
+		// Soundness guard (implicit in Obs. 3.4): eliminating X is only
+		// valid if every uncovered query containing x can be covered
+		// without X, i.e. its full-query pair classifier is still alive.
+		// Otherwise X is forced and must stay.
+		forced := false
+		for _, qi := range inst.ClassifierQueries(xid) {
+			if r.CoveredQuery[qi] {
+				continue
+			}
+			pairAlive := false
+			full := inst.FullMask(int(qi))
+			for _, qc := range inst.QueryClassifiers(int(qi)) {
+				if qc.Mask == full && !r.Removed[qc.ID] {
+					pairAlive = true
+					break
+				}
+			}
+			if !pairAlive {
+				forced = true
+				break
+			}
+		}
+		if forced {
+			continue
+		}
+		// S_X: relevant, non-removed classifiers intersecting X (the
+		// length-2 classifiers containing p whose query is uncovered).
+		var sx []core.ClassifierID
+		var sum float64
+		for _, cid := range st.propCls[p] {
+			if cid == xid || r.Removed[cid] || !st.relevantNow(cid) {
+				continue
+			}
+			sx = append(sx, cid)
+			sum += r.EffCost[cid]
+		}
+		if sum <= r.EffCost[xid] {
+			r.Removed[xid] = true
+			r.Stats.Step4Removed++
+			for _, cid := range sx {
+				if !r.SelectedSet[cid] {
+					r.Stats.Step4Selected++
+				}
+				st.selectClassifier(cid)
+				// Chain reaction: for each selected XY, recheck Y.
+				for _, p2 := range inst.Classifier(cid) {
+					if p2 != p {
+						push(p2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// relevantNow reports whether classifier id is contained in ≥1 uncovered
+// query.
+func (st *state) relevantNow(id core.ClassifierID) bool {
+	return st.r.relCount[id] > 0
+}

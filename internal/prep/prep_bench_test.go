@@ -1,0 +1,23 @@
+package prep
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkPrepFull20k measures Algorithm 1 end to end on a 20,000-query
+// synthetic load.
+func BenchmarkPrepFull20k(b *testing.B) {
+	d := workload.Synthetic(20000, 1)
+	inst, err := d.Instance()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(inst, Full); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

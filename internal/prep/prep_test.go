@@ -1,0 +1,570 @@
+package prep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// buildInstance constructs an instance from query property-name lists and an
+// explicit cost table keyed by sorted concatenated names.
+func buildInstance(t testing.TB, queries [][]string, costs map[string]float64) (*core.Universe, *core.Instance) {
+	t.Helper()
+	u := core.NewUniverse()
+	qs := make([]core.PropSet, len(queries))
+	for i, q := range queries {
+		qs[i] = u.Set(q...)
+	}
+	ct := core.NewCostTable(math.Inf(1))
+	for names, c := range costs {
+		// names is a "|"-separated list.
+		var parts []string
+		start := 0
+		for i := 0; i <= len(names); i++ {
+			if i == len(names) || names[i] == '|' {
+				parts = append(parts, names[start:i])
+				start = i + 1
+			}
+		}
+		ct.Set(u.Set(parts...), c)
+	}
+	inst, err := core.NewInstance(u, qs, ct, core.Options{})
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return u, inst
+}
+
+// bruteOptInstance finds the optimal solution cost by enumerating all
+// subsets of classifiers. Only for tiny instances.
+func bruteOptInstance(inst *core.Instance) float64 {
+	m := inst.NumClassifiers()
+	best := math.Inf(1)
+	ids := make([]core.ClassifierID, 0, m)
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		ids = ids[:0]
+		var cost float64
+		for id := 0; id < m; id++ {
+			if mask&(1<<uint(id)) != 0 {
+				ids = append(ids, core.ClassifierID(id))
+				cost += inst.Cost(core.ClassifierID(id))
+			}
+		}
+		if cost >= best {
+			continue
+		}
+		cov := inst.Covered(ids)
+		all := true
+		for _, c := range cov {
+			all = all && c
+		}
+		if all {
+			best = cost
+		}
+	}
+	return best
+}
+
+// bruteOptResidual finds the optimal completion cost of a prep result:
+// preprocessing base cost plus the cheapest set of alive classifiers
+// covering the residual.
+func bruteOptResidual(r *Result) float64 {
+	inst := r.Inst
+	var base float64
+	for _, id := range r.Selected {
+		base += inst.Cost(id)
+	}
+	var alive []core.ClassifierID
+	for id := 0; id < inst.NumClassifiers(); id++ {
+		cid := core.ClassifierID(id)
+		if r.Relevant(cid) && !r.SelectedSet[cid] {
+			alive = append(alive, cid)
+		}
+	}
+	residual := r.ResidualQueries()
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<uint(len(alive)); mask++ {
+		var cost float64
+		chosen := make(map[core.ClassifierID]bool)
+		for i, cid := range alive {
+			if mask&(1<<uint(i)) != 0 {
+				chosen[cid] = true
+				cost += r.EffCost[cid]
+			}
+		}
+		if cost >= best {
+			continue
+		}
+		ok := true
+		for _, qi := range residual {
+			union := r.CoveredMask[qi]
+			for _, qc := range inst.QueryClassifiers(qi) {
+				if chosen[qc.ID] || r.SelectedSet[qc.ID] {
+					union |= qc.Mask
+				}
+			}
+			if union != inst.FullMask(qi) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			best = cost
+		}
+	}
+	return base + best
+}
+
+func TestStep1SingletonQueries(t *testing.T) {
+	_, inst := buildInstance(t,
+		[][]string{{"x"}, {"x", "y"}},
+		map[string]float64{"x": 5, "y": 3, "x|y": 4})
+	r, err := Run(inst, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.SingletonSelected != 1 {
+		t.Errorf("SingletonSelected = %d, want 1", r.Stats.SingletonSelected)
+	}
+	if !r.CoveredQuery[0] {
+		t.Error("singleton query must be covered")
+	}
+	// With X selected free, step 3 removes XY ({X,Y} costs 0+3 ≤ 4), which
+	// forces Y and fully resolves query xy at total cost 5+3=8 — optimal.
+	if !r.CoveredQuery[1] {
+		t.Error("query xy should be resolved by the pruning cascade")
+	}
+	var base float64
+	for _, id := range r.Selected {
+		base += inst.Cost(id)
+	}
+	if base != 8 {
+		t.Errorf("selected cost = %v, want 8 (X=5, Y=3)", base)
+	}
+}
+
+func TestStep1ZeroCostSelection(t *testing.T) {
+	_, inst := buildInstance(t,
+		[][]string{{"x", "y"}},
+		map[string]float64{"x": 0, "y": 0, "x|y": 5})
+	r, err := Run(inst, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.ZeroCostSelected != 2 {
+		t.Errorf("ZeroCostSelected = %d, want 2", r.Stats.ZeroCostSelected)
+	}
+	if !r.CoveredQuery[0] {
+		t.Error("query must be covered by the two free singletons")
+	}
+}
+
+func TestPaperExampleStep3RemovesJAW(t *testing.T) {
+	u, inst := buildInstance(t,
+		[][]string{{"j", "w", "a"}, {"c", "a"}},
+		map[string]float64{
+			"c": 5, "a": 5, "j": 5, "w": 1,
+			"a|c": 3, "a|w": 5, "a|j": 3, "j|w": 4, "j|w|a": 5,
+		})
+	r, err := Run(inst, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jaw, ok := inst.ClassifierIDOf(u.Set("j", "w", "a"))
+	if !ok {
+		t.Fatal("JAW missing")
+	}
+	if !r.Removed[jaw] {
+		t.Error("JAW must be removed: decomposition {AJ, W} costs 4 ≤ 5")
+	}
+	if r.Stats.Step3Removed != 1 {
+		t.Errorf("Step3Removed = %d, want 1", r.Stats.Step3Removed)
+	}
+	// Nothing else is removable or forced.
+	for id := 0; id < inst.NumClassifiers(); id++ {
+		cid := core.ClassifierID(id)
+		if cid != jaw && r.Removed[cid] {
+			t.Errorf("classifier %v wrongly removed", inst.Classifier(cid))
+		}
+	}
+	if len(r.Selected) != 0 {
+		t.Errorf("no selections expected, got %d", len(r.Selected))
+	}
+}
+
+func TestStep3ReplacementChain(t *testing.T) {
+	// All pairs are dominated by singletons; the triple is dominated via
+	// the replacement chain; the query ends up with only singletons, all
+	// forced, so prep solves the whole instance.
+	_, inst := buildInstance(t,
+		[][]string{{"x", "y", "z"}},
+		map[string]float64{
+			"x": 1, "y": 1, "z": 1,
+			"x|y": 3, "x|z": 10, "y|z": 10, "x|y|z": 3,
+		})
+	r, err := Run(inst, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Step3Removed != 4 {
+		t.Errorf("Step3Removed = %d, want 4 (all pairs + triple)", r.Stats.Step3Removed)
+	}
+	if !r.CoveredQuery[0] {
+		t.Error("query must be covered after forcing all three singletons")
+	}
+	var base float64
+	for _, id := range r.Selected {
+		base += inst.Cost(id)
+	}
+	if base != 3 {
+		t.Errorf("selected cost = %v, want 3", base)
+	}
+}
+
+func TestForcedSelectionWithMissingClassifiers(t *testing.T) {
+	// X absent (infinite): query xy must be covered via XY; XY is forced.
+	_, inst := buildInstance(t,
+		[][]string{{"x", "y"}},
+		map[string]float64{"y": 2, "x|y": 5})
+	r, err := Run(inst, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xy, _ := inst.ClassifierIDOf(inst.Query(0))
+	if !r.SelectedSet[xy] {
+		t.Error("XY is in every cover and must be force-selected")
+	}
+	if !r.CoveredQuery[0] {
+		t.Error("query covered once XY selected")
+	}
+}
+
+func TestStep4EliminatesExpensiveSingleton(t *testing.T) {
+	_, inst := buildInstance(t,
+		[][]string{{"x", "y"}, {"x", "z"}},
+		map[string]float64{
+			"x": 10, "y": 4, "z": 4,
+			"x|y": 2, "x|z": 3,
+		})
+	r, err := Run(inst, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := inst.ClassifierIDOf(core.NewPropSet(inst.Query(0).Intersect(inst.Query(1))...))
+	if !r.Removed[x] {
+		t.Error("X must be eliminated: W(XY)+W(XZ) = 5 ≤ 10 = W(X)")
+	}
+	if !r.CoveredQuery[0] || !r.CoveredQuery[1] {
+		t.Error("both queries covered by the selected pairs")
+	}
+	var base float64
+	for _, id := range r.Selected {
+		base += inst.Cost(id)
+	}
+	if base != 5 {
+		t.Errorf("selected cost = %v, want 5", base)
+	}
+	if r.Stats.Step4Removed != 1 {
+		t.Errorf("Step4Removed = %d, want 1", r.Stats.Step4Removed)
+	}
+}
+
+func TestStep4GuardKeepsForcedSingleton(t *testing.T) {
+	// Query xy has no pair classifier (infinite), so X and Y are both
+	// forced; step 4 must not eliminate X even though the sum of
+	// intersecting classifiers (none alive) is 0 ≤ W(X).
+	_, inst := buildInstance(t,
+		[][]string{{"x", "y"}},
+		map[string]float64{"x": 10, "y": 10})
+	r, err := Run(inst, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, okX := inst.ClassifierIDOf(core.NewPropSet(inst.Query(0)[0]))
+	y, okY := inst.ClassifierIDOf(core.NewPropSet(inst.Query(0)[1]))
+	if !okX || !okY {
+		t.Fatal("singletons missing")
+	}
+	if r.Removed[x] || r.Removed[y] {
+		t.Error("forced singletons must not be eliminated")
+	}
+	if !r.SelectedSet[x] || !r.SelectedSet[y] {
+		t.Error("forced singletons should be selected by the forcing rule")
+	}
+	if !r.CoveredQuery[0] {
+		t.Error("query covered by the two singletons")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Chosen so that neither step 3 (pair < singleton sum) nor step 4
+	// (singleton < sum of its pairs) fires; the full residual remains for
+	// the component partition.
+	_, inst := buildInstance(t,
+		[][]string{{"a", "b"}, {"b", "c"}, {"x", "y"}, {"p", "q"}},
+		map[string]float64{
+			"a": 3, "b": 3, "c": 3, "x": 3, "y": 3, "p": 3, "q": 3,
+			"a|b": 4, "b|c": 4, "x|y": 4, "p|q": 4,
+		})
+	r, err := Run(inst, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Components != 3 {
+		t.Errorf("Components = %d, want 3 ({ab,bc}, {xy}, {pq})", r.Stats.Components)
+	}
+	total := 0
+	for _, comp := range r.Components {
+		total += len(comp)
+	}
+	if total != 4 {
+		t.Errorf("components must partition all residual queries, got %d", total)
+	}
+}
+
+func TestMinimalLevelSkipsPruning(t *testing.T) {
+	_, inst := buildInstance(t,
+		[][]string{{"j", "w", "a"}, {"c", "a"}},
+		map[string]float64{
+			"c": 5, "a": 5, "j": 5, "w": 1,
+			"a|c": 3, "a|w": 5, "a|j": 3, "j|w": 4, "j|w|a": 5,
+		})
+	r, err := Run(inst, Minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Step3Removed != 0 || r.Stats.ZeroCostSelected != 0 {
+		t.Error("Minimal level must not run steps 2-4 or zero-cost selection")
+	}
+	if len(r.Components) != 1 {
+		t.Errorf("Minimal level groups all residual queries into one component, got %d", len(r.Components))
+	}
+}
+
+func TestInfeasibleInstance(t *testing.T) {
+	// Query xy where only X exists.
+	_, inst := buildInstance(t,
+		[][]string{{"x", "y"}},
+		map[string]float64{"x": 1})
+	if _, err := Run(inst, Full); err == nil {
+		t.Error("uncoverable query must be an error")
+	}
+	if _, err := Run(inst, Minimal); err == nil {
+		t.Error("uncoverable query must be an error at Minimal too")
+	}
+}
+
+func TestInfeasibleSingletonQuery(t *testing.T) {
+	u := core.NewUniverse()
+	qs := []core.PropSet{u.Set("x")}
+	ct := core.NewCostTable(math.Inf(1))
+	inst, err := core.NewInstance(u, qs, ct, core.Options{})
+	if err == nil {
+		// Instance with zero classifiers for the query: prep must reject.
+		if _, err2 := Run(inst, Full); err2 == nil {
+			t.Error("singleton query without classifier must be an error")
+		}
+	}
+}
+
+// randomInstance builds a small random instance where every classifier has a
+// random cost, some infinite.
+func randomInstance(rng *rand.Rand) *core.Instance {
+	u := core.NewUniverse()
+	nProps := 3 + rng.Intn(4)
+	names := []string{"a", "b", "c", "d", "e", "f", "g"}[:nProps]
+	nQueries := 1 + rng.Intn(4)
+	queries := make([]core.PropSet, 0, nQueries)
+	for len(queries) < nQueries {
+		qLen := 1 + rng.Intn(3)
+		perm := rng.Perm(nProps)[:qLen]
+		var qNames []string
+		for _, i := range perm {
+			qNames = append(qNames, names[i])
+		}
+		queries = append(queries, u.Set(qNames...))
+	}
+	cm := core.CostFunc(func(s core.PropSet) float64 {
+		// Deterministic per-set cost via hash of key, with ~15% infinite —
+		// but never infinite for singletons (keeps feasibility likely).
+		h := 1469598103934665603 ^ int64(len(s))
+		for _, id := range s {
+			h = (h*1099511628211 + int64(id)) & 0x7fffffff
+		}
+		if s.Len() > 1 && h%7 == 0 {
+			return math.Inf(1)
+		}
+		return float64(1 + h%9)
+	})
+	inst, err := core.NewInstance(u, queries, cm, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+func TestPrepPreservesOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	tested := 0
+	for trial := 0; trial < 400; trial++ {
+		inst := randomInstance(rng)
+		if inst.NumClassifiers() > 18 {
+			continue // keep brute force tractable
+		}
+		want := bruteOptInstance(inst)
+		if math.IsInf(want, 1) {
+			if _, err := Run(inst, Full); err == nil {
+				t.Fatalf("trial %d: infeasible instance accepted by prep", trial)
+			}
+			continue
+		}
+		r, err := Run(inst, Full)
+		if err != nil {
+			t.Fatalf("trial %d: feasible instance rejected: %v", trial, err)
+		}
+		got := bruteOptResidual(r)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: prep changed the optimum: %v → %v\nqueries=%v", trial, want, got, inst.Queries())
+		}
+		tested++
+	}
+	if tested < 100 {
+		t.Fatalf("too few instances exercised: %d", tested)
+	}
+}
+
+func TestPrepResidualConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 200; trial++ {
+		inst := randomInstance(rng)
+		r, err := Run(inst, Full)
+		if err != nil {
+			continue
+		}
+		// Every covered query must actually be covered by the selections.
+		cov := inst.Covered(r.Selected)
+		for qi, c := range r.CoveredQuery {
+			if c && !cov[qi] {
+				t.Fatalf("trial %d: query %d marked covered but is not", trial, qi)
+			}
+		}
+		// Selected and removed are disjoint.
+		for id := 0; id < inst.NumClassifiers(); id++ {
+			cid := core.ClassifierID(id)
+			if r.SelectedSet[cid] && r.Removed[cid] {
+				t.Fatalf("trial %d: classifier %d both selected and removed", trial, id)
+			}
+			if r.SelectedSet[cid] && r.EffCost[cid] != 0 {
+				t.Fatalf("trial %d: selected classifier %d has nonzero effective cost", trial, id)
+			}
+		}
+		// Components partition the residual.
+		seen := make(map[int]bool)
+		for _, comp := range r.Components {
+			for _, qi := range comp {
+				if seen[qi] || r.CoveredQuery[qi] {
+					t.Fatalf("trial %d: bad component content", trial)
+				}
+				seen[qi] = true
+			}
+		}
+		if len(seen) != len(r.ResidualQueries()) {
+			t.Fatalf("trial %d: components do not cover the residual", trial)
+		}
+		// Residual queries remain coverable by alive classifiers.
+		for _, qi := range r.ResidualQueries() {
+			union := r.CoveredMask[qi]
+			for _, qc := range inst.QueryClassifiers(qi) {
+				if !r.Removed[qc.ID] {
+					union |= qc.Mask
+				}
+			}
+			if union != inst.FullMask(qi) {
+				t.Fatalf("trial %d: residual query %d no longer coverable", trial, qi)
+			}
+		}
+	}
+}
+
+func TestComponentsArePropertyDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 100; trial++ {
+		inst := randomInstance(rng)
+		r, err := Run(inst, Full)
+		if err != nil {
+			continue
+		}
+		props := make(map[core.PropID]int) // property → component index
+		for ci, comp := range r.Components {
+			for _, qi := range comp {
+				for _, p := range inst.Query(qi) {
+					if prev, ok := props[p]; ok && prev != ci {
+						t.Fatalf("trial %d: property %d spans components %d and %d", trial, p, prev, ci)
+					}
+					props[p] = ci
+				}
+			}
+		}
+	}
+}
+
+func TestStep4ChainReaction(t *testing.T) {
+	// Eliminating X selects XY free, which flips Y's condition from false
+	// to true (the paper's line 13 chain): queries xy, yz.
+	// W(X)=3, W(XY)=2 → S_X = {XY} sum 2 ≤ 3: select XY, remove X, cover xy.
+	// Then Y: uncovered queries containing y = {yz}; S_Y = {YZ} with
+	// W(YZ)=3 ≤ W(Y)=4 → select YZ, remove Y, cover yz.
+	_, inst := buildInstance(t,
+		[][]string{{"x", "y"}, {"y", "z"}},
+		map[string]float64{
+			"x": 3, "y": 4, "z": 9,
+			"x|y": 2, "y|z": 3,
+		})
+	r, err := Run(inst, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Step4Removed != 2 {
+		t.Errorf("Step4Removed = %d, want 2 (X then Y via the chain)", r.Stats.Step4Removed)
+	}
+	if !r.CoveredQuery[0] || !r.CoveredQuery[1] {
+		t.Error("both queries must be resolved")
+	}
+	var base float64
+	for _, id := range r.Selected {
+		base += inst.Cost(id)
+	}
+	if base != 5 {
+		t.Errorf("selected cost = %v, want 5 (XY + YZ)", base)
+	}
+}
+
+func TestPrepDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(246))
+	for trial := 0; trial < 40; trial++ {
+		inst := randomInstance(rng)
+		r1, err1 := Run(inst, Full)
+		r2, err2 := Run(inst, Full)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatal("nondeterministic error")
+		}
+		if err1 != nil {
+			continue
+		}
+		if len(r1.Selected) != len(r2.Selected) {
+			t.Fatal("nondeterministic selection count")
+		}
+		for i := range r1.Selected {
+			if r1.Selected[i] != r2.Selected[i] {
+				t.Fatal("nondeterministic selection order")
+			}
+		}
+		for id := range r1.Removed {
+			if r1.Removed[id] != r2.Removed[id] {
+				t.Fatal("nondeterministic removal")
+			}
+		}
+	}
+}

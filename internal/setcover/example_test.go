@@ -1,0 +1,32 @@
+package setcover_test
+
+import (
+	"fmt"
+
+	"repro/internal/setcover"
+)
+
+// ExampleInstance_Greedy covers a six-element universe with the classic
+// textbook instance: the unit-cost sets beat the big set on cost ratio.
+func ExampleInstance_Greedy() {
+	in := setcover.New(6)
+	in.AddSet([]int32{0, 1, 2, 3}, 4)
+	in.AddSet([]int32{0, 1}, 1)
+	in.AddSet([]int32{2, 3}, 1)
+	in.AddSet([]int32{4, 5}, 1)
+	sets, cost, _ := in.Greedy()
+	fmt.Println(len(sets), cost)
+	// Output: 3 3
+}
+
+// ExampleInstance_DualCertificate produces a lower bound anyone can verify
+// with additions alone.
+func ExampleInstance_DualCertificate() {
+	in := setcover.New(2)
+	in.AddSet([]int32{0}, 3)
+	in.AddSet([]int32{1}, 4)
+	in.AddSet([]int32{0, 1}, 5)
+	bound, y, _ := in.DualCertificate()
+	fmt.Println(bound, len(y))
+	// Output: 5 2
+}

@@ -1,0 +1,54 @@
+package setcover
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchInstance(nElems, nSets int, seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	return randomInstance(rng, nElems, nSets, 50)
+}
+
+// BenchmarkGreedy measures the lazy-heap greedy at WSC-reduction scales.
+func BenchmarkGreedy(b *testing.B) {
+	for _, size := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			in := benchInstance(size, size, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := in.Greedy(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPrimalDual measures the f-approximation.
+func BenchmarkPrimalDual(b *testing.B) {
+	for _, size := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			in := benchInstance(size, size, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := in.PrimalDual(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLPRounding measures the simplex-backed engine at its intended
+// (small) scale.
+func BenchmarkLPRounding(b *testing.B) {
+	in := benchInstance(60, 80, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := in.LPRounding(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

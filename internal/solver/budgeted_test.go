@@ -1,0 +1,204 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func uniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func TestBudgetedZeroBudget(t *testing.T) {
+	inst := paperInstance(t)
+	sol, err := Budgeted(inst, uniformWeights(inst.NumQueries()), 0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 0 || sol.CoveredWeight != 0 || len(sol.Selected) != 0 {
+		t.Errorf("zero budget must buy nothing: %+v", sol)
+	}
+}
+
+func TestBudgetedFullBudgetCoversEverything(t *testing.T) {
+	inst := paperInstance(t)
+	// Query-Oriented always fits per-query covers, so its cost is a budget
+	// under which the greedy heuristic covers every query.
+	qo, err := QueryOriented(inst, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Budgeted(inst, uniformWeights(inst.NumQueries()), qo.Cost, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.CoveredWeight != float64(inst.NumQueries()) {
+		t.Errorf("with budget %v all %d queries must be covered, got weight %v",
+			qo.Cost, inst.NumQueries(), sol.CoveredWeight)
+	}
+	if sol.Cost > qo.Cost {
+		t.Errorf("spend %v exceeds budget %v", sol.Cost, qo.Cost)
+	}
+}
+
+func TestBudgetedPrefersHeavyCheapQueries(t *testing.T) {
+	// Two disjoint queries; budget covers only one. The heavy one wins.
+	_, inst := buildInstance(t,
+		[][]string{{"x", "y"}, {"p", "q"}},
+		map[string]float64{
+			"x": 3, "y": 3, "x|y": 5,
+			"p": 3, "q": 3, "p|q": 5,
+		})
+	weights := []float64{10, 1}
+	sol, err := Budgeted(inst, weights, 5, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.CoveredWeight != 10 {
+		t.Errorf("covered weight = %v, want 10 (the heavy query)", sol.CoveredWeight)
+	}
+	if !sol.Covered[0] || sol.Covered[1] {
+		t.Errorf("covered = %v, want only query 0", sol.Covered)
+	}
+}
+
+func TestBudgetedSharingUnlocksDeferredQueries(t *testing.T) {
+	// Covering the first query buys X, which makes the second affordable
+	// within the remaining budget even though it did not fit initially.
+	_, inst := buildInstance(t,
+		[][]string{{"x", "y"}, {"x", "z"}},
+		map[string]float64{
+			"x": 4, "y": 1, "z": 2,
+			"x|y": 9, "x|z": 9,
+		})
+	// Budget 7: xy costs 5 (X+Y); then xz completes with Z alone (2).
+	sol, err := Budgeted(inst, uniformWeights(2), 7, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.CoveredWeight != 2 {
+		t.Errorf("covered weight = %v, want 2 (sharing X)", sol.CoveredWeight)
+	}
+	if sol.Cost != 7 {
+		t.Errorf("cost = %v, want 7", sol.Cost)
+	}
+}
+
+func TestBudgetedRespectsBudgetRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9009))
+	for trial := 0; trial < 150; trial++ {
+		inst := randomGeneralInstance(rng, 6, 6)
+		n := inst.NumQueries()
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = float64(1 + rng.Intn(9))
+		}
+		budget := float64(rng.Intn(40))
+		sol, err := Budgeted(inst, weights, budget, DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Cost > budget+1e-9 {
+			t.Fatalf("trial %d: spend %v > budget %v", trial, sol.Cost, budget)
+		}
+		// Covered flags must be truthful.
+		cov := inst.Covered(sol.Selected)
+		var weight float64
+		for qi, c := range cov {
+			if c != sol.Covered[qi] {
+				t.Fatalf("trial %d: covered flag mismatch at query %d", trial, qi)
+			}
+			if c {
+				weight += weights[qi]
+			}
+		}
+		if math.Abs(weight-sol.CoveredWeight) > 1e-9 {
+			t.Fatalf("trial %d: weight %v != recomputed %v", trial, sol.CoveredWeight, weight)
+		}
+	}
+}
+
+func TestBudgetedAgainstExactSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1100))
+	tested := 0
+	var ratioSum float64
+	for trial := 0; trial < 200 && tested < 60; trial++ {
+		inst := randomGeneralInstance(rng, 5, 4)
+		if inst.NumClassifiers() > 16 {
+			continue
+		}
+		n := inst.NumQueries()
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = float64(1 + rng.Intn(5))
+		}
+		budget := float64(5 + rng.Intn(25))
+		exact, err := BudgetedExact(inst, weights, budget, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := Budgeted(inst, weights, budget, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.CoveredWeight > exact.CoveredWeight+1e-9 {
+			t.Fatalf("trial %d: greedy %v beats exact %v — exact is wrong", trial, greedy.CoveredWeight, exact.CoveredWeight)
+		}
+		if exact.CoveredWeight > 0 {
+			ratioSum += greedy.CoveredWeight / exact.CoveredWeight
+			tested++
+		}
+	}
+	if tested < 30 {
+		t.Fatalf("too few comparisons: %d", tested)
+	}
+	// The heuristic has no guarantee, but on random small instances it
+	// should capture most of the weight on average.
+	if avg := ratioSum / float64(tested); avg < 0.75 {
+		t.Errorf("average greedy/exact weight ratio = %v, suspiciously poor", avg)
+	}
+}
+
+func TestBudgetedValidation(t *testing.T) {
+	inst := paperInstance(t)
+	if _, err := Budgeted(inst, []float64{1}, 5, DefaultOptions()); err == nil {
+		t.Error("wrong weight count must fail")
+	}
+	if _, err := Budgeted(inst, []float64{-1, 1}, 5, DefaultOptions()); err == nil {
+		t.Error("negative weight must fail")
+	}
+	if _, err := Budgeted(inst, uniformWeights(2), -3, DefaultOptions()); err == nil {
+		t.Error("negative budget must fail")
+	}
+	if _, err := Budgeted(inst, uniformWeights(2), math.NaN(), DefaultOptions()); err == nil {
+		t.Error("NaN budget must fail")
+	}
+	if _, err := BudgetedExact(inst, []float64{1}, 5, DefaultOptions()); err == nil {
+		t.Error("exact: wrong weight count must fail")
+	}
+}
+
+func TestBudgetedExactRejectsHuge(t *testing.T) {
+	u := core.NewUniverse()
+	var queries []core.PropSet
+	for i := 0; i < 30; i++ {
+		queries = append(queries, u.Set(string(rune('a'+i%26))+string(rune('0'+i/26))))
+	}
+	inst, err := core.NewInstance(u, queries, core.UniformCost(1), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumClassifiers() <= BudgetedExactLimit {
+		t.Skip("instance too small to trigger the limit")
+	}
+	if _, err := BudgetedExact(inst, uniformWeights(inst.NumQueries()), 5, DefaultOptions()); err == nil {
+		t.Error("oversized instance must be rejected")
+	}
+}

@@ -1,0 +1,111 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// ExactLimit caps the instance size Exact accepts: branch-and-bound is
+// exponential and exists as a test oracle and for approximation-ratio
+// measurements, not for production loads.
+const ExactLimit = 64
+
+// Exact computes an optimal solution by branch and bound: it processes
+// queries one at a time (fewest-cover-options first), branches over the
+// covers of each query's still-uncovered properties, and prunes branches
+// whose accumulated cost reaches the incumbent. Exponential in the worst
+// case; rejects instances with more than ExactLimit classifiers.
+func Exact(inst *core.Instance, opts Options) (*core.Solution, error) {
+	if inst.NumClassifiers() > ExactLimit {
+		return nil, fmt.Errorf("solver: Exact limited to %d classifiers, instance has %d", ExactLimit, inst.NumClassifiers())
+	}
+
+	n := inst.NumQueries()
+	eff := append([]float64(nil), inst.Costs()...)
+	selected := make([]bool, inst.NumClassifiers())
+
+	// Order queries by number of available classifiers (fewest first).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := len(inst.QueryClassifiers(order[a])), len(inst.QueryClassifiers(order[b]))
+		if la != lb {
+			return la < lb
+		}
+		return order[a] < order[b]
+	})
+
+	best := math.Inf(1)
+	var bestSet []core.ClassifierID
+	var cur []core.ClassifierID
+
+	// coveredMask recomputes query qi's covered bits under current selections.
+	coveredMask := func(qi int) uint64 {
+		var m uint64
+		for _, qc := range inst.QueryClassifiers(qi) {
+			if selected[qc.ID] {
+				m |= qc.Mask
+			}
+		}
+		return m
+	}
+
+	var dfsQuery func(oi int, cost float64)
+	// dfsCover covers the remaining bits of query qi, then continues with
+	// the next query.
+	var dfsCover func(oi, qi int, have uint64, cost float64)
+
+	dfsQuery = func(oi int, cost float64) {
+		if cost >= best {
+			return
+		}
+		if oi == n {
+			best = cost
+			bestSet = append(bestSet[:0], cur...)
+			return
+		}
+		qi := order[oi]
+		dfsCover(oi, qi, coveredMask(qi), cost)
+	}
+
+	dfsCover = func(oi, qi int, have uint64, cost float64) {
+		if cost >= best {
+			return
+		}
+		full := inst.FullMask(qi)
+		if have == full {
+			dfsQuery(oi+1, cost)
+			return
+		}
+		// Lowest uncovered bit must be covered by some classifier.
+		missing := bits.TrailingZeros64(^have & full)
+		for _, qc := range inst.QueryClassifiers(qi) {
+			if selected[qc.ID] || qc.Mask&(1<<uint(missing)) == 0 {
+				continue
+			}
+			selected[qc.ID] = true
+			cur = append(cur, qc.ID)
+			dfsCover(oi, qi, have|qc.Mask, cost+eff[qc.ID])
+			cur = cur[:len(cur)-1]
+			selected[qc.ID] = false
+		}
+	}
+
+	dfsQuery(0, 0)
+	if math.IsInf(best, 1) {
+		return nil, fmt.Errorf("solver: instance is infeasible")
+	}
+	sol := core.NewSolution(inst, bestSet)
+	if opts.Validate {
+		if err := inst.Verify(sol); err != nil {
+			return nil, err
+		}
+	}
+	return sol, nil
+}

@@ -1,0 +1,95 @@
+package solver
+
+import (
+	"bytes"
+	"math/bits"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestExplainPaperExample(t *testing.T) {
+	inst := paperInstance(t)
+	sol, err := Exact(inst, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Explain(inst, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query jwa: covered by AJ + W; query ca: covered by AC.
+	if len(ex.QueryCovers[0]) != 2 {
+		t.Errorf("query jwa cover = %d classifiers, want 2 (AJ, W)", len(ex.QueryCovers[0]))
+	}
+	if len(ex.QueryCovers[1]) != 1 {
+		t.Errorf("query ca cover = %d classifiers, want 1 (AC)", len(ex.QueryCovers[1]))
+	}
+	var buf bytes.Buffer
+	ex.Render(&buf, inst)
+	out := buf.String()
+	if !strings.Contains(out, "is answered by") || !strings.Contains(out, "[a c]") {
+		t.Errorf("render output wrong:\n%s", out)
+	}
+}
+
+func TestExplainCoversExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 80; trial++ {
+		inst := randomGeneralInstance(rng, 6, 7)
+		sol, err := General(inst, DefaultOptions())
+		if err != nil {
+			continue
+		}
+		ex, err := Explain(inst, sol)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for qi, cover := range ex.QueryCovers {
+			var union uint64
+			for _, id := range cover {
+				if !sol.Has(id) {
+					t.Fatalf("trial %d: explanation uses unselected classifier %d", trial, id)
+				}
+				union |= maskOf(inst, qi, id)
+			}
+			if union != inst.FullMask(qi) {
+				t.Fatalf("trial %d: assigned cover misses bits of query %d", trial, qi)
+			}
+			// Irredundancy: dropping any member breaks the cover.
+			for drop := range cover {
+				var rest uint64
+				for j, id := range cover {
+					if j != drop {
+						rest |= maskOf(inst, qi, id)
+					}
+				}
+				if rest == inst.FullMask(qi) {
+					t.Fatalf("trial %d: redundant member in query %d cover", trial, qi)
+				}
+			}
+		}
+		// Reuse counts are consistent.
+		counts := map[core.ClassifierID]int{}
+		for _, cover := range ex.QueryCovers {
+			for _, id := range cover {
+				counts[id]++
+			}
+		}
+		for id, n := range counts {
+			if ex.Reuse[id] != n {
+				t.Fatalf("trial %d: reuse mismatch for %d", trial, id)
+			}
+		}
+	}
+	_ = bits.OnesCount64
+}
+
+func TestExplainRejectsInvalidSolution(t *testing.T) {
+	inst := paperInstance(t)
+	if _, err := Explain(inst, &core.Solution{}); err == nil {
+		t.Error("empty solution must be rejected")
+	}
+}

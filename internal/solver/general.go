@@ -1,0 +1,56 @@
+package solver
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/prep"
+)
+
+// General is the paper's Algorithm 3 — the MC³[G] solver for arbitrary query
+// lengths: preprocessing, reduction to Weighted Set Cover per residual
+// component, then the greedy algorithm and the f-approximate algorithm with
+// the cheaper output kept. The approximation guarantee is
+// min{ln I + ln(k−1) + 1, 2^{k−1}} (Theorem 5.3).
+func General(inst *core.Instance, opts Options) (*core.Solution, error) {
+	r, err := prep.Run(inst, opts.Prep)
+	if err != nil {
+		return nil, err
+	}
+	picks, err := generalResidual(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(inst, r, picks, opts)
+}
+
+// generalResidual covers the residual of a preprocessed instance and returns
+// the picked classifier IDs (preprocessing selections not included).
+// Components are independent (Observation 3.2) and solved concurrently when
+// opts.Parallelism allows; the concatenation order is fixed, so the result
+// is deterministic.
+func generalResidual(r *prep.Result, opts Options) ([]core.ClassifierID, error) {
+	perComp := make([][]core.ClassifierID, len(r.Components))
+	err := forEachComponent(len(r.Components), opts.Parallelism, func(ci int) error {
+		sc, setIDs := buildWSC(r, r.Components[ci])
+		if sc.NumElements() == 0 {
+			return nil
+		}
+		sets, _, err := runWSC(sc, opts.WSC)
+		if err != nil {
+			return fmt.Errorf("solver: WSC failed on component: %w", err)
+		}
+		for _, s := range sets {
+			perComp[ci] = append(perComp[ci], setIDs[s])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var picks []core.ClassifierID
+	for _, p := range perComp {
+		picks = append(picks, p...)
+	}
+	return picks, nil
+}

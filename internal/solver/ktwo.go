@@ -1,0 +1,132 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/prep"
+)
+
+// KTwo is the paper's Algorithm 2 — the exact, polynomial-time MC³[S] solver
+// for instances whose queries have length at most 2 (Theorem 4.1):
+// preprocessing, then per residual component a reduction to bipartite
+// Weighted Vertex Cover (singleton classifiers on the left, length-2
+// classifiers on the right, two edges per query), solved exactly through
+// Max-Flow.
+func KTwo(inst *core.Instance, opts Options) (*core.Solution, error) {
+	if inst.MaxQueryLen() > 2 {
+		return nil, fmt.Errorf("solver: KTwo requires max query length ≤ 2, instance has %d", inst.MaxQueryLen())
+	}
+	r, err := prep.Run(inst, opts.Prep)
+	if err != nil {
+		return nil, err
+	}
+	picks, err := ktwoResidual(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(inst, r, picks, opts)
+}
+
+// ktwoResidual solves the residual of a preprocessed k ≤ 2 instance exactly
+// and returns the picked classifier IDs. Independent components run
+// concurrently when opts.Parallelism allows; concatenation order is fixed,
+// so the result is deterministic.
+func ktwoResidual(r *prep.Result, opts Options) ([]core.ClassifierID, error) {
+	inst := r.Inst
+	perComp := make([][]core.ClassifierID, len(r.Components))
+	err := forEachComponent(len(r.Components), opts.Parallelism, func(ci int) error {
+		comp := r.Components[ci]
+		// Left: one node per property in the component (its singleton
+		// classifier, or a +Inf placeholder when that classifier is absent
+		// or pruned). Right: one node per residual query (its full pair
+		// classifier or a placeholder).
+		propNode := make(map[core.PropID]int)
+		var weightL []float64
+		var idL []core.ClassifierID
+		leftOf := func(p core.PropID) int {
+			if i, ok := propNode[p]; ok {
+				return i
+			}
+			i := len(weightL)
+			propNode[p] = i
+			w := math.Inf(1)
+			id := core.NoClassifier
+			if cid, ok := inst.ClassifierIDOf(core.NewPropSet(p)); ok && !r.Removed[cid] {
+				w = r.EffCost[cid]
+				id = cid
+			}
+			weightL = append(weightL, w)
+			idL = append(idL, id)
+			return i
+		}
+
+		var weightR []float64
+		var idR []core.ClassifierID
+		type edge struct{ l, r int }
+		var edges []edge
+		for _, qi := range comp {
+			q := inst.Query(qi)
+			if q.Len() != 2 {
+				return fmt.Errorf("solver: residual query %v has length %d; preprocessing should leave only length-2 queries", q, q.Len())
+			}
+			ri := len(weightR)
+			w := math.Inf(1)
+			id := core.NoClassifier
+			full := inst.FullMask(qi)
+			for _, qc := range inst.QueryClassifiers(qi) {
+				if qc.Mask == full && !r.Removed[qc.ID] {
+					w = r.EffCost[qc.ID]
+					id = qc.ID
+					break
+				}
+			}
+			weightR = append(weightR, w)
+			idR = append(idR, id)
+			edges = append(edges, edge{leftOf(q[0]), ri}, edge{leftOf(q[1]), ri})
+		}
+
+		wvc, err := bipartite.New(weightL, weightR)
+		if err != nil {
+			return err
+		}
+		for _, e := range edges {
+			if err := wvc.AddEdge(e.l, e.r); err != nil {
+				return err
+			}
+		}
+		coverL, coverR, _, err := wvc.Solve(opts.Engine)
+		if err != nil {
+			return fmt.Errorf("solver: component infeasible: %w", err)
+		}
+		for i, in := range coverL {
+			if !in {
+				continue
+			}
+			if idL[i] == core.NoClassifier {
+				return fmt.Errorf("solver: internal error: placeholder singleton selected")
+			}
+			perComp[ci] = append(perComp[ci], idL[i])
+		}
+		for i, in := range coverR {
+			if !in {
+				continue
+			}
+			if idR[i] == core.NoClassifier {
+				return fmt.Errorf("solver: internal error: placeholder pair selected")
+			}
+			perComp[ci] = append(perComp[ci], idR[i])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var picks []core.ClassifierID
+	for _, p := range perComp {
+		picks = append(picks, p...)
+	}
+	return picks, nil
+}

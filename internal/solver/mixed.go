@@ -1,0 +1,121 @@
+package solver
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/matching"
+)
+
+// Mixed is the algorithm of the paper's predecessor [13] (Dushkin et al.,
+// EDBT 2019), applicable only to its restricted model: uniform classifier
+// costs and queries of length at most 2. Under those restrictions MC³ is an
+// unweighted vertex cover on a bipartite graph, which Mixed solves optimally
+// via maximum matching and König's theorem. Singleton queries contribute
+// their forced classifiers directly.
+func Mixed(inst *core.Instance, opts Options) (*core.Solution, error) {
+	if inst.MaxQueryLen() > 2 {
+		return nil, fmt.Errorf("solver: Mixed requires max query length ≤ 2, instance has %d", inst.MaxQueryLen())
+	}
+	uniform := float64(-1)
+	for id := 0; id < inst.NumClassifiers(); id++ {
+		c := inst.Cost(core.ClassifierID(id))
+		if uniform < 0 {
+			uniform = c
+		} else if c != uniform {
+			return nil, fmt.Errorf("solver: Mixed requires uniform classifier costs; found both %v and %v", uniform, c)
+		}
+	}
+
+	var picks []core.ClassifierID
+
+	// Forced selections for singleton queries. Properties they test are
+	// already classified, so constraints they satisfy drop out below.
+	forcedProp := make(map[core.PropID]bool)
+	for qi := 0; qi < inst.NumQueries(); qi++ {
+		q := inst.Query(qi)
+		if q.Len() != 1 {
+			continue
+		}
+		id, ok := inst.ClassifierIDOf(q)
+		if !ok {
+			return nil, fmt.Errorf("solver: singleton query %v has no classifier", q)
+		}
+		picks = append(picks, id)
+		forcedProp[q[0]] = true
+	}
+
+	// Bipartite graph over the length-2 queries, with constraints already
+	// satisfied by forced singletons removed (a query with both properties
+	// forced is covered; a forced property contributes no edge).
+	propNode := make(map[core.PropID]int)
+	var propOf []core.PropID
+	leftOf := func(p core.PropID) int {
+		if i, ok := propNode[p]; ok {
+			return i
+		}
+		i := len(propOf)
+		propNode[p] = i
+		propOf = append(propOf, p)
+		return i
+	}
+	type pair struct {
+		qi int
+		id core.ClassifierID
+	}
+	var pairs []pair
+	type edge struct{ l, r int }
+	var edges []edge
+	for qi := 0; qi < inst.NumQueries(); qi++ {
+		q := inst.Query(qi)
+		if q.Len() != 2 {
+			continue
+		}
+		if forcedProp[q[0]] && forcedProp[q[1]] {
+			continue // covered by forced singletons
+		}
+		id, ok := inst.ClassifierIDOf(q)
+		if !ok {
+			return nil, fmt.Errorf("solver: Mixed requires the full classifier for query %v", q)
+		}
+		ri := len(pairs)
+		pairs = append(pairs, pair{qi, id})
+		if !forcedProp[q[0]] {
+			edges = append(edges, edge{leftOf(q[0]), ri})
+		}
+		if !forcedProp[q[1]] {
+			edges = append(edges, edge{leftOf(q[1]), ri})
+		}
+	}
+
+	if len(pairs) > 0 {
+		b := matching.NewBipartite(len(propOf), len(pairs))
+		for _, e := range edges {
+			b.AddEdge(e.l, e.r)
+		}
+		coverL, coverR := b.MinVertexCover()
+		for i, in := range coverL {
+			if !in {
+				continue
+			}
+			id, ok := inst.ClassifierIDOf(core.NewPropSet(propOf[i]))
+			if !ok {
+				return nil, fmt.Errorf("solver: Mixed requires singleton classifier for property %q", inst.Universe.Name(propOf[i]))
+			}
+			picks = append(picks, id)
+		}
+		for i, in := range coverR {
+			if in {
+				picks = append(picks, pairs[i].id)
+			}
+		}
+	}
+
+	sol := core.NewSolution(inst, picks)
+	if opts.Validate {
+		if err := inst.Verify(sol); err != nil {
+			return nil, err
+		}
+	}
+	return sol, nil
+}

@@ -1,0 +1,248 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/prep"
+	"repro/internal/setcover"
+)
+
+// MultiValued describes a multi-valued classifier (Section 5.3): one model
+// that determines which value of an attribute an item has, and therefore
+// acts as a binary classifier for every listed property simultaneously —
+// e.g. a "color" classifier deciding {color:red, color:blue, …}.
+type MultiValued struct {
+	// Name labels the classifier (e.g. the attribute name).
+	Name string
+	// Properties are the binary properties this classifier decides.
+	Properties core.PropSet
+	// Cost is its construction cost.
+	Cost float64
+}
+
+// MultiSolution is a solution that may mix binary and multi-valued
+// classifiers.
+type MultiSolution struct {
+	// Classifiers holds the selected binary classifiers.
+	Classifiers []core.ClassifierID
+	// MultiValued holds indices into the multi-valued candidate list.
+	MultiValued []int
+	// Cost is the total construction cost.
+	Cost float64
+}
+
+// GeneralWithMultiValued extends Algorithm 3 with multi-valued classifier
+// candidates, per Section 5.3: the Weighted Set Cover reduction gains one
+// set per multi-valued classifier, covering every element whose property the
+// classifier decides (usable in any query — deciding an attribute's value
+// decides each of its value-properties). The analysis, and hence the
+// approximation guarantee, carries over to the extended instance.
+//
+// Preprocessing is forced to the Minimal level: Algorithm 1's forced-
+// selection reasoning assumes binary classifiers are the only cover options,
+// which multi-valued candidates would invalidate.
+func GeneralWithMultiValued(inst *core.Instance, multis []MultiValued, opts Options) (*MultiSolution, error) {
+	for i, m := range multis {
+		if m.Cost < 0 || math.IsNaN(m.Cost) || math.IsInf(m.Cost, 0) {
+			return nil, fmt.Errorf("solver: multi-valued classifier %d (%s) has invalid cost %v", i, m.Name, m.Cost)
+		}
+	}
+	opts.Prep = prep.Minimal
+	r, err := prep.Run(inst, opts.Prep)
+	if err != nil {
+		return nil, err
+	}
+
+	// Minimal prep yields a single component holding every residual query.
+	var picksBinary []core.ClassifierID
+	var picksMulti []int
+	for _, comp := range r.Components {
+		sc, setIDs := buildWSC(r, comp)
+		if sc.NumElements() == 0 {
+			continue
+		}
+		// Element numbering inside buildWSC: queries in comp order, then
+		// uncovered bits in query order. Recreate it to attach multi sets.
+		multiSets := addMultiValuedSets(r, comp, sc, multis)
+
+		sets, _, err := runWSC(sc, opts.WSC)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range sets {
+			if s < len(setIDs) {
+				picksBinary = append(picksBinary, setIDs[s])
+			} else {
+				picksMulti = append(picksMulti, multiSets[s-len(setIDs)])
+			}
+		}
+	}
+
+	all := append(append([]core.ClassifierID(nil), r.Selected...), picksBinary...)
+	base := core.NewSolution(inst, all)
+	// Deduplicate multi picks (a candidate useful in several components
+	// would otherwise be counted twice).
+	seenMulti := make(map[int]bool, len(picksMulti))
+	uniqueMulti := picksMulti[:0]
+	for _, mi := range picksMulti {
+		if !seenMulti[mi] {
+			seenMulti[mi] = true
+			uniqueMulti = append(uniqueMulti, mi)
+		}
+	}
+	out := &MultiSolution{Classifiers: base.Selected, MultiValued: uniqueMulti, Cost: base.Cost}
+	for _, mi := range uniqueMulti {
+		out.Cost += multis[mi].Cost
+	}
+	if opts.Validate {
+		if err := VerifyMulti(inst, multis, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// addMultiValuedSets appends one WSC set per useful multi-valued candidate
+// and returns the candidate index of each appended set.
+func addMultiValuedSets(r *prep.Result, comp []int, sc *setcover.Instance, multis []MultiValued) []int {
+	inst := r.Inst
+	// Recompute the element numbering used by buildWSC.
+	type qinfo struct {
+		base  int
+		slots []int
+	}
+	infos := make(map[int]qinfo, len(comp))
+	numElems := 0
+	for _, qi := range comp {
+		L := inst.Query(qi).Len()
+		slots := make([]int, L)
+		cnt := 0
+		for b := 0; b < L; b++ {
+			if r.CoveredMask[qi]&(1<<uint(b)) != 0 {
+				slots[b] = -1
+				continue
+			}
+			slots[b] = cnt
+			cnt++
+		}
+		infos[qi] = qinfo{base: numElems, slots: slots}
+		numElems += cnt
+	}
+
+	var added []int
+	for mi, m := range multis {
+		var elems []int32
+		for _, qi := range comp {
+			info := infos[qi]
+			q := inst.Query(qi)
+			mask, _ := m.Properties.Intersect(q).MaskIn(q)
+			for mm := mask; mm != 0; mm &= mm - 1 {
+				b := bits.TrailingZeros64(mm)
+				if info.slots[b] >= 0 {
+					elems = append(elems, int32(info.base+info.slots[b]))
+				}
+			}
+		}
+		if len(elems) == 0 {
+			continue
+		}
+		sc.AddSet(elems, m.Cost)
+		added = append(added, mi)
+	}
+	return added
+}
+
+// runWSC executes the configured set-cover method(s) and returns the
+// cheapest result.
+func runWSC(sc *setcover.Instance, method WSCMethod) ([]int, float64, error) {
+	type outcome struct {
+		sets []int
+		cost float64
+	}
+	var results []outcome
+	run := func(f func() ([]int, float64, error)) error {
+		sets, cost, err := f()
+		if err != nil {
+			return err
+		}
+		results = append(results, outcome{sets, cost})
+		return nil
+	}
+	var err error
+	switch method {
+	case WSCAuto:
+		if err = run(sc.Greedy); err == nil {
+			err = run(sc.PrimalDual)
+		}
+	case WSCGreedy:
+		err = run(sc.Greedy)
+	case WSCPrimalDual:
+		err = run(sc.PrimalDual)
+	case WSCLPRounding:
+		err = run(sc.LPRounding)
+	case WSCAutoLP:
+		if err = run(sc.Greedy); err == nil {
+			err = run(sc.LPRounding)
+		}
+	default:
+		err = fmt.Errorf("solver: unknown WSC method %v", method)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	best := 0
+	for i := 1; i < len(results); i++ {
+		if results[i].cost < results[best].cost {
+			best = i
+		}
+	}
+	return results[best].sets, results[best].cost, nil
+}
+
+// VerifyMulti checks that a mixed binary/multi-valued solution covers every
+// query: per query, the union of selected binary classifiers that are
+// subsets of it, plus the properties decided by selected multi-valued
+// classifiers, must equal the query.
+func VerifyMulti(inst *core.Instance, multis []MultiValued, sol *MultiSolution) error {
+	if sol == nil {
+		return fmt.Errorf("solver: nil multi solution")
+	}
+	inBinary := make(map[core.ClassifierID]bool, len(sol.Classifiers))
+	for _, id := range sol.Classifiers {
+		if id < 0 || int(id) >= inst.NumClassifiers() {
+			return fmt.Errorf("solver: invalid classifier ID %d", id)
+		}
+		inBinary[id] = true
+	}
+	var decided core.PropSet
+	for _, mi := range sol.MultiValued {
+		if mi < 0 || mi >= len(multis) {
+			return fmt.Errorf("solver: invalid multi-valued index %d", mi)
+		}
+		decided = decided.Union(multis[mi].Properties)
+	}
+	for qi := 0; qi < inst.NumQueries(); qi++ {
+		q := inst.Query(qi)
+		union, _ := decided.Intersect(q).MaskIn(q)
+		for _, qc := range inst.QueryClassifiers(qi) {
+			if inBinary[qc.ID] {
+				union |= qc.Mask
+			}
+		}
+		if union != inst.FullMask(qi) {
+			return fmt.Errorf("solver: query %v not covered by mixed solution", q)
+		}
+	}
+	// Cost consistency.
+	want := inst.SolutionCost(sol.Classifiers)
+	for _, mi := range sol.MultiValued {
+		want += multis[mi].Cost
+	}
+	if math.Abs(want-sol.Cost) > 1e-6 {
+		return fmt.Errorf("solver: mixed solution cost %v != recomputed %v", sol.Cost, want)
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestGeneralWithMultiValuedBeatsBinaryWhenCheap(t *testing.T) {
+	u := core.NewUniverse()
+	queries := []core.PropSet{
+		u.Set("t:shirt", "c:white"),
+		u.Set("t:dress", "c:blue"),
+		u.Set("t:coat", "c:red"),
+	}
+	ct := core.NewCostTable(math.Inf(1))
+	for _, ty := range []string{"t:shirt", "t:dress", "t:coat"} {
+		ct.Set(u.Set(ty), 2)
+	}
+	for _, c := range []string{"c:white", "c:blue", "c:red"} {
+		ct.Set(u.Set(c), 9)
+	}
+	inst, err := core.NewInstance(u, queries, ct, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary, err := General(inst, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	white, _ := u.Lookup("c:white")
+	blue, _ := u.Lookup("c:blue")
+	red, _ := u.Lookup("c:red")
+	multis := []MultiValued{{Name: "color", Properties: core.NewPropSet(white, blue, red), Cost: 10}}
+
+	mixed, err := GeneralWithMultiValued(inst, multis, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMulti(inst, multis, mixed); err != nil {
+		t.Fatal(err)
+	}
+	// 3 type singletons (6) + color multi (10) = 16 < binary 6 + 27 = 33.
+	if mixed.Cost != 16 {
+		t.Errorf("mixed cost = %v, want 16", mixed.Cost)
+	}
+	if mixed.Cost >= binary.Cost {
+		t.Errorf("cheap multi-valued classifier must win: %v vs binary %v", mixed.Cost, binary.Cost)
+	}
+}
+
+func TestGeneralWithMultiValuedSkipsExpensive(t *testing.T) {
+	u := core.NewUniverse()
+	queries := []core.PropSet{u.Set("a", "b")}
+	inst, err := core.NewInstance(u, queries, core.UniformCost(2), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := u.Lookup("a")
+	multis := []MultiValued{{Name: "attr", Properties: core.NewPropSet(a), Cost: 100}}
+	mixed, err := GeneralWithMultiValued(inst, multis, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixed.MultiValued) != 0 {
+		t.Error("overpriced multi-valued classifier must not be selected")
+	}
+	if mixed.Cost != 2 {
+		t.Errorf("cost = %v, want 2 (the AB classifier)", mixed.Cost)
+	}
+}
+
+func TestGeneralWithMultiValuedAllMethods(t *testing.T) {
+	u := core.NewUniverse()
+	queries := []core.PropSet{u.Set("a", "b"), u.Set("b", "c")}
+	inst, err := core.NewInstance(u, queries, core.UniformCost(3), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := u.Lookup("b")
+	multis := []MultiValued{{Name: "m", Properties: core.NewPropSet(b), Cost: 1}}
+	for _, m := range []WSCMethod{WSCAuto, WSCGreedy, WSCPrimalDual, WSCLPRounding, WSCAutoLP} {
+		opts := DefaultOptions()
+		opts.WSC = m
+		opts.Validate = true
+		sol, err := GeneralWithMultiValued(inst, multis, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := VerifyMulti(inst, multis, sol); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+	// Unknown method must error.
+	bad := DefaultOptions()
+	bad.WSC = WSCMethod(99)
+	if _, err := GeneralWithMultiValued(inst, multis, bad); err == nil {
+		t.Error("unknown WSC method must fail")
+	}
+}
+
+func TestVerifyMultiRejectsCorruption(t *testing.T) {
+	u := core.NewUniverse()
+	queries := []core.PropSet{u.Set("a", "b")}
+	inst, err := core.NewInstance(u, queries, core.UniformCost(2), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := u.Lookup("a")
+	multis := []MultiValued{{Name: "m", Properties: core.NewPropSet(a), Cost: 1}}
+	good, err := GeneralWithMultiValued(inst, multis, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMulti(inst, multis, good); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := VerifyMulti(inst, multis, nil); err == nil {
+		t.Error("nil must be rejected")
+	}
+	bad1 := &MultiSolution{Classifiers: []core.ClassifierID{99}, Cost: 0}
+	if err := VerifyMulti(inst, multis, bad1); err == nil {
+		t.Error("invalid classifier ID must be rejected")
+	}
+	bad2 := &MultiSolution{MultiValued: []int{5}, Cost: 0}
+	if err := VerifyMulti(inst, multis, bad2); err == nil {
+		t.Error("invalid multi index must be rejected")
+	}
+	bad3 := &MultiSolution{Cost: 0}
+	if err := VerifyMulti(inst, multis, bad3); err == nil {
+		t.Error("empty solution leaves the query uncovered")
+	}
+	lied := &MultiSolution{Classifiers: good.Classifiers, MultiValued: good.MultiValued, Cost: good.Cost + 5}
+	if err := VerifyMulti(inst, multis, lied); err == nil {
+		t.Error("wrong cost must be rejected")
+	}
+}
+
+func TestGeneralWithMultiValuedRandomConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 60; trial++ {
+		inst := randomGeneralInstance(rng, 6, 5)
+		binary, err := General(inst, DefaultOptions())
+		if err != nil {
+			continue
+		}
+		// Random multis over the instance's properties.
+		var props []core.PropID
+		seen := map[core.PropID]bool{}
+		for _, q := range inst.Queries() {
+			for _, p := range q {
+				if !seen[p] {
+					seen[p] = true
+					props = append(props, p)
+				}
+			}
+		}
+		var multis []MultiValued
+		for m := 0; m < 1+rng.Intn(3); m++ {
+			sz := 1 + rng.Intn(3)
+			var ids []core.PropID
+			for i := 0; i < sz; i++ {
+				ids = append(ids, props[rng.Intn(len(props))])
+			}
+			multis = append(multis, MultiValued{
+				Name:       "m",
+				Properties: core.NewPropSet(ids...),
+				Cost:       float64(1 + rng.Intn(12)),
+			})
+		}
+		mixed, err := GeneralWithMultiValued(inst, multis, DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := VerifyMulti(inst, multis, mixed); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Extra options can only help (both are heuristics on the same
+		// reduction family, but the mixed universe is a superset; greedy
+		// monotonicity is not guaranteed, so allow small regressions).
+		if mixed.Cost > binary.Cost*1.5+1e-9 {
+			t.Fatalf("trial %d: mixed %v drastically worse than binary %v", trial, mixed.Cost, binary.Cost)
+		}
+	}
+}
+
+func TestOptionStringers(t *testing.T) {
+	for _, m := range []WSCMethod{WSCAuto, WSCGreedy, WSCPrimalDual, WSCLPRounding, WSCAutoLP, WSCMethod(42)} {
+		if m.String() == "" {
+			t.Error("empty WSCMethod name")
+		}
+	}
+}

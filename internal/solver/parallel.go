@@ -1,0 +1,61 @@
+package solver
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// forEachComponent runs fn(i) for every component index, either serially or
+// on a bounded worker pool, per the paper's remark that Step 2's
+// decomposition "allows us to solve all sub-instances in parallel"
+// (Section 3). Results must be written by fn into per-index slots so the
+// final concatenation is deterministic regardless of scheduling.
+func forEachComponent(n, parallelism int, fn func(i int) error) error {
+	workers := parallelism
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return fmt.Errorf("solver: component failed: %w", firstErr)
+	}
+	return nil
+}

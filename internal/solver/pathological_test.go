@@ -1,0 +1,322 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/prep"
+)
+
+// TestComponentAdditivity verifies Observation 3.2 end to end: the optimum
+// of a property-disjoint union equals the sum of the component optima.
+func TestComponentAdditivity(t *testing.T) {
+	// Two disjoint sub-instances with known optima.
+	_, instA := buildInstance(t,
+		[][]string{{"a", "b"}},
+		map[string]float64{"a": 3, "b": 3, "a|b": 4})
+	_, instB := buildInstance(t,
+		[][]string{{"x", "y", "z"}},
+		map[string]float64{"x": 1, "y": 1, "z": 1, "x|y": 5, "x|z": 5, "y|z": 5, "x|y|z": 2})
+	optA, err := Exact(instA, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	optB, err := Exact(instB, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The union instance.
+	_, instU := buildInstance(t,
+		[][]string{{"a", "b"}, {"x", "y", "z"}},
+		map[string]float64{
+			"a": 3, "b": 3, "a|b": 4,
+			"x": 1, "y": 1, "z": 1, "x|y": 5, "x|z": 5, "y|z": 5, "x|y|z": 2,
+		})
+	optU, err := Exact(instU, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(optU.Cost-(optA.Cost+optB.Cost)) > 1e-9 {
+		t.Errorf("union optimum %v != %v + %v (Observation 3.2)", optU.Cost, optA.Cost, optB.Cost)
+	}
+	// And the general solver respects the decomposition.
+	gen, err := General(instU, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gen.Cost-optU.Cost) > 1e-9 {
+		t.Errorf("General = %v on a trivially decomposable instance, optimum %v", gen.Cost, optU.Cost)
+	}
+}
+
+// TestSingletonOnlyLoad: a load of singleton queries is fully resolved by
+// preprocessing; every algorithm returns the same (forced) solution.
+func TestSingletonOnlyLoad(t *testing.T) {
+	_, inst := buildInstance(t,
+		[][]string{{"a"}, {"b"}, {"c"}},
+		map[string]float64{"a": 2, "b": 3, "c": 4})
+	for name, fn := range map[string]Func{
+		"general": General, "ktwo": KTwo, "short-first": ShortFirst,
+		"local-greedy": LocalGreedy, "property-oriented": PropertyOriented,
+		"query-oriented": QueryOriented, "exact": Exact,
+	} {
+		sol, err := fn(inst, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sol.Cost != 9 {
+			t.Errorf("%s: cost %v, want 9 (forced singletons)", name, sol.Cost)
+		}
+	}
+}
+
+// TestNestedQueries: queries where one is a subset of another share
+// classifiers; the subset query's cover must still be exact (covering ab
+// does not cover the query ab when only a triple classifier is selected).
+func TestNestedQueries(t *testing.T) {
+	_, inst := buildInstance(t,
+		[][]string{{"a", "b"}, {"a", "b", "c"}},
+		map[string]float64{
+			"a": 10, "b": 10, "c": 10,
+			"a|b": 4, "a|c": 12, "b|c": 12, "a|b|c": 5,
+		})
+	// ABC alone covers abc but NOT ab (union must equal exactly ab; ABC ⊄ ab).
+	abc, _ := inst.ClassifierIDOf(inst.Query(1))
+	cov := inst.Covered([]core.ClassifierID{abc})
+	if cov[0] {
+		t.Fatal("ABC must not cover the query ab")
+	}
+	// Optimal: AB (4) covers ab; then abc needs C or ABC: AB+C = 14 vs
+	// AB+ABC = 9 vs ABC+AB... → AB + ABC = 9? ABC covers abc alone: AB(4) +
+	// ABC(5) = 9. Or AB + C: 4+10=14. So 9.
+	exact, err := Exact(inst, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Cost != 9 {
+		t.Errorf("optimal = %v, want 9", exact.Cost)
+	}
+	gen, err := General(inst, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(gen); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllQueriesIdenticalProperty: heavy sharing through one hub property.
+func TestAllQueriesIdenticalProperty(t *testing.T) {
+	queries := [][]string{{"hub", "a"}, {"hub", "b"}, {"hub", "c"}, {"hub", "d"}}
+	costs := map[string]float64{
+		"hub": 4, "a": 2, "b": 2, "c": 2, "d": 2,
+		"a|hub": 3, "b|hub": 3, "c|hub": 3, "d|hub": 3,
+	}
+	_, inst := buildInstance(t, queries, costs)
+	exact, err := Exact(inst, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: hub(4) + a+b+c+d (8) = 12 versus pairs 3×4 = 12 — tie.
+	if exact.Cost != 12 {
+		t.Errorf("optimal = %v, want 12", exact.Cost)
+	}
+	ktwo, err := KTwo(inst, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ktwo.Cost != exact.Cost {
+		t.Errorf("KTwo %v != optimal %v", ktwo.Cost, exact.Cost)
+	}
+}
+
+// TestDeepReplacementChain: step 3's replacement chains several levels deep
+// must keep solutions optimal.
+func TestDeepReplacementChain(t *testing.T) {
+	// W(singletons) = 1 each; every longer classifier costs exactly the sum
+	// of its parts, so everything decomposes down to singletons.
+	_, inst := buildInstance(t,
+		[][]string{{"a", "b", "c", "d"}},
+		map[string]float64{
+			"a": 1, "b": 1, "c": 1, "d": 1,
+			"a|b": 2, "c|d": 2, "a|c": 2, "b|d": 2, "a|d": 2, "b|c": 2,
+			"a|b|c": 3, "a|b|d": 3, "a|c|d": 3, "b|c|d": 3,
+			"a|b|c|d": 4,
+		})
+	r, err := prep.Run(inst, prep.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything above the singletons should be removed (cost equality
+	// allows removal), and the singletons forced.
+	if r.Stats.Step3Removed != 11 {
+		t.Errorf("Step3Removed = %d, want 11 (all non-singletons)", r.Stats.Step3Removed)
+	}
+	if !r.CoveredQuery[0] {
+		t.Error("query should be resolved by forcing the four singletons")
+	}
+	sol, err := General(inst, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 4 {
+		t.Errorf("cost = %v, want 4", sol.Cost)
+	}
+}
+
+// TestZeroCostEverything: all classifiers free → solution cost 0 from every
+// algorithm.
+func TestZeroCostEverything(t *testing.T) {
+	u := core.NewUniverse()
+	queries := []core.PropSet{u.Set("a", "b"), u.Set("b", "c", "d")}
+	inst, err := core.NewInstance(u, queries, core.UniformCost(0), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fn := range map[string]Func{"general": General, "local-greedy": LocalGreedy, "exact": Exact} {
+		sol, err := fn(inst, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sol.Cost != 0 {
+			t.Errorf("%s: cost %v, want 0", name, sol.Cost)
+		}
+		if err := inst.Verify(sol); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestLongQueryNearLimit: a single query at length 16 exercises the mask
+// paths near the enumeration cap (2^16 − 1 classifiers).
+func TestLongQueryNearLimit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("65k classifiers in short mode")
+	}
+	u := core.NewUniverse()
+	ids := make([]core.PropID, 16)
+	for i := range ids {
+		ids[i] = u.Intern(string(rune('a' + i)))
+	}
+	inst, err := core.NewInstance(u, []core.PropSet{core.NewPropSet(ids...)}, core.UniformCost(1), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumClassifiers() != (1<<16)-1 {
+		t.Fatalf("classifiers = %d", inst.NumClassifiers())
+	}
+	sol, err := General(inst, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal is 1 (the full-query classifier at uniform cost 1).
+	if sol.Cost != 1 {
+		t.Errorf("cost = %v, want 1", sol.Cost)
+	}
+}
+
+// TestShortFirstWorseCaseVsGeneral: Short-First's exact short-phase can
+// commit to classifiers that hurt the long phase; General must still verify
+// and both must stay feasible.
+func TestShortFirstCommitmentTradeoff(t *testing.T) {
+	_, inst := buildInstance(t,
+		[][]string{{"a", "b"}, {"a", "b", "c"}},
+		map[string]float64{
+			"a": 6, "b": 6, "c": 6,
+			"a|b": 5, "a|c": 20, "b|c": 20, "a|b|c": 7,
+		})
+	// Short phase covers ab with AB (5 < 12). Long phase: abc needs C (6)
+	// → SF total 11. Direct optimum: AB + ... abc via ABC(7): but ab needs
+	// AB or A+B: ABC doesn't cover ab. Optimal: AB(5) + C(6) = 11 or
+	// A+B(12)... so SF is optimal here; sanity-check both.
+	sf, err := ShortFirst(inst, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Exact(inst, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Cost != exact.Cost {
+		t.Errorf("ShortFirst %v vs optimal %v", sf.Cost, exact.Cost)
+	}
+}
+
+// TestKTwoFractionalCosts: the max-flow reduction must stay exact with
+// non-integral costs (the model allows any non-negative reals).
+func TestKTwoFractionalCosts(t *testing.T) {
+	_, inst := buildInstance(t,
+		[][]string{{"a", "b"}, {"b", "c"}},
+		map[string]float64{
+			"a": 0.1, "b": 0.2, "c": 0.3,
+			"a|b": 0.25, "b|c": 0.45,
+		})
+	exact, err := Exact(inst, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ktwo, err := KTwo(inst, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ktwo.Cost-exact.Cost) > 1e-9 {
+		t.Errorf("KTwo %v != exact %v with fractional costs", ktwo.Cost, exact.Cost)
+	}
+	// Known optimum: min over covers. ab: AB(.25) vs A+B(.3); bc: BC(.45)
+	// vs B+C(.5); sharing B: A+B+C = .6 vs AB+BC = .7 vs AB+B+C... AB+C+B?
+	// covers: {AB,BC}=.7, {A,B,C}=.6, {AB,BC}, {AB, B?}: bc needs B&C or
+	// BC → {AB,B,C}=.75, {A,B,BC}=.75. Optimal .6.
+	if math.Abs(exact.Cost-0.6) > 1e-9 {
+		t.Errorf("optimal = %v, want 0.6", exact.Cost)
+	}
+}
+
+// TestKTwoCostPatternMatrix exercises Algorithm 2 across qualitatively
+// different cost regimes on the same query structure.
+func TestKTwoCostPatternMatrix(t *testing.T) {
+	queries := [][]string{{"a", "b"}, {"b", "c"}, {"c", "d"}}
+	patterns := map[string]map[string]float64{
+		"pairs-win": {
+			"a": 9, "b": 9, "c": 9, "d": 9,
+			"a|b": 1, "b|c": 1, "c|d": 1,
+		},
+		"singletons-win": {
+			"a": 1, "b": 1, "c": 1, "d": 1,
+			"a|b": 9, "b|c": 9, "c|d": 9,
+		},
+		"mixed": {
+			"a": 1, "b": 9, "c": 1, "d": 9,
+			"a|b": 3, "b|c": 9, "c|d": 3,
+		},
+		"zero-heavy": {
+			"a": 0, "b": 0, "c": 5, "d": 5,
+			"a|b": 2, "b|c": 2, "c|d": 2,
+		},
+		"pairs-missing": {
+			"a": 2, "b": 2, "c": 2, "d": 2,
+		},
+	}
+	for name, costs := range patterns {
+		t.Run(name, func(t *testing.T) {
+			_, inst := buildInstance(t, queries, costs)
+			exact, err := Exact(inst, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, level := range []prep.Level{prep.Minimal, prep.Full} {
+				opts := DefaultOptions()
+				opts.Prep = level
+				opts.Validate = true
+				sol, err := KTwo(inst, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(sol.Cost-exact.Cost) > 1e-9 {
+					t.Errorf("prep=%v: KTwo %v != optimal %v", level, sol.Cost, exact.Cost)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package solver
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Portfolio runs every applicable algorithm and returns the cheapest valid
+// solution — the practical "just give me the best plan" entry point the
+// paper's comparison implies: the exact Algorithm 2 when the whole load is
+// short (in which case nothing can beat it and nothing else runs),
+// otherwise Algorithm 3, Short-First, and Local-Greedy side by side.
+//
+// The extra work is bounded (each algorithm is near-linear for constant k),
+// and the result is deterministic: ties break in the fixed order below.
+func Portfolio(inst *core.Instance, opts Options) (*core.Solution, error) {
+	if inst.MaxQueryLen() <= 2 {
+		return KTwo(inst, opts) // exact: no portfolio can improve on it
+	}
+
+	candidates := []struct {
+		name string
+		fn   Func
+	}{
+		{"mc3-general", General},
+		{"short-first", ShortFirst},
+		{"local-greedy", LocalGreedy},
+	}
+	var best *core.Solution
+	var firstErr error
+	for _, c := range candidates {
+		sol, err := c.fn(inst, opts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("solver: portfolio %s: %w", c.name, err)
+			}
+			continue
+		}
+		if best == nil || sol.Cost < best.Cost {
+			best = sol
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	if opts.Validate {
+		if err := inst.Verify(best); err != nil {
+			return nil, err
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,99 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// ShortFirst is the "almost k = 2" heuristic of Sections 4 and 6: cover the
+// queries of length ≤ 2 exactly with Algorithm 2, then run Algorithm 3 on
+// the residual problem (the longer queries), with the already-selected
+// classifiers priced at zero. It shines when short queries dominate the load
+// (the paper's fashion category: 96% of queries have length ≤ 2).
+func ShortFirst(inst *core.Instance, opts Options) (*core.Solution, error) {
+	var short, long []core.PropSet
+	for qi := 0; qi < inst.NumQueries(); qi++ {
+		q := inst.Query(qi)
+		if q.Len() <= 2 {
+			short = append(short, q)
+		} else {
+			long = append(long, q)
+		}
+	}
+
+	var picks []core.ClassifierID
+	phase1Zero := make(map[string]bool)
+
+	if len(short) > 0 {
+		subInst, err := core.NewInstance(inst.Universe, short, inheritCosts{inst, nil}, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("solver: short-first phase 1: %w", err)
+		}
+		sol, err := KTwo(subInst, opts)
+		if err != nil {
+			return nil, fmt.Errorf("solver: short-first phase 1: %w", err)
+		}
+		for _, id := range sol.Selected {
+			s := subInst.Classifier(id)
+			pid, ok := inst.ClassifierIDOf(s)
+			if !ok {
+				return nil, fmt.Errorf("solver: internal error: classifier %v missing from parent instance", s)
+			}
+			picks = append(picks, pid)
+			phase1Zero[s.Key()] = true
+		}
+	}
+
+	if len(long) > 0 {
+		subInst, err := core.NewInstance(inst.Universe, long, inheritCosts{inst, phase1Zero}, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("solver: short-first phase 2: %w", err)
+		}
+		sol, err := General(subInst, opts)
+		if err != nil {
+			return nil, fmt.Errorf("solver: short-first phase 2: %w", err)
+		}
+		for _, id := range sol.Selected {
+			s := subInst.Classifier(id)
+			pid, ok := inst.ClassifierIDOf(s)
+			if !ok {
+				return nil, fmt.Errorf("solver: internal error: classifier %v missing from parent instance", s)
+			}
+			picks = append(picks, pid)
+		}
+	}
+
+	return assembleDirect(inst, picks, opts)
+}
+
+// inheritCosts prices classifiers by looking them up in a parent instance,
+// optionally zeroing a set of keys (classifiers already paid for in an
+// earlier phase). Classifiers absent from the parent are unavailable.
+type inheritCosts struct {
+	parent *core.Instance
+	zero   map[string]bool
+}
+
+// Cost implements core.CostModel.
+func (m inheritCosts) Cost(s core.PropSet) float64 {
+	if m.zero != nil && m.zero[s.Key()] {
+		return 0
+	}
+	if id, ok := m.parent.ClassifierIDOf(s); ok {
+		return m.parent.Cost(id)
+	}
+	return math.Inf(1)
+}
+
+// assembleDirect builds a canonical solution from raw picks (no prep result).
+func assembleDirect(inst *core.Instance, picks []core.ClassifierID, opts Options) (*core.Solution, error) {
+	sol := core.NewSolution(inst, picks)
+	if opts.Validate {
+		if err := inst.Verify(sol); err != nil {
+			return nil, fmt.Errorf("solver: produced invalid solution: %w", err)
+		}
+	}
+	return sol, nil
+}

@@ -1,0 +1,133 @@
+// Package solver implements the paper's MC³ algorithms on top of the
+// substrate packages:
+//
+//   - Algorithm 2 (Section 4): exact solver for k ≤ 2 via bipartite Weighted
+//     Vertex Cover reduced to Max-Flow.
+//   - Algorithm 3 (Section 5.2): general solver via reduction to Weighted
+//     Set Cover, running the greedy and the f-approximate ("LP-based")
+//     algorithm and keeping the cheaper output.
+//   - Short-First (Sections 4, 6): Algorithm 2 on the length ≤ 2 slice, then
+//     Algorithm 3 on the residual.
+//   - The experimental baselines of Section 6.1: Property-Oriented,
+//     Query-Oriented, Local-Greedy, and Mixed ([13], uniform costs, k ≤ 2).
+//   - An exact branch-and-bound solver used as a test oracle and for
+//     approximation-ratio measurements on small instances.
+//   - Beyond the paper: a portfolio entry point (Portfolio), certified LP
+//     lower bounds (LPLowerBound), the budgeted partial-cover heuristic the
+//     paper names as future work (Budgeted), the multi-valued extension
+//     (GeneralWithMultiValued), and per-query solution explanations
+//     (Explain).
+package solver
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/prep"
+)
+
+// WSCMethod selects the set-cover algorithm(s) inside the general solver.
+type WSCMethod int
+
+const (
+	// WSCAuto runs both the greedy and the primal-dual algorithm and keeps
+	// the cheaper output per component — the paper's Algorithm 3 (with
+	// primal-dual standing in for the LP-based f-approximation; identical
+	// guarantee, linear time).
+	WSCAuto WSCMethod = iota
+	// WSCGreedy runs only the Chvátal greedy algorithm.
+	WSCGreedy
+	// WSCPrimalDual runs only the primal-dual f-approximation.
+	WSCPrimalDual
+	// WSCLPRounding runs only the simplex LP-relaxation rounding
+	// f-approximation. Dense; intended for small/medium instances.
+	WSCLPRounding
+	// WSCAutoLP runs greedy + LP rounding and keeps the cheaper output.
+	WSCAutoLP
+)
+
+// String returns the method name.
+func (m WSCMethod) String() string {
+	switch m {
+	case WSCAuto:
+		return "greedy+primal-dual"
+	case WSCGreedy:
+		return "greedy"
+	case WSCPrimalDual:
+		return "primal-dual"
+	case WSCLPRounding:
+		return "lp-rounding"
+	case WSCAutoLP:
+		return "greedy+lp-rounding"
+	default:
+		return fmt.Sprintf("wsc(%d)", int(m))
+	}
+}
+
+// Options configure the solvers. The zero value is the paper's default
+// configuration: full preprocessing, Algorithm 3 = greedy + primal-dual,
+// Dinic max-flow.
+type Options struct {
+	// Prep is the preprocessing level (Full by default is index 1; note
+	// prep.Minimal == 0 is the zero value, so DefaultOptions sets Full).
+	Prep prep.Level
+	// WSC selects Algorithm 3's set-cover engine(s).
+	WSC WSCMethod
+	// Engine selects the max-flow algorithm inside Algorithm 2.
+	Engine bipartite.Engine
+	// Parallelism bounds the number of residual components solved
+	// concurrently (the paper's Section 3 notes the component
+	// decomposition enables exactly this). 0 or 1 solves serially; a
+	// negative value uses GOMAXPROCS. Results are deterministic regardless.
+	Parallelism int
+	// Validate, when set, verifies every produced solution against the
+	// instance before returning it.
+	Validate bool
+}
+
+// DefaultOptions returns the paper's default configuration.
+func DefaultOptions() Options {
+	return Options{Prep: prep.Full, WSC: WSCAuto, Engine: bipartite.Dinic, Validate: false}
+}
+
+// Func is the uniform signature all solvers expose.
+type Func func(inst *core.Instance, opts Options) (*core.Solution, error)
+
+// assemble builds the final solution from preprocessing selections plus
+// solver picks, recomputing the cost from original classifier costs.
+func assemble(inst *core.Instance, r *prep.Result, picks []core.ClassifierID, opts Options) (*core.Solution, error) {
+	all := make([]core.ClassifierID, 0, len(r.Selected)+len(picks))
+	all = append(all, r.Selected...)
+	all = append(all, picks...)
+	sol := core.NewSolution(inst, all)
+	if opts.Validate {
+		if err := inst.Verify(sol); err != nil {
+			return nil, fmt.Errorf("solver: produced invalid solution: %w", err)
+		}
+	}
+	return sol, nil
+}
+
+// Registry returns the named algorithms of the experimental study
+// (Section 6.1), general-case set. Each entry is self-contained; the
+// baselines ignore the preprocessing and WSC options.
+func Registry() map[string]Func {
+	return map[string]Func{
+		"mc3-general":       General,
+		"short-first":       ShortFirst,
+		"property-oriented": PropertyOriented,
+		"query-oriented":    QueryOriented,
+		"local-greedy":      LocalGreedy,
+	}
+}
+
+// RegistryShort returns the named algorithms for the k ≤ 2 experiments.
+func RegistryShort() map[string]Func {
+	return map[string]Func{
+		"mc3-short":         KTwo,
+		"mixed":             Mixed,
+		"property-oriented": PropertyOriented,
+		"query-oriented":    QueryOriented,
+	}
+}

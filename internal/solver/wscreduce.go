@@ -1,0 +1,93 @@
+package solver
+
+import (
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/prep"
+	"repro/internal/setcover"
+)
+
+// buildWSC reduces one residual component of a preprocessed instance to
+// Weighted Set Cover (Section 5.2): for every residual query q and every
+// still-uncovered property p ∈ q, a distinct element p_q is created; every
+// alive classifier S becomes a set covering the elements {p_q : p ∈ S, S ⊆ q}
+// at its effective cost. It returns the WSC instance plus the classifier ID
+// of every set (parallel to set indices).
+func buildWSC(r *prep.Result, comp []int) (*setcover.Instance, []core.ClassifierID) {
+	inst := r.Inst
+
+	// Number the elements: (query, uncovered bit) pairs.
+	elemBase := make(map[int]int, len(comp)) // query index → first element index
+	numElems := 0
+	// bitSlot[qi] maps a query-local bit position to its element offset
+	// within the query's range (-1 for already-covered bits).
+	bitSlot := make(map[int][]int, len(comp))
+	for _, qi := range comp {
+		L := inst.Query(qi).Len()
+		slots := make([]int, L)
+		elemBase[qi] = numElems
+		cnt := 0
+		for b := 0; b < L; b++ {
+			if r.CoveredMask[qi]&(1<<uint(b)) != 0 {
+				slots[b] = -1
+				continue
+			}
+			slots[b] = cnt
+			cnt++
+		}
+		bitSlot[qi] = slots
+		numElems += cnt
+	}
+
+	sc := setcover.New(numElems)
+	var setIDs []core.ClassifierID
+
+	// Collect alive classifiers appearing in the component's queries,
+	// deduplicated, in deterministic ID order per query scan.
+	seen := make(map[core.ClassifierID]bool)
+	var elems []int32
+	for _, qi := range comp {
+		for _, qc := range inst.QueryClassifiers(qi) {
+			id := qc.ID
+			if seen[id] || r.Removed[id] || r.SelectedSet[id] {
+				continue
+			}
+			seen[id] = true
+			elems = elems[:0]
+			// Walk every residual query containing this classifier.
+			for _, q2 := range inst.ClassifierQueries(id) {
+				if r.CoveredQuery[q2] {
+					continue
+				}
+				slots, ok := bitSlot[int(q2)]
+				if !ok {
+					continue // different component (cannot happen) or filtered
+				}
+				mask := maskOf(inst, int(q2), id)
+				for m := mask; m != 0; m &= m - 1 {
+					b := bits.TrailingZeros64(m)
+					if slots[b] >= 0 {
+						elems = append(elems, int32(elemBase[int(q2)]+slots[b]))
+					}
+				}
+			}
+			if len(elems) == 0 {
+				continue // covers nothing that still needs covering
+			}
+			sc.AddSet(elems, r.EffCost[id])
+			setIDs = append(setIDs, id)
+		}
+	}
+	return sc, setIDs
+}
+
+// maskOf returns classifier id's bitmask within query qi.
+func maskOf(inst *core.Instance, qi int, id core.ClassifierID) uint64 {
+	for _, qc := range inst.QueryClassifiers(qi) {
+		if qc.ID == id {
+			return qc.Mask
+		}
+	}
+	panic("solver: classifier not in query")
+}

@@ -1,0 +1,199 @@
+// Package textio reads and writes MC³ instances as JSON files, the exchange
+// format of the command-line tools: queries are lists of property names, and
+// classifier costs are keyed by the sorted property names joined with "|".
+// Classifiers without a listed cost get the default cost (omit the default
+// to make unlisted classifiers unavailable, mirroring the paper's treatment
+// of infinite weights).
+package textio
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// KeySep joins property names in cost keys.
+const KeySep = "|"
+
+// File is the JSON representation of an MC³ instance.
+type File struct {
+	// Queries lists the query load; each query is a list of property names.
+	Queries [][]string `json:"queries"`
+	// Costs prices classifiers, keyed by sorted property names joined with
+	// KeySep.
+	Costs map[string]float64 `json:"costs,omitempty"`
+	// UniformCost, when set, prices every classifier identically and
+	// overrides Costs/DefaultCost.
+	UniformCost *float64 `json:"uniform_cost,omitempty"`
+	// DefaultCost prices classifiers missing from Costs. Absent means
+	// unlisted classifiers are unavailable.
+	DefaultCost *float64 `json:"default_cost,omitempty"`
+	// Weights optionally assigns an importance weight per query (parallel
+	// to Queries), used by the budgeted partial-cover variant. Absent
+	// means uniform weight 1.
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// CostKey builds the canonical cost key for a set of property names.
+func CostKey(names []string) string {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, KeySep)
+}
+
+// Read parses a File from JSON.
+func Read(r io.Reader) (*File, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("textio: %w", err)
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Write serializes a File as indented JSON.
+func Write(w io.Writer, f *File) error {
+	if err := f.validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+func (f *File) validate() error {
+	if len(f.Queries) == 0 {
+		return errors.New("textio: file has no queries")
+	}
+	for i, q := range f.Queries {
+		if len(q) == 0 {
+			return fmt.Errorf("textio: query %d is empty", i)
+		}
+		for _, name := range q {
+			if name == "" {
+				return fmt.Errorf("textio: query %d has an empty property name", i)
+			}
+			if strings.Contains(name, KeySep) {
+				return fmt.Errorf("textio: property name %q contains the reserved separator %q", name, KeySep)
+			}
+		}
+	}
+	for k, c := range f.Costs {
+		if c < 0 || math.IsNaN(c) {
+			return fmt.Errorf("textio: cost %v for %q is invalid", c, k)
+		}
+	}
+	if f.UniformCost != nil && (*f.UniformCost < 0 || math.IsNaN(*f.UniformCost)) {
+		return fmt.Errorf("textio: uniform cost %v is invalid", *f.UniformCost)
+	}
+	if f.DefaultCost != nil && (*f.DefaultCost < 0 || math.IsNaN(*f.DefaultCost)) {
+		return fmt.Errorf("textio: default cost %v is invalid", *f.DefaultCost)
+	}
+	if f.Weights != nil {
+		if len(f.Weights) != len(f.Queries) {
+			return fmt.Errorf("textio: %d weights for %d queries", len(f.Weights), len(f.Queries))
+		}
+		for i, w := range f.Weights {
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("textio: weight %v for query %d is invalid", w, i)
+			}
+		}
+	}
+	return nil
+}
+
+// QueryWeights returns the per-query weights aligned with the instance
+// built by Build: duplicates of a query merge by summing their weights, in
+// first-occurrence order; absent Weights means uniform 1.
+func (f *File) QueryWeights() []float64 {
+	type slot struct {
+		idx int
+		w   float64
+	}
+	order := make(map[string]*slot, len(f.Queries))
+	var out []float64
+	u := core.NewUniverse()
+	for i, q := range f.Queries {
+		key := u.Set(q...).Key()
+		w := 1.0
+		if f.Weights != nil {
+			w = f.Weights[i]
+		}
+		if s, ok := order[key]; ok {
+			out[s.idx] += w
+			continue
+		}
+		order[key] = &slot{idx: len(out)}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Build materializes the file as an MC³ instance.
+func (f *File) Build(opts core.Options) (*core.Universe, *core.Instance, error) {
+	if err := f.validate(); err != nil {
+		return nil, nil, err
+	}
+	u := core.NewUniverse()
+	queries := make([]core.PropSet, len(f.Queries))
+	for i, q := range f.Queries {
+		queries[i] = u.Set(q...)
+	}
+
+	var cm core.CostModel
+	switch {
+	case f.UniformCost != nil:
+		cm = core.UniformCost(*f.UniformCost)
+	default:
+		def := math.Inf(1)
+		if f.DefaultCost != nil {
+			def = *f.DefaultCost
+		}
+		table := core.NewCostTable(def)
+		for key, c := range f.Costs {
+			names := strings.Split(key, KeySep)
+			table.Set(u.Set(names...), c)
+		}
+		cm = table
+	}
+
+	inst, err := core.NewInstance(u, queries, cm, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return u, inst, nil
+}
+
+// FromInstance captures an instance back into the file format, with every
+// classifier of C_Q priced explicitly.
+func FromInstance(inst *core.Instance) *File {
+	f := &File{Costs: make(map[string]float64, inst.NumClassifiers())}
+	for qi := 0; qi < inst.NumQueries(); qi++ {
+		f.Queries = append(f.Queries, inst.Universe.SetNames(inst.Query(qi)))
+	}
+	for id := 0; id < inst.NumClassifiers(); id++ {
+		cid := core.ClassifierID(id)
+		f.Costs[CostKey(inst.Universe.SetNames(inst.Classifier(cid)))] = inst.Cost(cid)
+	}
+	return f
+}
+
+// SolutionNames renders a solution as sorted lists of property names, one
+// per selected classifier.
+func SolutionNames(inst *core.Instance, sol *core.Solution) [][]string {
+	out := make([][]string, 0, len(sol.Selected))
+	for _, id := range sol.Selected {
+		out = append(out, inst.Universe.SetNames(inst.Classifier(id)))
+	}
+	return out
+}

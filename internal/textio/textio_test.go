@@ -1,0 +1,216 @@
+package textio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/solver"
+)
+
+const exampleJSON = `{
+  "queries": [
+    ["team:juventus", "color:white", "brand:adidas"],
+    ["team:chelsea", "brand:adidas"]
+  ],
+  "costs": {
+    "team:chelsea": 5,
+    "brand:adidas": 5,
+    "team:juventus": 5,
+    "color:white": 1,
+    "brand:adidas|team:chelsea": 3,
+    "brand:adidas|color:white": 5,
+    "brand:adidas|team:juventus": 3,
+    "color:white|team:juventus": 4,
+    "brand:adidas|color:white|team:juventus": 5
+  }
+}`
+
+func TestReadBuildSolve(t *testing.T) {
+	f, err := Read(strings.NewReader(exampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, inst, err := f.Build(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumQueries() != 2 || inst.NumClassifiers() != 9 {
+		t.Fatalf("parsed instance: %d queries, %d classifiers", inst.NumQueries(), inst.NumClassifiers())
+	}
+	sol, err := solver.General(inst, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 7 {
+		t.Errorf("solved file instance at cost %v, want 7", sol.Cost)
+	}
+	names := SolutionNames(inst, sol)
+	if len(names) != len(sol.Selected) {
+		t.Error("SolutionNames length mismatch")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f, err := Read(strings.NewReader(exampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, inst, err := f.Build(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := FromInstance(inst)
+	var buf bytes.Buffer
+	if err := Write(&buf, back); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, inst2, err := f2.Build(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst2.NumQueries() != inst.NumQueries() || inst2.NumClassifiers() != inst.NumClassifiers() {
+		t.Error("round trip changed the instance shape")
+	}
+	s1, _ := solver.General(inst, solver.DefaultOptions())
+	s2, _ := solver.General(inst2, solver.DefaultOptions())
+	if s1.Cost != s2.Cost {
+		t.Errorf("round trip changed solution cost: %v vs %v", s1.Cost, s2.Cost)
+	}
+}
+
+func TestUniformCost(t *testing.T) {
+	one := 1.0
+	f := &File{Queries: [][]string{{"a", "b"}}, UniformCost: &one}
+	_, inst, err := f.Build(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumClassifiers() != 3 {
+		t.Errorf("classifiers = %d, want 3", inst.NumClassifiers())
+	}
+	for id := 0; id < 3; id++ {
+		if inst.Cost(core.ClassifierID(id)) != 1 {
+			t.Error("uniform cost not applied")
+		}
+	}
+}
+
+func TestDefaultCost(t *testing.T) {
+	def := 9.0
+	f := &File{
+		Queries:     [][]string{{"a", "b"}},
+		Costs:       map[string]float64{"a": 2},
+		DefaultCost: &def,
+	}
+	u, inst, err := f.Build(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := u.Lookup("a")
+	b, _ := u.Lookup("b")
+	idA, _ := inst.ClassifierIDOf(core.NewPropSet(a))
+	idB, _ := inst.ClassifierIDOf(core.NewPropSet(b))
+	if inst.Cost(idA) != 2 || inst.Cost(idB) != 9 {
+		t.Errorf("costs: a=%v b=%v", inst.Cost(idA), inst.Cost(idB))
+	}
+}
+
+func TestNoDefaultMeansUnavailable(t *testing.T) {
+	f := &File{
+		Queries: [][]string{{"a", "b"}},
+		Costs:   map[string]float64{"a": 2, "b": 3},
+	}
+	_, inst, err := f.Build(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumClassifiers() != 2 {
+		t.Errorf("classifiers = %d, want 2 (AB unavailable)", inst.NumClassifiers())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []string{
+		`{}`,
+		`{"queries": []}`,
+		`{"queries": [[]]}`,
+		`{"queries": [[""]]}`,
+		`{"queries": [["a|b"]]}`,
+		`{"queries": [["a"]], "costs": {"a": -1}}`,
+		`{"queries": [["a"]], "uniform_cost": -2}`,
+		`{"queries": [["a"]], "default_cost": -2}`,
+		`{"queries": [["a"]], "unknown_field": 1}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) should fail", c)
+		}
+	}
+}
+
+func TestCostKeyCanonical(t *testing.T) {
+	if CostKey([]string{"b", "a"}) != "a|b" {
+		t.Error("CostKey must sort names")
+	}
+	if CostKey([]string{"x"}) != "x" {
+		t.Error("singleton key")
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &File{}); err == nil {
+		t.Error("Write must validate")
+	}
+	bad := math.Inf(1)
+	_ = bad
+}
+
+func TestWeightsValidation(t *testing.T) {
+	one := 1.0
+	bad := []string{
+		`{"queries": [["a"]], "uniform_cost": 1, "weights": [1, 2]}`,
+		`{"queries": [["a"]], "uniform_cost": 1, "weights": [-1]}`,
+	}
+	for _, c := range bad {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) should fail", c)
+		}
+	}
+	good := `{"queries": [["a"], ["a","b"]], "uniform_cost": 1, "weights": [2, 3]}`
+	f, err := Read(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := f.QueryWeights()
+	if len(w) != 2 || w[0] != 2 || w[1] != 3 {
+		t.Errorf("QueryWeights = %v", w)
+	}
+	_ = one
+}
+
+func TestQueryWeightsMergeDuplicates(t *testing.T) {
+	f := &File{
+		Queries: [][]string{{"a", "b"}, {"b", "a"}, {"c"}},
+		Weights: []float64{2, 3, 5},
+	}
+	w := f.QueryWeights()
+	// {a,b} appears twice (different order): weights merge to 5.
+	if len(w) != 2 || w[0] != 5 || w[1] != 5 {
+		t.Errorf("QueryWeights = %v, want [5 5]", w)
+	}
+	// Without weights: uniform 1, duplicates summed.
+	f2 := &File{Queries: [][]string{{"a"}, {"a"}, {"b"}}}
+	w2 := f2.QueryWeights()
+	if len(w2) != 2 || w2[0] != 2 || w2[1] != 1 {
+		t.Errorf("QueryWeights = %v, want [2 1]", w2)
+	}
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// BestBuySize is the size of the BestBuy dataset (Table 1: 1000 queries).
+const BestBuySize = 1000
+
+// bbValuesPerAttr sizes the BestBuy vocabulary (~2000 properties across 7
+// attributes): with ~1.65 properties per query on average, a 1000-query log
+// touches more distinct properties than it has queries, which is what makes
+// Query-Oriented beat Property-Oriented on this dataset (Figure 3a's
+// ordering).
+const bbValuesPerAttr = 280
+
+// BestBuy generates the simulation of the public BestBuy dataset used by
+// [13] and in the paper's Figure 3a: 1000 distinct electronics queries,
+// uniform classifier costs (1), maximum query length 4, and ≥95% of queries
+// of length ≤ 2 — the three characteristics that experiment depends on.
+//
+// The real dataset is not redistributable; see DESIGN.md ("Substitutions").
+func BestBuy(seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	u := core.NewUniverse()
+
+	attrs := expandAttrs(electronicsBase, electronicsSuffixes, bbValuesPerAttr)
+	queries := generateCategoryQueries(rng, u, attrs, BestBuySize, bbLengthDist, 0.35)
+	return &Dataset{
+		Name:     "bestbuy",
+		Universe: u,
+		Queries:  queries,
+		Costs:    core.UniformCost(1),
+		MaxCost:  1,
+	}
+}
+
+// bbLengthDist: 40% singletons, 56% pairs (96% ≤ 2), 3% triples, 1%
+// quadruples, matching the paper's "95% of its queries have up to 2
+// properties specified" and Table 1's max length 4.
+var bbLengthDist = []lengthWeight{{1, 0.40}, {2, 0.56}, {3, 0.03}, {4, 0.01}}
+
+// lengthWeight pairs a query length with its probability mass.
+type lengthWeight struct {
+	length int
+	weight float64
+}
+
+// generateCategoryQueries draws n distinct queries over an attribute
+// vocabulary: query length per dist, attributes chosen without repetition
+// (mildly Zipf-biased), one value per attribute drawn Zipf(valueSkew) so a
+// popular head shares properties across queries while a long tail keeps the
+// log realistic. Duplicate queries are redrawn (the paper's loads are
+// distinct query sets).
+func generateCategoryQueries(rng *rand.Rand, u *core.Universe, attrs []attribute, n int, dist []lengthWeight, valueSkew float64) []core.PropSet {
+	attrPicker := newZipfPicker(len(attrs), 0.8)
+	valuePickers := make([]*zipfPicker, len(attrs))
+	for i, a := range attrs {
+		valuePickers[i] = newZipfPicker(len(a.values), valueSkew)
+	}
+
+	sampleLen := func() int {
+		x := rng.Float64()
+		acc := 0.0
+		for _, lw := range dist {
+			acc += lw.weight
+			if x < acc {
+				return lw.length
+			}
+		}
+		return dist[len(dist)-1].length
+	}
+
+	seen := make(map[string]bool, n)
+	queries := make([]core.PropSet, 0, n)
+	attempts := 0
+	maxAttempts := 200 * n
+	for len(queries) < n && attempts < maxAttempts {
+		attempts++
+		l := sampleLen()
+		if l > len(attrs) {
+			l = len(attrs)
+		}
+		used := make(map[int]bool, l)
+		ids := make([]core.PropID, 0, l)
+		for len(ids) < l {
+			ai := attrPicker.pick(rng)
+			if used[ai] {
+				continue
+			}
+			used[ai] = true
+			a := attrs[ai]
+			v := a.values[valuePickers[ai].pick(rng)]
+			ids = append(ids, u.Intern(a.name+":"+v))
+		}
+		q := core.NewPropSet(ids...)
+		key := q.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		queries = append(queries, q)
+	}
+	if len(queries) < n {
+		panic("workload: could not generate enough distinct queries; vocabulary too small for requested size")
+	}
+	return queries
+}

@@ -1,0 +1,203 @@
+// Package workload provides the datasets of the paper's experimental study
+// (Section 6.1, Table 1):
+//
+//   - Synthetic: implemented verbatim from the paper — n queries whose length
+//     ℓ ≥ 2 occurs with probability 2^{1-ℓ} (capped at 10), properties drawn
+//     uniformly from a pool of n/t properties with t ~ U[2, √n], and integer
+//     classifier costs uniform in [1, 50].
+//   - BestBuy (BB): a simulation of the public 1000-query electronics
+//     dataset used by [13] — uniform costs, ≥95% of queries of length ≤ 2,
+//     max length 4.
+//   - Private (P): a simulation of the 10,000-query e-commerce dataset —
+//     three category sub-datasets (Electronics, Fashion, Home & Garden),
+//     lengths 1–6 inversely correlated with frequency, integer costs in
+//     [1, 63] where conjunction classifiers are sometimes cheaper than the
+//     sum of their parts, and a ~1000-query Fashion slice with 96% of
+//     queries of length ≤ 2.
+//
+// The real BestBuy and Private datasets are not redistributable; DESIGN.md
+// documents why these simulations preserve the properties the paper's
+// experiments depend on. All generation is deterministic in the seed, and
+// classifier costs are content-addressed (hash of the property set), so
+// every subset of a dataset prices classifiers identically.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Dataset is a generated query load with its cost model.
+type Dataset struct {
+	// Name identifies the dataset ("bestbuy", "private", "synthetic", ...).
+	Name string
+	// Universe holds the interned properties.
+	Universe *core.Universe
+	// Queries is the full query load (duplicates possible; instance
+	// construction merges them, mirroring the paper's distinct-query set).
+	Queries []core.PropSet
+	// Categories optionally labels each query with its product category
+	// (parallel to Queries; nil when the dataset has no categories).
+	Categories []string
+	// Costs prices every classifier.
+	Costs core.CostModel
+	// MaxCost is the largest finite singleton-level cost the model
+	// produces (for Table 1).
+	MaxCost float64
+}
+
+// Instance materializes the full dataset as an MC³ instance.
+func (d *Dataset) Instance() (*core.Instance, error) {
+	return core.NewInstance(d.Universe, d.Queries, d.Costs, core.Options{})
+}
+
+// SubsetInstance materializes a random m-query subset (the paper evaluates
+// each dataset at several cardinalities by random subsetting). The subset is
+// deterministic in seed.
+func (d *Dataset) SubsetInstance(m int, seed int64) (*core.Instance, error) {
+	qs, err := d.SubsetQueries(m, seed)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewInstance(d.Universe, qs, d.Costs, core.Options{})
+}
+
+// SubsetQueries returns a random m-query subset of the load.
+func (d *Dataset) SubsetQueries(m int, seed int64) ([]core.PropSet, error) {
+	if m <= 0 || m > len(d.Queries) {
+		return nil, fmt.Errorf("workload: subset size %d out of range (1..%d)", m, len(d.Queries))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(d.Queries))[:m]
+	sort.Ints(idx)
+	out := make([]core.PropSet, m)
+	for i, j := range idx {
+		out[i] = d.Queries[j]
+	}
+	return out, nil
+}
+
+// Filter returns a new Dataset restricted to queries satisfying keep
+// (receiving the query index). Categories are carried along when present.
+func (d *Dataset) Filter(name string, keep func(i int) bool) *Dataset {
+	out := &Dataset{
+		Name:     name,
+		Universe: d.Universe,
+		Costs:    d.Costs,
+		MaxCost:  d.MaxCost,
+	}
+	for i, q := range d.Queries {
+		if !keep(i) {
+			continue
+		}
+		out.Queries = append(out.Queries, q)
+		if d.Categories != nil {
+			out.Categories = append(out.Categories, d.Categories[i])
+		}
+	}
+	return out
+}
+
+// ShortSlice returns the sub-dataset of queries with length ≤ 2 (used by the
+// paper's Figure 3b, where it makes up ~80% of the Private dataset).
+func (d *Dataset) ShortSlice() *Dataset {
+	return d.Filter(d.Name+"-short", func(i int) bool { return d.Queries[i].Len() <= 2 })
+}
+
+// CategorySlice returns the sub-dataset of one category.
+func (d *Dataset) CategorySlice(cat string) *Dataset {
+	return d.Filter(d.Name+"-"+cat, func(i int) bool {
+		return d.Categories != nil && d.Categories[i] == cat
+	})
+}
+
+// MaxQueryLen returns the longest query length in the load.
+func (d *Dataset) MaxQueryLen() int {
+	m := 0
+	for _, q := range d.Queries {
+		if q.Len() > m {
+			m = q.Len()
+		}
+	}
+	return m
+}
+
+// LengthHistogram returns counts of queries per length (index = length).
+func (d *Dataset) LengthHistogram() []int {
+	h := make([]int, d.MaxQueryLen()+1)
+	for _, q := range d.Queries {
+		h[q.Len()]++
+	}
+	return h
+}
+
+// ShortFraction returns the fraction of queries with length ≤ 2.
+func (d *Dataset) ShortFraction() float64 {
+	if len(d.Queries) == 0 {
+		return 0
+	}
+	short := 0
+	for _, q := range d.Queries {
+		if q.Len() <= 2 {
+			short++
+		}
+	}
+	return float64(short) / float64(len(d.Queries))
+}
+
+// hashCost derives a deterministic pseudo-random value in [0,1) from a
+// classifier's content and a stream tag, so costs are stable across subsets
+// and reruns.
+func hashCost(seed int64, tag string, s core.PropSet) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ uint64(seed)
+	for i := 0; i < len(tag); i++ {
+		h = (h ^ uint64(tag[i])) * prime64
+	}
+	for _, id := range s {
+		h = (h ^ uint64(uint32(id))) * prime64
+		h = (h ^ (uint64(uint32(id)) >> 16)) * prime64
+	}
+	// Final avalanche (splitmix-style) to decorrelate similar sets.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
+// uniformIntCost maps a hash to an integer cost in [lo, hi].
+func uniformIntCost(seed int64, tag string, s core.PropSet, lo, hi int) float64 {
+	u := hashCost(seed, tag, s)
+	return float64(lo + int(u*float64(hi-lo+1)))
+}
+
+// zipfPicker draws indices 0..n−1 with probability proportional to
+// 1/(i+1)^s, deterministic in the provided rng.
+type zipfPicker struct {
+	cum []float64
+}
+
+func newZipfPicker(n int, s float64) *zipfPicker {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &zipfPicker{cum: cum}
+}
+
+func (z *zipfPicker) pick(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Private dataset shape (Table 1: 10,000 queries, costs 1–63, lengths 1–6),
+// split across the three product categories named in Section 6.1.
+const (
+	PrivateSize            = 10000
+	PrivateElectronicsSize = 6000
+	PrivateHomeGardenSize  = 3000
+	PrivateFashionSize     = 1000
+	PrivateCostLo          = 1
+	PrivateCostHi          = 63
+)
+
+// Vocabulary sizes (values per attribute). Sized so the 10,000-query log
+// touches properties with a mean incidence of ~2: rare enough that
+// Query-Oriented and Property-Oriented land in the same cost band (as in
+// Figure 3b) while conjunction sharing still gives MC³ its edge.
+const (
+	privateElectronicsValues = 1200
+	privateHomeGardenValues  = 800
+	privateFashionValues     = 300
+)
+
+// Category labels of the Private dataset.
+const (
+	CategoryElectronics = "electronics"
+	CategoryFashion     = "fashion"
+	CategoryHomeGarden  = "home-garden"
+)
+
+// privateLengthDist: lengths 1–6, frequency inversely correlated with
+// length (Section 6.1: "10,000 popular queries of various lengths (1 to 6)").
+var privateLengthDist = []lengthWeight{
+	{1, 0.30}, {2, 0.38}, {3, 0.17}, {4, 0.09}, {5, 0.04}, {6, 0.02},
+}
+
+// privateFashionDist: the Fashion category has ~1000 queries, "96% of which
+// are of size at most 2".
+var privateFashionDist = []lengthWeight{
+	{1, 0.40}, {2, 0.56}, {3, 0.025}, {4, 0.01}, {5, 0.004}, {6, 0.001},
+}
+
+// Private generates the simulation of the paper's private e-commerce
+// dataset: 10,000 queries across Electronics, Home & Garden, and Fashion,
+// with integer classifier costs in [1, 63] in which a conjunction classifier
+// is frequently cheaper than the sum — and occasionally cheaper than one —
+// of its parts (the paper's central cost phenomenon, Example 1.1).
+//
+// The real dataset is proprietary; see DESIGN.md ("Substitutions").
+func Private(seed int64) *Dataset {
+	return PrivateWithCostFactor(seed, PrivateFactorLo, PrivateFactorHi)
+}
+
+// Default conjunction cost-factor range of the Private dataset: a
+// conjunction costs u × (sum of its parts) with u uniform in this range.
+const (
+	PrivateFactorLo = 0.20
+	PrivateFactorHi = 0.85
+)
+
+// PrivateWithCostFactor generates the Private dataset with a custom
+// conjunction cost-factor range [lo, hi] — the knob behind the paper's
+// central "conjunctions can be cheaper" phenomenon, exposed so the
+// sensitivity of the experimental conclusions to our simulated cost model
+// can be studied (the real dataset's distribution is unobservable). lo must
+// be positive and ≤ hi.
+func PrivateWithCostFactor(seed int64, lo, hi float64) *Dataset {
+	if lo <= 0 || hi < lo {
+		panic("workload: invalid cost-factor range")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	u := core.NewUniverse()
+
+	var queries []core.PropSet
+	var cats []string
+	add := func(cat string, attrs []attribute, n int, dist []lengthWeight) {
+		qs := generateCategoryQueries(rng, u, attrs, n, dist, 0.35)
+		queries = append(queries, qs...)
+		for range qs {
+			cats = append(cats, cat)
+		}
+	}
+	add(CategoryElectronics, expandAttrs(electronicsBase, electronicsSuffixes, privateElectronicsValues), PrivateElectronicsSize, privateLengthDist)
+	add(CategoryHomeGarden, expandAttrs(homeGardenBase, homeGardenSuffixes, privateHomeGardenValues), PrivateHomeGardenSize, privateLengthDist)
+	add(CategoryFashion, expandAttrs(fashionBase, fashionSuffixes, privateFashionValues), PrivateFashionSize, privateFashionDist)
+
+	return &Dataset{
+		Name:       "private",
+		Universe:   u,
+		Queries:    queries,
+		Categories: cats,
+		Costs:      privateCosts{seed: seed, factorLo: lo, factorHi: hi},
+		MaxCost:    PrivateCostHi,
+	}
+}
+
+// privateCosts prices classifiers for the Private dataset. Singletons get a
+// content-addressed uniform cost in [1, 63]. A conjunction of ℓ > 1
+// properties costs a content-addressed factor u ∈ [0.20, 0.85] of the sum of
+// its parts (clamped to [1, 63]): usually below the sum — so sharing a
+// conjunction classifier can beat training the parts — and sometimes below
+// an individual part, reproducing the paper's "AJ cheaper than A" effect.
+type privateCosts struct {
+	seed               int64
+	factorLo, factorHi float64
+}
+
+// Cost implements core.CostModel.
+func (pc privateCosts) Cost(s core.PropSet) float64 {
+	if s.Len() == 1 {
+		return uniformIntCost(pc.seed, "private-single", s, PrivateCostLo, PrivateCostHi)
+	}
+	var sum float64
+	for _, p := range s {
+		sum += uniformIntCost(pc.seed, "private-single", core.NewPropSet(p), PrivateCostLo, PrivateCostHi)
+	}
+	u := pc.factorLo + (pc.factorHi-pc.factorLo)*hashCost(pc.seed, "private-multi", s)
+	c := math.Round(u * sum)
+	if c < PrivateCostLo {
+		c = PrivateCostLo
+	}
+	if c > PrivateCostHi {
+		c = PrivateCostHi
+	}
+	return c
+}

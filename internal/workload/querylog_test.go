@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/solver"
+)
+
+const sampleLog = `
+# soccer shirts, curated from user sessions
+team:juventus, color:white, brand:adidas
+team:chelsea, brand:adidas
+
+color:white   # a singleton query
+team:juventus, color:white, brand:adidas
+`
+
+func TestParseQueryLog(t *testing.T) {
+	u := core.NewUniverse()
+	queries, err := ParseQueryLog(strings.NewReader(sampleLog), u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 4 {
+		t.Fatalf("queries = %d, want 4 (duplicates kept)", len(queries))
+	}
+	if queries[0].Len() != 3 || queries[1].Len() != 2 || queries[2].Len() != 1 {
+		t.Errorf("query lengths wrong: %v", queries)
+	}
+	if !queries[0].Equal(queries[3]) {
+		t.Error("identical lines must parse to equal queries")
+	}
+	if u.Size() != 4 {
+		t.Errorf("universe size = %d, want 4 distinct properties", u.Size())
+	}
+}
+
+func TestParseQueryLogErrors(t *testing.T) {
+	u := core.NewUniverse()
+	if _, err := ParseQueryLog(strings.NewReader(""), u); err == nil {
+		t.Error("empty log must error")
+	}
+	if _, err := ParseQueryLog(strings.NewReader("# only comments\n"), u); err == nil {
+		t.Error("comment-only log must error")
+	}
+	if _, err := ParseQueryLog(strings.NewReader("a,,b\n"), u); err == nil {
+		t.Error("empty property must error")
+	}
+	if _, err := ParseQueryLog(strings.NewReader("a\n"), nil); err == nil {
+		t.Error("nil universe must error")
+	}
+}
+
+func TestDatasetFromLogEndToEnd(t *testing.T) {
+	d, err := DatasetFromLog("shirts", strings.NewReader(sampleLog), core.UniformCost(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxCost != 2 {
+		t.Errorf("MaxCost = %v", d.MaxCost)
+	}
+	inst, err := d.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumQueries() != 3 {
+		t.Errorf("instance queries = %d, want 3 after dedup", inst.NumQueries())
+	}
+	sol, err := solver.General(inst, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(sol); err != nil {
+		t.Fatal(err)
+	}
+	// Short slice plugs into the existing machinery.
+	short := d.ShortSlice()
+	if len(short.Queries) != 2 {
+		t.Errorf("short slice = %d queries, want 2", len(short.Queries))
+	}
+}

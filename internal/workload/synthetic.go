@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// SyntheticMaxLen is the paper's cap on synthetic query length: "Queries
+// generated with length exceeding 10 are omitted, because such long queries
+// are rare in practice".
+const SyntheticMaxLen = 10
+
+// SyntheticCostLo and SyntheticCostHi bound the synthetic classifier costs
+// ("The costs are drawn from a uniform distribution over the range [1, 50]").
+const (
+	SyntheticCostLo = 1
+	SyntheticCostHi = 50
+)
+
+// Synthetic generates the paper's synthetic dataset (Section 6.1) with n
+// queries:
+//
+//   - query length ℓ ≥ 2 with probability 2^{1-ℓ} (half the queries have
+//     length two, a quarter length three, and so on), lengths beyond 10
+//     redrawn;
+//   - properties chosen uniformly from a pool of n/t properties, with t
+//     drawn uniformly from [2, √n];
+//   - every classifier cost uniform in [1, 50], content-addressed so subsets
+//     price identically.
+//
+// The paper regenerates this dataset per experiment; pass a fresh seed for
+// that effect.
+func Synthetic(n int, seed int64) *Dataset {
+	if n < 1 {
+		panic("workload: Synthetic needs n ≥ 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	u := core.NewUniverse()
+
+	// Pool of n/t properties, t ~ U[2, √n].
+	sqrtN := int(math.Sqrt(float64(n)))
+	if sqrtN < 2 {
+		sqrtN = 2
+	}
+	t := 2
+	if sqrtN > 2 {
+		t = 2 + rng.Intn(sqrtN-1) // uniform in [2, sqrtN]
+	}
+	poolSize := n / t
+	if poolSize < SyntheticMaxLen {
+		poolSize = SyntheticMaxLen // always enough distinct properties per query
+	}
+	pool := make([]core.PropID, poolSize)
+	for i := range pool {
+		pool[i] = u.Intern(syntheticPropName(i))
+	}
+
+	queries := make([]core.PropSet, 0, n)
+	for len(queries) < n {
+		l := sampleGeometricLength(rng)
+		if l > SyntheticMaxLen {
+			continue // omitted per the paper
+		}
+		ids := make([]core.PropID, 0, l)
+		seen := make(map[core.PropID]bool, l)
+		for len(ids) < l {
+			p := pool[rng.Intn(poolSize)]
+			if !seen[p] {
+				seen[p] = true
+				ids = append(ids, p)
+			}
+		}
+		queries = append(queries, core.NewPropSet(ids...))
+	}
+
+	return &Dataset{
+		Name:     "synthetic",
+		Universe: u,
+		Queries:  queries,
+		Costs: core.CostFunc(func(s core.PropSet) float64 {
+			return uniformIntCost(seed, "synthetic", s, SyntheticCostLo, SyntheticCostHi)
+		}),
+		MaxCost: SyntheticCostHi,
+	}
+}
+
+// SyntheticShort generates a synthetic dataset restricted to queries of
+// length exactly 2 — the k = 2 workload used for Figure 3c's scalability
+// experiment on Algorithm 2 (the paper evaluates MC³[S] on the synthetic
+// generator, whose applicable slice is the length-2 queries). Pool and cost
+// mechanics match Synthetic.
+func SyntheticShort(n int, seed int64) *Dataset {
+	if n < 1 {
+		panic("workload: SyntheticShort needs n ≥ 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	u := core.NewUniverse()
+
+	sqrtN := int(math.Sqrt(float64(n)))
+	if sqrtN < 2 {
+		sqrtN = 2
+	}
+	t := 2
+	if sqrtN > 2 {
+		t = 2 + rng.Intn(sqrtN-1)
+	}
+	poolSize := n / t
+	if poolSize < 2 {
+		poolSize = 2
+	}
+	pool := make([]core.PropID, poolSize)
+	for i := range pool {
+		pool[i] = u.Intern(syntheticPropName(i))
+	}
+
+	queries := make([]core.PropSet, 0, n)
+	for len(queries) < n {
+		a := pool[rng.Intn(poolSize)]
+		b := pool[rng.Intn(poolSize)]
+		if a == b {
+			continue
+		}
+		queries = append(queries, core.NewPropSet(a, b))
+	}
+	return &Dataset{
+		Name:     "synthetic-k2",
+		Universe: u,
+		Queries:  queries,
+		Costs: core.CostFunc(func(s core.PropSet) float64 {
+			return uniformIntCost(seed, "synthetic", s, SyntheticCostLo, SyntheticCostHi)
+		}),
+		MaxCost: SyntheticCostHi,
+	}
+}
+
+// sampleGeometricLength draws ℓ ≥ 2 with P(ℓ) = 2^{1-ℓ}: ℓ = 2 with
+// probability 1/2, 3 with 1/4, and so on.
+func sampleGeometricLength(rng *rand.Rand) int {
+	l := 2
+	for rng.Intn(2) == 1 {
+		l++
+	}
+	return l
+}
+
+func syntheticPropName(i int) string {
+	// p0, p1, ... — content doesn't matter for the synthetic workload.
+	const digits = "0123456789"
+	if i == 0 {
+		return "p0"
+	}
+	var buf [12]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = digits[i%10]
+		i /= 10
+	}
+	return "p" + string(buf[pos:])
+}

@@ -1,0 +1,93 @@
+package workload
+
+import "strconv"
+
+// Attribute vocabularies for the simulated e-commerce datasets. An attribute
+// groups mutually exclusive property values ("brand:apple", "brand:samsung",
+// …); queries combine values of distinct attributes, which is what makes
+// conjunction classifiers meaningful.
+//
+// Real marketplace catalogs have thousands of values per attribute (brands,
+// teams, product lines). Each attribute here carries a curated head of
+// realistic values expanded with series/variant suffixes to a target size,
+// so that property-incidence statistics — the thing the paper's baseline
+// comparisons hinge on — resemble a production query log rather than a toy.
+
+// attribute is a named family of property values.
+type attribute struct {
+	name   string
+	values []string
+}
+
+// expandValues grows a curated value list to target entries by appending
+// suffix variants ("nike" → "nike-retro", "nike-retro2", …).
+func expandValues(base, suffixes []string, target int) []string {
+	out := make([]string, 0, target)
+	out = append(out, base...)
+	round := 0
+	for len(out) < target {
+		round++
+		for _, b := range base {
+			for _, s := range suffixes {
+				if len(out) >= target {
+					return out
+				}
+				v := b + "-" + s
+				if round > 1 {
+					v += strconv.Itoa(round)
+				}
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// expandAttrs applies expandValues to every attribute.
+func expandAttrs(attrs []attribute, suffixes []string, target int) []attribute {
+	out := make([]attribute, len(attrs))
+	for i, a := range attrs {
+		out[i] = attribute{name: a.name, values: expandValues(a.values, suffixes, target)}
+	}
+	return out
+}
+
+var electronicsSuffixes = []string{"pro", "max", "plus", "lite", "ultra", "mini", "x", "s", "se", "neo", "air", "gen2"}
+
+// electronicsBase seeds the BestBuy simulation and the Private dataset's
+// Electronics category.
+var electronicsBase = []attribute{
+	{"category", []string{"laptop", "tv", "phone", "tablet", "camera", "headphones", "monitor", "printer", "router", "speaker", "smartwatch", "console"}},
+	{"brand", []string{"samsung", "apple", "sony", "lg", "hp", "dell", "lenovo", "asus", "canon", "nikon", "bose", "microsoft", "acer", "panasonic"}},
+	{"color", []string{"black", "white", "silver", "gray", "blue", "red", "gold"}},
+	{"screen", []string{"13-inch", "15-inch", "17-inch", "24-inch", "27-inch", "32-inch", "43-inch", "55-inch", "65-inch"}},
+	{"feature", []string{"4k", "oled", "wireless", "bluetooth", "touchscreen", "gaming", "noise-cancelling", "smart", "portable", "curved"}},
+	{"storage", []string{"128gb", "256gb", "512gb", "1tb", "2tb"}},
+	{"line", []string{"galaxy", "thinkpad", "pavilion", "bravia", "xps", "ideapad", "surface", "alpha", "pixel", "omen"}},
+}
+
+var fashionSuffixes = []string{"mens", "womens", "kids", "retro", "classic", "slim", "premium", "sport", "vintage", "eco"}
+
+// fashionBase seeds the Private dataset's Fashion category (the
+// soccer-shirt example of Section 1 lives here).
+var fashionBase = []attribute{
+	{"type", []string{"shirt", "dress", "jacket", "jeans", "sneakers", "hoodie", "shorts", "skirt", "coat", "boots"}},
+	{"brand", []string{"adidas", "nike", "puma", "umbro", "zara", "levis", "gucci", "new-balance", "reebok", "under-armour"}},
+	{"color", []string{"white", "black", "red", "blue", "green", "yellow", "pink", "navy", "beige"}},
+	{"team", []string{"juventus", "chelsea", "barcelona", "real-madrid", "arsenal", "bayern", "liverpool", "cska", "milan", "ajax"}},
+	{"material", []string{"cotton", "polyester", "leather", "denim", "wool", "linen"}},
+	{"size", []string{"xs", "s", "m", "l", "xl", "xxl"}},
+	{"sleeve", []string{"long-sleeve", "short-sleeve", "sleeveless"}},
+}
+
+var homeGardenSuffixes = []string{"compact", "deluxe", "xl", "eco", "classic", "modern", "duo", "plus"}
+
+// homeGardenBase seeds the Private dataset's Home & Garden category.
+var homeGardenBase = []attribute{
+	{"item", []string{"sofa", "table", "chair", "lamp", "rug", "shelf", "bed", "desk", "mirror", "planter", "grill", "mower"}},
+	{"material", []string{"wood", "metal", "glass", "rattan", "plastic", "marble", "bamboo"}},
+	{"color", []string{"white", "black", "brown", "gray", "oak", "walnut", "green"}},
+	{"room", []string{"living-room", "bedroom", "kitchen", "office", "garden", "bathroom", "patio"}},
+	{"style", []string{"modern", "rustic", "scandinavian", "industrial", "vintage", "minimalist"}},
+	{"feature", []string{"foldable", "outdoor", "waterproof", "adjustable", "storage", "solar"}},
+}

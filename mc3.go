@@ -1,0 +1,184 @@
+// Package mc3 is a Go implementation of the MC³ problem — Minimization of
+// Classifier Construction Cost for Search Queries (Gershtein, Milo, Morami,
+// Novgorodov; SIGMOD 2020).
+//
+// Given a load of conjunctive search queries, each a set of properties, and
+// a construction-cost estimate for every binary classifier (a classifier
+// tests the conjunction of a subset of some query's properties), the MC³
+// problem asks for the cheapest set of classifiers that covers the load: a
+// query q is covered when some selected classifiers, each testing a subset
+// of q, jointly test exactly q.
+//
+// The package offers:
+//
+//   - Instance construction from queries and a cost model (the classifier
+//     universe C_Q is enumerated automatically; price classifiers at
+//     math.Inf(1) to exclude them).
+//   - Solve, which dispatches to the exact polynomial algorithm for loads
+//     whose queries have at most two properties (Algorithm 2: bipartite
+//     weighted vertex cover via max-flow) and to the approximation
+//     algorithm otherwise (Algorithm 3: weighted set cover with the
+//     min{ln I + ln(k−1) + 1, 2^{k−1}} guarantee of Theorem 5.3).
+//   - The paper's preprocessing procedure (Algorithm 1), the Short-First
+//     heuristic, the experimental baselines, and an exact branch-and-bound
+//     solver for small instances.
+//   - The multi-valued classifier extension (Section 5.3) via
+//     MergeAttributes.
+//
+// Quickstart:
+//
+//	u := mc3.NewUniverse()
+//	queries := []mc3.PropSet{
+//		u.Set("team:juventus", "color:white", "brand:adidas"),
+//		u.Set("team:chelsea", "brand:adidas"),
+//	}
+//	costs := mc3.NewCostTable(math.Inf(1))
+//	costs.Set(u.Set("brand:adidas", "team:chelsea"), 3)
+//	// ... price the remaining classifiers ...
+//	inst, err := mc3.NewInstance(u, queries, costs, mc3.InstanceOptions{})
+//	sol, err := mc3.Solve(inst, mc3.DefaultSolveOptions())
+package mc3
+
+import (
+	"repro/internal/core"
+	"repro/internal/prep"
+	"repro/internal/solver"
+)
+
+// Core model types (see package core for full documentation).
+type (
+	// Universe interns property names.
+	Universe = core.Universe
+	// PropID is an interned property identifier.
+	PropID = core.PropID
+	// PropSet is a canonical property set — a query or a classifier.
+	PropSet = core.PropSet
+	// Instance is a materialized MC³ problem.
+	Instance = core.Instance
+	// InstanceOptions configure instance construction (bounded classifier
+	// length, query-length limits, duplicate handling).
+	InstanceOptions = core.Options
+	// ClassifierID indexes a classifier within an Instance.
+	ClassifierID = core.ClassifierID
+	// Solution is a selected classifier set with its total cost.
+	Solution = core.Solution
+	// CostModel prices classifiers.
+	CostModel = core.CostModel
+	// CostFunc adapts a function to CostModel.
+	CostFunc = core.CostFunc
+	// CostTable is a map-backed CostModel.
+	CostTable = core.CostTable
+	// UniformCost prices every classifier identically.
+	UniformCost = core.UniformCost
+	// Params are the analysis parameters (incidence, frequency, degree).
+	Params = core.Params
+)
+
+// Preprocessing types (the paper's Algorithm 1).
+type (
+	// PrepLevel selects how much of the preprocessing procedure runs.
+	PrepLevel = prep.Level
+	// PrepResult is the preprocessing outcome layered over an instance.
+	PrepResult = prep.Result
+	// PrepStats counts per-step preprocessing effects.
+	PrepStats = prep.Stats
+)
+
+// Preprocessing levels.
+const (
+	// PrepMinimal performs only mandatory selections and feasibility checks.
+	PrepMinimal = prep.Minimal
+	// PrepFull runs all four steps of Algorithm 1.
+	PrepFull = prep.Full
+)
+
+// Solver configuration.
+type (
+	// SolveOptions configure the solvers.
+	SolveOptions = solver.Options
+	// WSCMethod selects Algorithm 3's internal set-cover engine(s).
+	WSCMethod = solver.WSCMethod
+	// SolverFunc is the uniform solver signature.
+	SolverFunc = solver.Func
+)
+
+// Set-cover engine choices for SolveOptions.WSC.
+const (
+	// WSCAuto runs greedy + primal-dual and keeps the cheaper result
+	// (the paper's Algorithm 3).
+	WSCAuto = solver.WSCAuto
+	// WSCGreedy runs only the Chvátal greedy algorithm.
+	WSCGreedy = solver.WSCGreedy
+	// WSCPrimalDual runs only the primal-dual f-approximation.
+	WSCPrimalDual = solver.WSCPrimalDual
+	// WSCLPRounding runs only simplex LP-relaxation rounding.
+	WSCLPRounding = solver.WSCLPRounding
+	// WSCAutoLP runs greedy + LP rounding and keeps the cheaper result.
+	WSCAutoLP = solver.WSCAutoLP
+)
+
+// NoClassifier is the invalid ClassifierID.
+const NoClassifier = core.NoClassifier
+
+// NewUniverse returns an empty property universe.
+func NewUniverse() *Universe { return core.NewUniverse() }
+
+// NewInstance materializes an MC³ instance from a query load and cost model.
+func NewInstance(u *Universe, queries []PropSet, cm CostModel, opts InstanceOptions) (*Instance, error) {
+	return core.NewInstance(u, queries, cm, opts)
+}
+
+// NewPropSet builds a canonical property set from IDs.
+func NewPropSet(ids ...PropID) PropSet { return core.NewPropSet(ids...) }
+
+// NewCostTable returns an empty cost table with the given default cost.
+func NewCostTable(def float64) *CostTable { return core.NewCostTable(def) }
+
+// Analyze computes the instance parameters used by the paper's
+// approximation bounds.
+func Analyze(inst *Instance) Params { return core.Analyze(inst) }
+
+// Preprocess runs the paper's Algorithm 1 at the given level.
+func Preprocess(inst *Instance, level PrepLevel) (*PrepResult, error) {
+	return prep.Run(inst, level)
+}
+
+// DefaultSolveOptions returns the paper's default configuration: full
+// preprocessing, Algorithm 3 = greedy + primal-dual, Dinic max-flow.
+func DefaultSolveOptions() SolveOptions { return solver.DefaultOptions() }
+
+// Solve covers the query load at (approximately) minimal cost: it runs the
+// exact polynomial Algorithm 2 when every query has at most two properties,
+// and the approximate Algorithm 3 otherwise.
+func Solve(inst *Instance, opts SolveOptions) (*Solution, error) {
+	if inst.MaxQueryLen() <= 2 {
+		return solver.KTwo(inst, opts)
+	}
+	return solver.General(inst, opts)
+}
+
+// The individual algorithms, exposed with the paper's names.
+var (
+	// SolveKTwo is Algorithm 2: exact for query length ≤ 2 (MC³[S]).
+	SolveKTwo SolverFunc = solver.KTwo
+	// SolveGeneral is Algorithm 3: the general approximation (MC³[G]).
+	SolveGeneral SolverFunc = solver.General
+	// SolveShortFirst covers length ≤ 2 queries exactly first, then the
+	// residual (the "almost k = 2" heuristic).
+	SolveShortFirst SolverFunc = solver.ShortFirst
+	// SolveExact is the branch-and-bound oracle for small instances.
+	SolveExact SolverFunc = solver.Exact
+	// PropertyOriented is the all-singletons baseline.
+	PropertyOriented SolverFunc = solver.PropertyOriented
+	// QueryOriented is the one-classifier-per-query baseline.
+	QueryOriented SolverFunc = solver.QueryOriented
+	// LocalGreedy is the per-query greedy baseline.
+	LocalGreedy SolverFunc = solver.LocalGreedy
+	// Mixed is the uniform-cost k ≤ 2 algorithm of [13].
+	Mixed SolverFunc = solver.Mixed
+)
+
+// SolvePortfolio runs every applicable algorithm (exact Algorithm 2 for
+// short loads; otherwise Algorithm 3, Short-First, and Local-Greedy) and
+// returns the cheapest valid solution.
+var SolvePortfolio SolverFunc = solver.Portfolio

@@ -1,0 +1,292 @@
+package mc3
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// exampleInstance is Example 1.1 from the paper (optimal cost 7).
+func exampleInstance(t testing.TB) (*Universe, *Instance) {
+	t.Helper()
+	u := NewUniverse()
+	queries := []PropSet{
+		u.Set("team:juventus", "color:white", "brand:adidas"),
+		u.Set("team:chelsea", "brand:adidas"),
+	}
+	costs := NewCostTable(math.Inf(1))
+	costs.Set(u.Set("team:chelsea"), 5)
+	costs.Set(u.Set("brand:adidas"), 5)
+	costs.Set(u.Set("team:juventus"), 5)
+	costs.Set(u.Set("color:white"), 1)
+	costs.Set(u.Set("brand:adidas", "team:chelsea"), 3)
+	costs.Set(u.Set("brand:adidas", "color:white"), 5)
+	costs.Set(u.Set("brand:adidas", "team:juventus"), 3)
+	costs.Set(u.Set("team:juventus", "color:white"), 4)
+	costs.Set(u.Set("team:juventus", "color:white", "brand:adidas"), 5)
+	inst, err := NewInstance(u, queries, costs, InstanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, inst
+}
+
+func TestSolveDispatchesGeneral(t *testing.T) {
+	_, inst := exampleInstance(t)
+	sol, err := Solve(inst, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 7 {
+		t.Errorf("Solve cost = %v, want 7 (the paper's optimum {AC, AJ, W})", sol.Cost)
+	}
+}
+
+func TestSolveDispatchesKTwo(t *testing.T) {
+	u := NewUniverse()
+	queries := []PropSet{u.Set("a", "b"), u.Set("b", "c")}
+	costs := NewCostTable(math.Inf(1))
+	costs.Set(u.Set("a"), 3)
+	costs.Set(u.Set("b"), 3)
+	costs.Set(u.Set("c"), 3)
+	costs.Set(u.Set("a", "b"), 4)
+	costs.Set(u.Set("b", "c"), 4)
+	inst, err := NewInstance(u, queries, costs, InstanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(inst, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact: min(AB+BC=8, A+B+C=9, AB+C=7, A+B+BC=10, ...) — AB+C? covers
+	// ab via AB, bc via B? no B... {AB, BC}=8 vs {AB,C,B?}... optimal is
+	// {B, A, C} = 9 vs {AB, BC} = 8 vs {AB, C + B?}: bc needs B+C (B not
+	// selected) or BC. {AB, BC} = 8 is optimal... or {B,A,C}=9. So 8.
+	if sol.Cost != 8 {
+		t.Errorf("Solve (k=2) cost = %v, want 8", sol.Cost)
+	}
+	if exact, err := SolveExact(inst, DefaultSolveOptions()); err != nil || exact.Cost != sol.Cost {
+		t.Errorf("exact disagrees: %v vs %v (%v)", exact.Cost, sol.Cost, err)
+	}
+}
+
+func TestAllExportedSolvers(t *testing.T) {
+	_, inst := exampleInstance(t)
+	for name, f := range map[string]SolverFunc{
+		"general":     SolveGeneral,
+		"short-first": SolveShortFirst,
+		"exact":       SolveExact,
+		"prop":        PropertyOriented,
+		"query":       QueryOriented,
+		"local":       LocalGreedy,
+	} {
+		sol, err := f(inst, DefaultSolveOptions())
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := inst.Verify(sol); err != nil {
+			t.Errorf("%s: invalid solution: %v", name, err)
+		}
+	}
+}
+
+func TestPreprocessExported(t *testing.T) {
+	_, inst := exampleInstance(t)
+	r, err := Preprocess(inst, PrepFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Step3Removed != 1 {
+		t.Errorf("Step3Removed = %d, want 1 (JAW)", r.Stats.Step3Removed)
+	}
+	if _, err := Preprocess(inst, PrepMinimal); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeExported(t *testing.T) {
+	_, inst := exampleInstance(t)
+	p := Analyze(inst)
+	if p.MaxQueryLen != 3 || p.Incidence != 2 {
+		t.Errorf("Analyze = %+v", p)
+	}
+}
+
+func TestMergeAttributes(t *testing.T) {
+	u := NewUniverse()
+	queries := []PropSet{
+		u.Set("team:juventus", "color:white", "brand:adidas"),
+		u.Set("team:chelsea", "brand:adidas"),
+	}
+	mu, merged := MergeAttributes(u, queries, AttrPrefix(":"))
+	if mu.Size() != 3 {
+		t.Fatalf("merged universe has %d attributes, want 3 (team, color, brand)", mu.Size())
+	}
+	// Queries become tcb and tb (Section 5.3's example).
+	if merged[0].Len() != 3 || merged[1].Len() != 2 {
+		t.Errorf("merged queries = %v, %v", merged[0], merged[1])
+	}
+	// The merged instance adheres to the same model: solvable as usual.
+	costs := NewCostTable(math.Inf(1))
+	team, _ := mu.Lookup("team")
+	color, _ := mu.Lookup("color")
+	brand, _ := mu.Lookup("brand")
+	costs.Set(NewPropSet(team), 10)
+	costs.Set(NewPropSet(color), 2)
+	costs.Set(NewPropSet(brand), 4)
+	costs.Set(NewPropSet(team, brand), 9)
+	inst, err := NewInstance(mu, merged, costs, InstanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(inst, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: TB (9) + C (2) = 11 beats T+C+B = 16.
+	if sol.Cost != 11 {
+		t.Errorf("merged solve cost = %v, want 11", sol.Cost)
+	}
+}
+
+func TestAttrPrefix(t *testing.T) {
+	f := AttrPrefix(":")
+	if f("color:white") != "color" || f("plain") != "plain" || f("a:b:c") != "a" {
+		t.Error("AttrPrefix misbehaves")
+	}
+}
+
+func TestSolveWithMultiValued(t *testing.T) {
+	u := NewUniverse()
+	// Two queries over two colors; a single multi-valued "color"
+	// classifier decides both color properties at once.
+	queries := []PropSet{
+		u.Set("type:shirt", "color:white"),
+		u.Set("type:dress", "color:blue"),
+	}
+	costs := NewCostTable(math.Inf(1))
+	costs.Set(u.Set("type:shirt"), 2)
+	costs.Set(u.Set("type:dress"), 2)
+	costs.Set(u.Set("color:white"), 6)
+	costs.Set(u.Set("color:blue"), 6)
+	inst, err := NewInstance(u, queries, costs, InstanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	white, _ := u.Lookup("color:white")
+	blue, _ := u.Lookup("color:blue")
+	multi := []MultiValued{{
+		Name:       "color",
+		Properties: NewPropSet(white, blue),
+		Cost:       7,
+	}}
+	sol, err := SolveWithMultiValued(inst, multi, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMultiSolution(inst, multi, sol); err != nil {
+		t.Fatal(err)
+	}
+	// Shirt(2) + dress(2) + color(7) = 11 beats binary-only 2+2+6+6 = 16.
+	if sol.Cost != 11 {
+		t.Errorf("multi-valued cost = %v, want 11", sol.Cost)
+	}
+	if len(sol.MultiValued) != 1 {
+		t.Errorf("expected the multi-valued classifier to be selected, got %v", sol.MultiValued)
+	}
+}
+
+func TestSolveWithMultiValuedIgnoresUseless(t *testing.T) {
+	u := NewUniverse()
+	queries := []PropSet{u.Set("a", "b")}
+	costs := NewCostTable(5)
+	inst, err := NewInstance(u, queries, costs, InstanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := u.Intern("unrelated")
+	multi := []MultiValued{{Name: "useless", Properties: NewPropSet(x), Cost: 1}}
+	sol, err := SolveWithMultiValued(inst, multi, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.MultiValued) != 0 {
+		t.Error("a multi-valued classifier deciding no query property must not be selected")
+	}
+	if sol.Cost != 5 {
+		t.Errorf("cost = %v, want 5 (the AB classifier)", sol.Cost)
+	}
+}
+
+func TestSolveWithMultiValuedRejectsBadCost(t *testing.T) {
+	_, inst := exampleInstance(t)
+	bad := []MultiValued{{Name: "x", Properties: NewPropSet(0), Cost: math.Inf(1)}}
+	if _, err := SolveWithMultiValued(inst, bad, DefaultSolveOptions()); err == nil {
+		t.Error("infinite multi-valued cost must be rejected")
+	}
+}
+
+func TestParseQueryLogPublicAPI(t *testing.T) {
+	log := "a,b\nb,c\nc\n"
+	u := NewUniverse()
+	queries, err := ParseQueryLog(strings.NewReader(log), u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 3 {
+		t.Fatalf("queries = %d", len(queries))
+	}
+	_, inst, err := InstanceFromQueryLog(strings.NewReader(log), UniformCost(1), InstanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(inst, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(sol); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := InstanceFromQueryLog(strings.NewReader(""), UniformCost(1), InstanceOptions{}); err == nil {
+		t.Error("empty log must error")
+	}
+}
+
+func TestSolveBudgetedPublicAPI(t *testing.T) {
+	_, inst := exampleInstance(t)
+	weights := []float64{3, 1}
+	full, err := SolveGeneral(inst, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveBudgeted(inst, weights, full.Cost, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.CoveredWeight != 4 {
+		t.Errorf("full budget must cover both queries: weight %v", sol.CoveredWeight)
+	}
+	half, err := SolveBudgeted(inst, weights, 3, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget 3 affords only AC → covers the Chelsea query (weight 1)?
+	// Ratios: q0 (weight 3) completes at min cost 7? q0 min cover = AJ+W=4
+	// or JAW=5 → 4 > 3. q1 completes at 3 (AC). So only q1 fits.
+	if half.CoveredWeight != 1 || half.Cost > 3 {
+		t.Errorf("budget 3: weight %v cost %v, want weight 1 within budget", half.CoveredWeight, half.Cost)
+	}
+	exact, err := SolveBudgetedExact(inst, weights, 3, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.CoveredWeight < half.CoveredWeight {
+		t.Error("exact cannot be worse than the heuristic")
+	}
+}

@@ -1,0 +1,67 @@
+package mc3
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/solver"
+)
+
+// Multi-valued classifier extension (Section 5.3).
+type (
+	// MultiValued describes a multi-valued classifier: one model deciding
+	// which value of an attribute an item has, acting as a binary
+	// classifier for every listed value-property at once.
+	MultiValued = solver.MultiValued
+	// MultiSolution mixes binary and multi-valued classifier selections.
+	MultiSolution = solver.MultiSolution
+)
+
+// SolveWithMultiValued extends Algorithm 3 with multi-valued classifier
+// candidates (Section 5.3): each candidate becomes an extra set in the
+// Weighted Set Cover reduction, covering every query-property it decides.
+func SolveWithMultiValued(inst *Instance, multis []MultiValued, opts SolveOptions) (*MultiSolution, error) {
+	return solver.GeneralWithMultiValued(inst, multis, opts)
+}
+
+// VerifyMultiSolution checks a mixed binary/multi-valued solution against an
+// instance.
+func VerifyMultiSolution(inst *Instance, multis []MultiValued, sol *MultiSolution) error {
+	return solver.VerifyMulti(inst, multis, sol)
+}
+
+// MergeAttributes performs the pure multi-valued transformation of
+// Section 5.3: when only multi-valued classifiers are considered, properties
+// belonging to the same attribute merge into a single attribute-level
+// property, producing a new — smaller — MC³ instance over attributes that
+// adheres to exactly the same model. attrOf maps each property name to its
+// attribute name (properties mapping to the same attribute merge).
+//
+// It returns the attribute-level universe and transformed query load; price
+// the merged instance with attribute-level classifier costs and solve it
+// with the ordinary algorithms.
+func MergeAttributes(u *Universe, queries []PropSet, attrOf func(name string) string) (*Universe, []PropSet) {
+	mu := core.NewUniverse()
+	out := make([]PropSet, len(queries))
+	for i, q := range queries {
+		ids := make([]PropID, 0, q.Len())
+		for _, p := range q {
+			ids = append(ids, mu.Intern(attrOf(u.Name(p))))
+		}
+		out[i] = core.NewPropSet(ids...)
+	}
+	return mu, out
+}
+
+// AttrPrefix returns an attrOf function for MergeAttributes that takes the
+// attribute to be everything before the first occurrence of sep in the
+// property name ("color:white" → "color" for sep ":"). Names without sep map
+// to themselves.
+func AttrPrefix(sep string) func(string) string {
+	return func(name string) string {
+		if i := strings.Index(name, sep); i >= 0 {
+			return name[:i]
+		}
+		return name
+	}
+}

@@ -1,0 +1,21 @@
+package mc3
+
+import (
+	"repro/internal/nlq"
+)
+
+// Vocabulary translates free-text queries into conjunctive property sets —
+// the front end of the paper's pipeline ("translated by the e-commerce
+// application, e.g., via NLP-based methods", Section 1). Register attribute
+// values and synonyms, then Parse user queries.
+type Vocabulary = nlq.Vocabulary
+
+// NewVocabulary returns an empty query vocabulary interning into u.
+func NewVocabulary(u *Universe) *Vocabulary { return nlq.NewVocabulary(u) }
+
+// QuerySQL renders a conjunctive property query as the SELECT statement of
+// the paper's introduction. Properties must follow the "attr:value" naming
+// convention.
+func QuerySQL(u *Universe, table string, q PropSet) (string, error) {
+	return nlq.SQL(u, table, q)
+}

@@ -1,0 +1,31 @@
+package mc3
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// ParseQueryLog reads a plain-text query log — one query per line, property
+// names separated by commas, blank lines and "#" comments ignored — and
+// interns the properties into u. Pair the result with a CostModel and
+// NewInstance to solve a real curated query load.
+func ParseQueryLog(r io.Reader, u *Universe) ([]PropSet, error) {
+	return workload.ParseQueryLog(r, u)
+}
+
+// InstanceFromQueryLog parses a query log and materializes it directly as an
+// MC³ instance under the given cost model.
+func InstanceFromQueryLog(r io.Reader, cm CostModel, opts InstanceOptions) (*Universe, *Instance, error) {
+	u := core.NewUniverse()
+	queries, err := workload.ParseQueryLog(r, u)
+	if err != nil {
+		return nil, nil, err
+	}
+	inst, err := core.NewInstance(u, queries, cm, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return u, inst, nil
+}
