@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-full experiments experiments-quick fuzz clean
+.PHONY: all build vet test test-race race check bench bench-full experiments experiments-quick fuzz clean
 
 all: build vet test
 
@@ -17,6 +17,13 @@ test:
 	$(GO) test ./...
 
 test-race:
+	$(GO) test -race ./...
+
+race: test-race
+
+# The pre-merge gate: vet plus the full test suite under the race detector.
+check:
+	$(GO) vet ./...
 	$(GO) test -race ./...
 
 # One benchmark per paper table/figure (reduced scale) + micro-benchmarks.

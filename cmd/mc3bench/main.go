@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/solver"
 )
 
 func main() {
@@ -39,6 +40,8 @@ func run(args []string, out, errw io.Writer) error {
 		repeats = fs.Int("repeats", 1, "timing repetitions (min reported)")
 		format  = fs.String("format", "text", "output format: text|csv|markdown")
 		seeds   = fs.Int("seeds", 1, "run each experiment under this many seeds and report means")
+		timeout = fs.Duration("timeout", 0, "abort any individual solve after this wall time (0 = no limit)")
+		stats   = fs.Bool("stats", false, "print accumulated solve statistics after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +70,10 @@ func run(args []string, out, errw io.Writer) error {
 		cfg = bench.Config{Seed: *seed}.Defaults()
 	}
 	cfg.Repeats = *repeats
+	cfg.Timeout = *timeout
+	if *stats {
+		cfg.Stats = new(solver.SolveStats)
+	}
 
 	runners := map[string]func(bench.Config) (*bench.Table, error){
 		"table1": bench.Table1,
@@ -134,6 +141,10 @@ func run(args []string, out, errw io.Writer) error {
 				return err
 			}
 		}
+	}
+	if cfg.Stats != nil {
+		fmt.Fprintln(out, "== solve stats (accumulated across the run) ==")
+		cfg.Stats.Render(out)
 	}
 	fmt.Fprintf(errw, "mc3bench: total %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	mc3solve -in instance.json [-algo auto] [-wsc auto] [-prep full] [-quiet]
+//	         [-timeout 500ms] [-stats]
 //
 // Algorithms: auto (exact for k ≤ 2, Algorithm 3 otherwise), ktwo, general,
 // short-first, exact, mixed, property-oriented, query-oriented, local-greedy.
@@ -48,6 +49,8 @@ func run(args []string, out io.Writer) error {
 		analyze  = fs.Bool("analyze", false, "print instance analysis and preprocessing report instead of solving")
 		budget   = fs.Float64("budget", -1, "solve the budgeted partial-cover variant with this construction budget (uses the file's query weights; default full cover)")
 		explain  = fs.Bool("explain", false, "print, per query, the classifiers assigned to answer it")
+		timeout  = fs.Duration("timeout", 0, "abort the solve after this wall time (e.g. 500ms, 2s; 0 = no limit)")
+		stats    = fs.Bool("stats", false, "print solve statistics (phase timings, components, engine choices)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +79,12 @@ func run(args []string, out io.Writer) error {
 	}
 	opts.Parallelism = *parallel
 	opts.Validate = true
+	opts.Timeout = *timeout
+	var solveStats *solver.SolveStats
+	if *stats {
+		solveStats = new(solver.SolveStats)
+		opts.Stats = solveStats
+	}
 
 	if *analyze {
 		return analyzeInstance(out, inst)
@@ -93,6 +102,9 @@ func run(args []string, out io.Writer) error {
 	sol, err := fn(inst, opts)
 	elapsed := time.Since(start)
 	if err != nil {
+		if solveStats != nil {
+			fmt.Fprint(out, solveStats)
+		}
 		return err
 	}
 
@@ -119,6 +131,11 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out)
 		ex.Render(out, inst)
+	}
+	if solveStats != nil {
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "solve stats:")
+		solveStats.Render(out)
 	}
 	return nil
 }

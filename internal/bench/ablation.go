@@ -52,7 +52,7 @@ func AblationWSC(cfg Config) (*Table, error) {
 				t.Series[i].Values = append(t.Series[i].Values, nan())
 				continue
 			}
-			opts := solver.DefaultOptions()
+			opts := cfg.SolverOptions()
 			opts.WSC = m.method
 			sol, err := solver.General(inst, opts)
 			if err != nil {
@@ -87,7 +87,7 @@ func AblationEngine(cfg Config) (*Table, error) {
 
 		var costs [3]float64
 		for i, engine := range []bipartite.Engine{bipartite.Dinic, bipartite.PushRelabel, bipartite.CapacityScaling} {
-			opts := solver.DefaultOptions()
+			opts := cfg.SolverOptions()
 			opts.Engine = engine
 			secs, sol, err := timedRun(cfg.Repeats, func() (*core.Solution, error) { return solver.KTwo(inst, opts) })
 			if err != nil {
@@ -182,7 +182,7 @@ func AblationLPPrep(cfg Config) (*Table, error) {
 		t.XValues = append(t.XValues, fmt.Sprintf("%d", n))
 
 		for i, level := range []prep.Level{prep.Full, prep.Minimal} {
-			opts := solver.DefaultOptions()
+			opts := cfg.SolverOptions()
 			opts.Prep = level
 			opts.WSC = solver.WSCAutoLP
 			secs, _, err := timedRun(cfg.Repeats, func() (*core.Solution, error) { return solver.General(inst, opts) })

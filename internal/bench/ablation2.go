@@ -43,7 +43,7 @@ func AblationBoundedK(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sol, err := solver.General(inst, solver.DefaultOptions())
+		sol, err := solver.General(inst, cfg.SolverOptions())
 		if err != nil {
 			if kPrime == 1 {
 				// Some property may lack a singleton classifier; the k'=1
@@ -91,13 +91,13 @@ func AblationApproxRatio(cfg Config) (*Table, error) {
 		if inst == nil || inst.NumClassifiers() > 40 {
 			continue
 		}
-		exact, err := solver.Exact(inst, solver.DefaultOptions())
+		exact, err := solver.Exact(inst, cfg.SolverOptions())
 		if err != nil {
 			continue
 		}
 		solved++
 		for i, a := range algos {
-			sol, err := a.fn(inst, solver.DefaultOptions())
+			sol, err := a.fn(inst, cfg.SolverOptions())
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s: %w", a.name, err)
 			}

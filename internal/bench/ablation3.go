@@ -39,7 +39,7 @@ func AblationCertifiedRatio(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		bound, err := solver.LPLowerBound(inst, solver.DefaultOptions())
+		bound, err := solver.LPLowerBound(inst, cfg.SolverOptions())
 		if err != nil {
 			return nil, fmt.Errorf("bench: LP bound at n=%d: %w", n, err)
 		}
@@ -48,7 +48,7 @@ func AblationCertifiedRatio(cfg Config) (*Table, error) {
 		}
 		t.XValues = append(t.XValues, fmt.Sprintf("%d", n))
 		for i, a := range algos {
-			sol, err := a.fn(inst, solver.DefaultOptions())
+			sol, err := a.fn(inst, cfg.SolverOptions())
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s at n=%d: %w", a.name, n, err)
 			}

@@ -20,7 +20,7 @@ func AblationBudgeted(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	full, err := solver.General(inst, solver.DefaultOptions())
+	full, err := solver.General(inst, cfg.SolverOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -39,7 +39,7 @@ func AblationBudgeted(cfg Config) (*Table, error) {
 	}
 	for _, pct := range []int{10, 25, 50, 75, 90, 100} {
 		budget := full.Cost * float64(pct) / 100
-		sol, err := solver.Budgeted(inst, weights, budget, solver.DefaultOptions())
+		sol, err := solver.Budgeted(inst, weights, budget, cfg.SolverOptions())
 		if err != nil {
 			return nil, err
 		}

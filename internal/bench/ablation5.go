@@ -44,7 +44,7 @@ func AblationCostSensitivity(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		mc3Sol, err := solver.General(inst, solver.DefaultOptions())
+		mc3Sol, err := solver.General(inst, cfg.SolverOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -54,7 +54,7 @@ func AblationCostSensitivity(cfg Config) (*Table, error) {
 			{"Query-Oriented", solver.QueryOriented},
 			{"Local-Greedy", solver.LocalGreedy},
 		} {
-			sol, err := a.fn(inst, solver.DefaultOptions())
+			sol, err := a.fn(inst, cfg.SolverOptions())
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s: %w", a.name, err)
 			}

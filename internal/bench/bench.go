@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
+
+	"repro/internal/solver"
 )
 
 // Config scales the experiment suite. The zero value is upgraded to the
@@ -30,6 +33,23 @@ type Config struct {
 	SyntheticSizes []int
 	// Repeats is the number of timing repetitions (minimum is reported).
 	Repeats int
+	// Timeout, when positive, bounds each individual solve's wall time;
+	// a solve that exceeds it fails its experiment with
+	// context.DeadlineExceeded.
+	Timeout time.Duration
+	// Stats, when non-nil, accumulates solve observability data across
+	// every solve of the run (see solver.SolveStats).
+	Stats *solver.SolveStats
+}
+
+// SolverOptions returns the paper-default solver options carrying the
+// configuration's Timeout and Stats. Experiments use this instead of
+// solver.DefaultOptions so runs can be deadline-bounded and observed.
+func (c Config) SolverOptions() solver.Options {
+	opts := solver.DefaultOptions()
+	opts.Timeout = c.Timeout
+	opts.Stats = c.Stats
+	return opts
 }
 
 // Defaults fills unset fields with the paper-scale configuration.

@@ -86,7 +86,7 @@ func Figure3a(cfg Config) (*Table, error) {
 		{"Mixed", solver.Mixed},
 		{"Query-Oriented", solver.QueryOriented},
 		{"Property-Oriented", solver.PropertyOriented},
-	}, solver.DefaultOptions(), cfg.Seed)
+	}, cfg.SolverOptions(), cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +105,7 @@ func Figure3b(cfg Config) (*Table, error) {
 		{"MC3[S]", solver.KTwo},
 		{"Query-Oriented", solver.QueryOriented},
 		{"Property-Oriented", solver.PropertyOriented},
-	}, solver.DefaultOptions(), cfg.Seed)
+	}, cfg.SolverOptions(), cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -155,14 +155,14 @@ func Figure3c(cfg Config) (*Table, error) {
 		}
 		t.XValues = append(t.XValues, fmt.Sprintf("%d", n))
 
-		withOpts := solver.DefaultOptions()
+		withOpts := cfg.SolverOptions()
 		secs, solA, err := timedRun(cfg.Repeats, func() (*core.Solution, error) { return solver.KTwo(inst, withOpts) })
 		if err != nil {
 			return nil, err
 		}
 		t.Series[0].Values = append(t.Series[0].Values, secs)
 
-		withoutOpts := solver.DefaultOptions()
+		withoutOpts := cfg.SolverOptions()
 		withoutOpts.Prep = prep.Minimal
 		secs2, solB, err := timedRun(cfg.Repeats, func() (*core.Solution, error) { return solver.KTwo(inst, withoutOpts) })
 		if err != nil {
@@ -212,7 +212,7 @@ func Figure3d(cfg Config) (*Table, error) {
 	}
 	t.XValues = append(t.XValues, fmt.Sprintf("%d (fashion)", len(fashion.Queries)))
 	for i, a := range algos {
-		sol, err := a.fn(fi, solver.DefaultOptions())
+		sol, err := a.fn(fi, cfg.SolverOptions())
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s on fashion: %w", a.name, err)
 		}
@@ -233,7 +233,7 @@ func Figure3d(cfg Config) (*Table, error) {
 		}
 		t.XValues = append(t.XValues, fmt.Sprintf("%d", m))
 		for i, a := range algos {
-			sol, err := a.fn(inst, solver.DefaultOptions())
+			sol, err := a.fn(inst, cfg.SolverOptions())
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s on P/%d: %w", a.name, m, err)
 			}
@@ -266,14 +266,14 @@ func Figure3e(cfg Config) (*Table, error) {
 		}
 		t.XValues = append(t.XValues, fmt.Sprintf("%d", n))
 
-		withOpts := solver.DefaultOptions()
+		withOpts := cfg.SolverOptions()
 		solA, err := solver.General(inst, withOpts)
 		if err != nil {
 			return nil, err
 		}
 		t.Series[0].Values = append(t.Series[0].Values, solA.Cost)
 
-		withoutOpts := solver.DefaultOptions()
+		withoutOpts := cfg.SolverOptions()
 		withoutOpts.Prep = prep.Minimal
 		solB, err := solver.General(inst, withoutOpts)
 		if err != nil {
@@ -304,14 +304,14 @@ func Figure3f(cfg Config) (*Table, error) {
 		}
 		t.XValues = append(t.XValues, fmt.Sprintf("%d", n))
 
-		withOpts := solver.DefaultOptions()
+		withOpts := cfg.SolverOptions()
 		secs, _, err := timedRun(cfg.Repeats, func() (*core.Solution, error) { return solver.General(inst, withOpts) })
 		if err != nil {
 			return nil, err
 		}
 		t.Series[0].Values = append(t.Series[0].Values, secs)
 
-		withoutOpts := solver.DefaultOptions()
+		withoutOpts := cfg.SolverOptions()
 		withoutOpts.Prep = prep.Minimal
 		secs2, _, err := timedRun(cfg.Repeats, func() (*core.Solution, error) { return solver.General(inst, withoutOpts) })
 		if err != nil {

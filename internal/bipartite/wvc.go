@@ -10,6 +10,7 @@
 package bipartite
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -91,6 +92,13 @@ func (w *WVC) NumEdges() int { return len(w.edges) }
 // membership masks and the total cover weight. It fails with ErrInfeasible if
 // some edge has infinite weight on both endpoints.
 func (w *WVC) Solve(engine Engine) (coverL, coverR []bool, weight float64, err error) {
+	return w.SolveCtx(context.Background(), engine, nil)
+}
+
+// SolveCtx is Solve with cancellation and max-flow work accounting: the
+// context is handed to the underlying engine, which checks it at phase
+// boundaries and returns ctx.Err() when it fires. A nil st skips accounting.
+func (w *WVC) SolveCtx(ctx context.Context, engine Engine, st *maxflow.Stats) (coverL, coverR []bool, weight float64, err error) {
 	nL, nR := len(w.weightL), len(w.weightR)
 	// Node layout: 0 = source, 1..nL = left, nL+1..nL+nR = right, last = sink.
 	s, t := 0, nL+nR+1
@@ -111,13 +119,16 @@ func (w *WVC) Solve(engine Engine) (coverL, coverR []bool, weight float64, err e
 
 	switch engine {
 	case Dinic:
-		weight = maxflow.Dinic(g, s, t)
+		weight, err = maxflow.DinicCtx(ctx, g, s, t, st)
 	case PushRelabel:
-		weight = maxflow.PushRelabel(g, s, t)
+		weight, err = maxflow.PushRelabelCtx(ctx, g, s, t, st)
 	case CapacityScaling:
-		weight = maxflow.CapacityScaling(g, s, t)
+		weight, err = maxflow.CapacityScalingCtx(ctx, g, s, t, st)
 	default:
 		return nil, nil, 0, fmt.Errorf("bipartite: unknown engine %v", engine)
+	}
+	if err != nil {
+		return nil, nil, 0, err
 	}
 	if math.IsInf(weight, 1) {
 		return nil, nil, 0, ErrInfeasible

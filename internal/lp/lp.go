@@ -13,6 +13,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -159,6 +160,13 @@ func (p *Problem) AddSparseConstraint(vars []int, coeffs []float64, sense Sense,
 
 // Solve runs two-phase primal simplex and returns the outcome.
 func (p *Problem) Solve() (*Solution, error) {
+	return p.SolveCtx(context.Background())
+}
+
+// SolveCtx is Solve with cancellation: the simplex loop checks the context
+// every 128 pivots and returns ctx.Err() when it fires, discarding partial
+// progress (a half-pivoted tableau is worthless to callers).
+func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	m := len(p.rows)
 	if m == 0 {
 		// Minimize c·x over x ≥ 0: x = 0 if c ≥ 0, else unbounded.
@@ -220,7 +228,11 @@ func (p *Problem) Solve() (*Solution, error) {
 	for i := 0; i < m; i++ {
 		phase1[artStart+i] = 1
 	}
-	if status := simplex(tab, basis, phase1, artStart); status == Unbounded {
+	status, err := simplex(ctx, tab, basis, phase1, artStart)
+	if err != nil {
+		return nil, err
+	}
+	if status == Unbounded {
 		// Phase-1 objective is bounded below by 0; unbounded is impossible.
 		return nil, errors.New("lp: internal error: phase 1 unbounded")
 	}
@@ -254,7 +266,11 @@ func (p *Problem) Solve() (*Solution, error) {
 	phase2 := make([]float64, nTotal)
 	copy(phase2, p.obj)
 	finalReduced := make([]float64, nTotal)
-	if status := simplexWithReduced(tab, basis, phase2, artStart, finalReduced); status == Unbounded {
+	status, err = simplexWithReduced(ctx, tab, basis, phase2, artStart, finalReduced)
+	if err != nil {
+		return nil, err
+	}
+	if status == Unbounded {
 		return &Solution{Status: Unbounded}, nil
 	}
 
@@ -297,23 +313,25 @@ func phaseValue(tab [][]float64, basis []int, obj []float64) float64 {
 }
 
 // simplex optimizes obj over the current tableau. See simplexWithReduced.
-func simplex(tab [][]float64, basis []int, obj []float64, artLimit int) Status {
-	return simplexWithReduced(tab, basis, obj, artLimit, nil)
+func simplex(ctx context.Context, tab [][]float64, basis []int, obj []float64, artLimit int) (Status, error) {
+	return simplexWithReduced(ctx, tab, basis, obj, artLimit, nil)
 }
 
 // simplexWithReduced optimizes obj over the current tableau. Columns ≥
 // artLimit are never entered (used to forbid artificials in phase 2; any
 // feasible point of the original program has them at zero, so the optimum of
 // the column-restricted program is the same). It returns Optimal or
-// Unbounded; on Optimal, if outReduced is non-nil it receives the final
-// (freshly recomputed) reduced-cost row, from which dual values derive.
+// Unbounded, or ctx.Err() if the context fires (checked every 128 pivots);
+// on Optimal, if outReduced is non-nil it receives the final (freshly
+// recomputed) reduced-cost row, from which dual values derive.
 //
 // The reduced-cost row is carried in the tableau and updated per pivot
 // (O(columns) instead of O(rows·columns) per iteration). Pivoting uses
 // Dantzig's rule (most negative reduced cost) for speed, falling back to
 // Bland's rule — which provably cannot cycle — after a long run of pivots
 // without objective improvement.
-func simplexWithReduced(tab [][]float64, basis []int, obj []float64, artLimit int, outReduced []float64) Status {
+func simplexWithReduced(ctx context.Context, tab [][]float64, basis []int, obj []float64, artLimit int, outReduced []float64) (Status, error) {
+	done := ctx.Done()
 	m := len(tab)
 	nTotal := len(tab[0]) - 1
 	limit := artLimit
@@ -348,6 +366,13 @@ func simplexWithReduced(tab [][]float64, basis []int, obj []float64, artLimit in
 	fresh := true
 
 	for iter := 0; ; iter++ {
+		if done != nil && iter&127 == 0 {
+			select {
+			case <-done:
+				return Optimal, ctx.Err()
+			default:
+			}
+		}
 		if iter > 0 && iter%4096 == 0 {
 			recompute()
 			fresh = true
@@ -374,7 +399,7 @@ func simplexWithReduced(tab [][]float64, basis []int, obj []float64, artLimit in
 				if outReduced != nil {
 					copy(outReduced, reduced[:nTotal])
 				}
-				return Optimal
+				return Optimal, nil
 			}
 			recompute()
 			fresh = true
@@ -398,7 +423,7 @@ func simplexWithReduced(tab [][]float64, basis []int, obj []float64, artLimit in
 		}
 		if leave == -1 {
 			if fresh && reduced[enter] < -1e-7 {
-				return Unbounded
+				return Unbounded, nil
 			}
 			// Either a stale row or reduced-cost noise around zero:
 			// recompute exactly and neutralize the column if its true
@@ -409,7 +434,7 @@ func simplexWithReduced(tab [][]float64, basis []int, obj []float64, artLimit in
 				reduced[enter] = 0
 				continue
 			}
-			return Unbounded
+			return Unbounded, nil
 		}
 
 		if bestRatio <= eps {

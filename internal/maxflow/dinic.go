@@ -1,6 +1,9 @@
 package maxflow
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // Dinic computes the maximum s→t flow using Dinic's blocking-flow algorithm
 // [Dinic 1970], mutating g's residual capacities. It returns the flow value.
@@ -10,9 +13,21 @@ import "math"
 // supported (they simply never saturate), which the weighted-vertex-cover
 // reduction relies on for its middle edges.
 func Dinic(g *Graph, s, t int) float64 {
+	f, _ := DinicCtx(context.Background(), g, s, t, nil)
+	return f
+}
+
+// DinicCtx is Dinic with cancellation and work accounting: the context is
+// checked once per BFS phase and once per augmenting path (both are preceded
+// by at least one graph traversal, so the check is negligible). On
+// cancellation it returns the flow pushed so far together with ctx.Err(); the
+// residual capacities then reflect a valid partial flow, not a maximum one.
+// A nil st skips accounting.
+func DinicCtx(ctx context.Context, g *Graph, s, t int, st *Stats) (float64, error) {
 	if s == t {
-		return 0
+		return 0, nil
 	}
+	done := ctx.Done()
 	level := make([]int32, g.n)
 	iter := make([]int32, g.n)
 	queue := make([]int32, 0, g.n)
@@ -64,17 +79,40 @@ func Dinic(g *Graph, s, t int) float64 {
 	}
 
 	var total float64
-	for bfs() {
+	for {
+		if done != nil {
+			select {
+			case <-done:
+				return total, ctx.Err()
+			default:
+			}
+		}
+		if !bfs() {
+			break
+		}
+		if st != nil {
+			st.Phases++
+		}
 		for i := range iter {
 			iter[i] = 0
 		}
 		for {
+			if done != nil {
+				select {
+				case <-done:
+					return total, ctx.Err()
+				default:
+				}
+			}
 			f := dfs(int32(s), math.Inf(1))
 			if f <= Eps {
 				break
 			}
+			if st != nil {
+				st.Augments++
+			}
 			total += f
 		}
 	}
-	return total
+	return total, nil
 }

@@ -1,6 +1,9 @@
 package maxflow
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // PushRelabel computes the maximum s→t flow with the FIFO push-relabel
 // algorithm (Goldberg–Tarjan) plus the gap heuristic, mutating g's residual
@@ -12,9 +15,20 @@ import "math"
 // edges to (sum of finite capacities + 1), which is unreachable by any finite
 // max flow and therefore does not change the result.
 func PushRelabel(g *Graph, s, t int) float64 {
+	f, _ := PushRelabelCtx(context.Background(), g, s, t, nil)
+	return f
+}
+
+// PushRelabelCtx is PushRelabel with cancellation and work accounting: the
+// context is checked every 256 discharge rounds. On cancellation it returns
+// the excess at t so far together with ctx.Err(); the residual capacities
+// then hold a preflow, NOT a valid flow — callers must discard the graph. A
+// nil st skips accounting.
+func PushRelabelCtx(ctx context.Context, g *Graph, s, t int, st *Stats) (float64, error) {
 	if s == t {
-		return 0
+		return 0, nil
 	}
+	done := ctx.Done()
 	n := g.n
 
 	var finiteSum float64
@@ -77,6 +91,9 @@ func PushRelabel(g *Graph, s, t int) float64 {
 	}
 
 	relabel := func(u int32) {
+		if st != nil {
+			st.Relabels++
+		}
 		old := height[u]
 		minH := int32(2*n) + 1
 		for _, e := range g.adj[u] {
@@ -125,14 +142,26 @@ func PushRelabel(g *Graph, s, t int) float64 {
 		}
 	}
 
+	rounds := 0
 	for len(active) > 0 {
+		if done != nil && rounds&255 == 0 {
+			select {
+			case <-done:
+				return excess[t], ctx.Err()
+			default:
+			}
+		}
+		rounds++
 		u := active[0]
 		active = active[1:]
 		inQueue[u] = false
+		if st != nil {
+			st.Discharges++
+		}
 		discharge(u)
 		if excess[u] > Eps && height[u] < int32(2*n) {
 			enqueue(u)
 		}
 	}
-	return excess[t]
+	return excess[t], nil
 }

@@ -1,6 +1,9 @@
 package maxflow
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // CapacityScaling computes the maximum s→t flow with the capacity-scaling
 // augmenting-path algorithm (Gabow / Edmonds–Karp scaling): augment only
@@ -13,9 +16,21 @@ import "math"
 // refs [1, 10]). Infinite capacities are supported: they never set the
 // scale and never saturate.
 func CapacityScaling(g *Graph, s, t int) float64 {
+	f, _ := CapacityScalingCtx(context.Background(), g, s, t, nil)
+	return f
+}
+
+// CapacityScalingCtx is CapacityScaling with cancellation and work
+// accounting: the context is checked once per scaling phase and once per
+// augmenting-path search (each search is a full BFS, so the check is
+// negligible). On cancellation it returns the flow pushed so far together
+// with ctx.Err(); the residual capacities then reflect a valid partial flow,
+// not a maximum one. A nil st skips accounting.
+func CapacityScalingCtx(ctx context.Context, g *Graph, s, t int, st *Stats) (float64, error) {
 	if s == t {
-		return 0
+		return 0, nil
 	}
+	done := ctx.Done()
 	maxCap := 0.0
 	for e := 0; e < len(g.cap); e += 2 {
 		if !math.IsInf(g.cap[e], 1) && g.cap[e] > maxCap {
@@ -23,7 +38,7 @@ func CapacityScaling(g *Graph, s, t int) float64 {
 		}
 	}
 	if maxCap <= Eps {
-		return 0
+		return 0, nil
 	}
 
 	parentEdge := make([]int32, g.n)
@@ -31,9 +46,16 @@ func CapacityScaling(g *Graph, s, t int) float64 {
 
 	// augmentAll pushes flow along shortest paths with bottleneck ≥ delta
 	// until none remains, returning the flow added.
-	augmentAll := func(delta float64) float64 {
+	augmentAll := func(delta float64) (float64, error) {
 		var added float64
 		for {
+			if done != nil {
+				select {
+				case <-done:
+					return added, ctx.Err()
+				default:
+				}
+			}
 			for i := range parentEdge {
 				parentEdge[i] = -1
 			}
@@ -56,7 +78,7 @@ func CapacityScaling(g *Graph, s, t int) float64 {
 				}
 			}
 			if !found {
-				return added
+				return added, nil
 			}
 			bottleneck := math.Inf(1)
 			for v := int32(t); v != int32(s); {
@@ -72,15 +94,29 @@ func CapacityScaling(g *Graph, s, t int) float64 {
 				g.cap[e^1] += bottleneck
 				v = g.to[e^1]
 			}
+			if st != nil {
+				st.Augments++
+			}
 			added += bottleneck
 		}
 	}
 
 	var total float64
 	for delta := math.Pow(2, math.Floor(math.Log2(maxCap))); delta >= 1; delta /= 2 {
-		total += augmentAll(delta)
+		if st != nil {
+			st.Phases++
+		}
+		added, err := augmentAll(delta)
+		total += added
+		if err != nil {
+			return total, err
+		}
 	}
 	// Fractional mop-up (no-op for integral capacities).
-	total += augmentAll(2 * Eps)
-	return total
+	if st != nil {
+		st.Phases++
+	}
+	added, err := augmentAll(2 * Eps)
+	total += added
+	return total, err
 }

@@ -27,6 +27,7 @@
 package prep
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -125,6 +126,13 @@ type state struct {
 	inst *core.Instance
 	r    *Result
 
+	// Cancellation bookkeeping: done/ctx feed checkpoint, which records a
+	// context error into err; the step loops bail out once err is set.
+	ctx  context.Context
+	done <-chan struct{}
+	ops  int
+	err  error
+
 	propCls map[core.PropID][]core.ClassifierID
 
 	// maskToID caches, per query, a dense mask → classifier-ID table
@@ -159,6 +167,18 @@ func (st *state) maskTable(qi int) []core.ClassifierID {
 // Run executes preprocessing at the given level. It fails if some query
 // cannot be covered by finite-cost classifiers at all.
 func Run(inst *core.Instance, level Level) (*Result, error) {
+	return RunCtx(context.Background(), inst, level)
+}
+
+// RunCtx is Run with cancellation: the step loops check the context every
+// 256 work items and return ctx.Err() when it fires, discarding the partial
+// preprocessing result.
+func RunCtx(ctx context.Context, inst *core.Instance, level Level) (*Result, error) {
+	// Fail fast on an already-dead context: small instances can otherwise
+	// finish before the first batched checkpoint fires.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := inst.NumQueries()
 	m := inst.NumClassifiers()
 	r := &Result{
@@ -173,10 +193,13 @@ func Run(inst *core.Instance, level Level) (*Result, error) {
 	for id := 0; id < m; id++ {
 		r.relCount[id] = int32(len(inst.ClassifierQueries(core.ClassifierID(id))))
 	}
-	st := &state{inst: inst, r: r}
+	st := &state{inst: inst, r: r, ctx: ctx, done: ctx.Done()}
 
 	// Feasibility: every query must be coverable by finite-cost classifiers.
 	for qi := 0; qi < n; qi++ {
+		if !st.checkpoint() {
+			return nil, st.err
+		}
 		var union uint64
 		for _, qc := range inst.QueryClassifiers(qi) {
 			union |= qc.Mask
@@ -214,8 +237,11 @@ func Run(inst *core.Instance, level Level) (*Result, error) {
 	if level == Full {
 		st.buildPropIndex()
 		st.step3()
-		if inst.MaxQueryLen() <= 2 {
+		if st.err == nil && inst.MaxQueryLen() <= 2 {
 			st.step4()
+		}
+		if st.err != nil {
+			return nil, st.err
 		}
 	}
 
@@ -530,9 +556,15 @@ func (st *state) step3() {
 		return len(queryQueue) > 0
 	}
 	for pending() {
+		if st.err != nil {
+			return
+		}
 		// Drain classifier examinations in increasing length order.
 		for l := 2; l <= maxLen; l++ {
 			for len(buckets[l]) > 0 {
+				if !st.checkpoint() {
+					return
+				}
 				id := buckets[l][len(buckets[l])-1]
 				buckets[l] = buckets[l][:len(buckets[l])-1]
 				inQueue[id] = false
@@ -547,6 +579,9 @@ func (st *state) step3() {
 		checks := queryQueue
 		queryQueue = nil
 		for _, qi := range checks {
+			if !st.checkpoint() {
+				return
+			}
 			queryCheck[qi] = false
 			if r.CoveredQuery[qi] {
 				continue
@@ -589,6 +624,9 @@ func (st *state) step4() {
 	}
 
 	for len(queue) > 0 {
+		if !st.checkpoint() {
+			return
+		}
 		p := queue[0]
 		queue = queue[1:]
 		inQueue[p] = false
@@ -659,4 +697,23 @@ func (st *state) step4() {
 // query.
 func (st *state) relevantNow(id core.ClassifierID) bool {
 	return st.r.relCount[id] > 0
+}
+
+// checkpoint reports whether work may continue: it polls the context every
+// 256 calls (cheap enough for per-item use in the step loops) and records
+// ctx.Err() into st.err once the context fires.
+func (st *state) checkpoint() bool {
+	if st.err != nil {
+		return false
+	}
+	st.ops++
+	if st.done != nil && st.ops&255 == 0 {
+		select {
+		case <-st.done:
+			st.err = st.ctx.Err()
+			return false
+		default:
+		}
+	}
+	return true
 }

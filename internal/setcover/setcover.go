@@ -10,6 +10,7 @@ package setcover
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
@@ -153,9 +154,17 @@ func (h *greedyHeap) Pop() interface{} {
 // entry stays correct), giving the O(log m · Σ|s|) bound of [9]. The
 // approximation factor is H(Δ) ≤ ln Δ + 1.
 func (in *Instance) Greedy() ([]int, float64, error) {
+	return in.GreedyCtx(context.Background())
+}
+
+// GreedyCtx is Greedy with cancellation: the selection loop checks the
+// context every 256 heap pops and returns ctx.Err() when it fires,
+// discarding the partial cover.
+func (in *Instance) GreedyCtx(ctx context.Context) ([]int, float64, error) {
 	if err := in.checkCoverable(); err != nil {
 		return nil, 0, err
 	}
+	done := ctx.Done()
 	covered := make([]bool, in.numElements)
 	h := make(greedyHeap, 0, len(in.sets))
 	for s, elems := range in.sets {
@@ -168,7 +177,14 @@ func (in *Instance) Greedy() ([]int, float64, error) {
 	remaining := in.numElements
 	var picked []int
 	var total float64
-	for remaining > 0 {
+	for pops := 0; remaining > 0; pops++ {
+		if done != nil && pops&255 == 0 {
+			select {
+			case <-done:
+				return nil, 0, ctx.Err()
+			default:
+			}
+		}
 		if h.Len() == 0 {
 			return nil, 0, fmt.Errorf("setcover: internal error: queue drained with %d elements uncovered", remaining)
 		}
@@ -211,15 +227,29 @@ func (in *Instance) Greedy() ([]int, float64, error) {
 // Theorem 2.6 without solving an LP. A reverse-delete pass then drops
 // redundant selected sets (feasibility-preserving, so the guarantee stands).
 func (in *Instance) PrimalDual() ([]int, float64, error) {
+	return in.PrimalDualCtx(context.Background())
+}
+
+// PrimalDualCtx is PrimalDual with cancellation: the element loop checks the
+// context every 1024 elements and returns ctx.Err() when it fires.
+func (in *Instance) PrimalDualCtx(ctx context.Context) ([]int, float64, error) {
 	if err := in.checkCoverable(); err != nil {
 		return nil, 0, err
 	}
+	done := ctx.Done()
 	residual := append([]float64(nil), in.costs...)
 	tight := make([]bool, len(in.sets))
 	covered := make([]bool, in.numElements)
 
 	var picked []int
 	for e := 0; e < in.numElements; e++ {
+		if done != nil && e&1023 == 0 {
+			select {
+			case <-done:
+				return nil, 0, ctx.Err()
+			default:
+			}
+		}
 		if covered[e] {
 			continue
 		}
@@ -393,6 +423,12 @@ func (in *Instance) DualCertificate() (float64, []float64, error) {
 // (Vazirani [50]). It is exponential-free but dense: intended for instances
 // up to a few thousand sets; use PrimalDual beyond that.
 func (in *Instance) LPRounding() ([]int, float64, error) {
+	return in.LPRoundingCtx(context.Background())
+}
+
+// LPRoundingCtx is LPRounding with cancellation: the context is handed to
+// the underlying simplex solver, which checks it between pivots.
+func (in *Instance) LPRoundingCtx(ctx context.Context) ([]int, float64, error) {
 	if err := in.checkCoverable(); err != nil {
 		return nil, 0, err
 	}
@@ -418,7 +454,7 @@ func (in *Instance) LPRounding() ([]int, float64, error) {
 			return nil, 0, err
 		}
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveCtx(ctx)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -19,10 +19,22 @@ const ExactLimit = 64
 // covers of each query's still-uncovered properties, and prunes branches
 // whose accumulated cost reaches the incumbent. Exponential in the worst
 // case; rejects instances with more than ExactLimit classifiers.
+//
+// Honors opts.Context / opts.Timeout with a checkpoint every 1024
+// branch-and-bound nodes; on cancellation the partial search is discarded
+// and ctx.Err() is returned.
 func Exact(inst *core.Instance, opts Options) (*core.Solution, error) {
 	if inst.NumClassifiers() > ExactLimit {
 		return nil, fmt.Errorf("solver: Exact limited to %d classifiers, instance has %d", ExactLimit, inst.NumClassifiers())
 	}
+	ctx, cancelTimeout, opts := opts.solveContext()
+	defer cancelTimeout()
+	// Fail fast if the context is already dead: tiny searches can finish
+	// before the first per-1024-nodes checkpoint.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	done := ctx.Done()
 
 	n := inst.NumQueries()
 	eff := append([]float64(nil), inst.Costs()...)
@@ -56,13 +68,18 @@ func Exact(inst *core.Instance, opts Options) (*core.Solution, error) {
 		return m
 	}
 
+	// stopErr aborts the search once set; nodes counts visited search nodes
+	// so the context is polled only every 1024th node.
+	var stopErr error
+	nodes := 0
+
 	var dfsQuery func(oi int, cost float64)
 	// dfsCover covers the remaining bits of query qi, then continues with
 	// the next query.
 	var dfsCover func(oi, qi int, have uint64, cost float64)
 
 	dfsQuery = func(oi int, cost float64) {
-		if cost >= best {
+		if stopErr != nil || cost >= best {
 			return
 		}
 		if oi == n {
@@ -75,7 +92,15 @@ func Exact(inst *core.Instance, opts Options) (*core.Solution, error) {
 	}
 
 	dfsCover = func(oi, qi int, have uint64, cost float64) {
-		if cost >= best {
+		nodes++
+		if done != nil && nodes&1023 == 0 {
+			select {
+			case <-done:
+				stopErr = ctx.Err()
+			default:
+			}
+		}
+		if stopErr != nil || cost >= best {
 			return
 		}
 		full := inst.FullMask(qi)
@@ -98,6 +123,9 @@ func Exact(inst *core.Instance, opts Options) (*core.Solution, error) {
 	}
 
 	dfsQuery(0, 0)
+	if stopErr != nil {
+		return nil, stopErr
+	}
 	if math.IsInf(best, 1) {
 		return nil, fmt.Errorf("solver: instance is infeasible")
 	}

@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -12,12 +14,29 @@ import (
 // component, then the greedy algorithm and the f-approximate algorithm with
 // the cheaper output kept. The approximation guarantee is
 // min{ln I + ln(k−1) + 1, 2^{k−1}} (Theorem 5.3).
+//
+// Honors opts.Context / opts.Timeout (cancellation checkpoints in
+// preprocessing, component dispatch, and every set-cover engine) and
+// populates opts.Stats when attached.
 func General(inst *core.Instance, opts Options) (*core.Solution, error) {
-	r, err := prep.Run(inst, opts.Prep)
+	ctx, cancelTimeout, opts := opts.solveContext()
+	defer cancelTimeout()
+	tr := startTracking(opts.Stats, "mc3-general")
+	sol, err := generalWithCtx(ctx, inst, opts, tr)
+	tr.finish(err)
+	return sol, err
+}
+
+// generalWithCtx is General's body, split out so the tracker can observe the
+// final error uniformly.
+func generalWithCtx(ctx context.Context, inst *core.Instance, opts Options, tr *tracker) (*core.Solution, error) {
+	r, err := prep.RunCtx(ctx, inst, opts.Prep)
+	tr.prepDone(r)
 	if err != nil {
 		return nil, err
 	}
-	picks, err := generalResidual(r, opts)
+	picks, engines, err := generalResidual(ctx, r, opts)
+	tr.wscEngines(engines)
 	if err != nil {
 		return nil, err
 	}
@@ -25,32 +44,38 @@ func General(inst *core.Instance, opts Options) (*core.Solution, error) {
 }
 
 // generalResidual covers the residual of a preprocessed instance and returns
-// the picked classifier IDs (preprocessing selections not included).
-// Components are independent (Observation 3.2) and solved concurrently when
-// opts.Parallelism allows; the concatenation order is fixed, so the result
-// is deterministic.
-func generalResidual(r *prep.Result, opts Options) ([]core.ClassifierID, error) {
+// the picked classifier IDs (preprocessing selections not included) together
+// with the winning set-cover engine per component ("" for components that
+// needed no cover run). Components are independent (Observation 3.2) and
+// solved concurrently when opts.Parallelism allows; the concatenation order
+// is fixed, so the result is deterministic.
+func generalResidual(ctx context.Context, r *prep.Result, opts Options) ([]core.ClassifierID, []string, error) {
 	perComp := make([][]core.ClassifierID, len(r.Components))
-	err := forEachComponent(len(r.Components), opts.Parallelism, func(ci int) error {
+	engines := make([]string, len(r.Components))
+	err := forEachComponent(ctx, len(r.Components), opts.Parallelism, func(ci int) error {
 		sc, setIDs := buildWSC(r, r.Components[ci])
 		if sc.NumElements() == 0 {
 			return nil
 		}
-		sets, _, err := runWSC(sc, opts.WSC)
+		sets, _, engine, err := runWSC(ctx, sc, opts.WSC)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
 			return fmt.Errorf("solver: WSC failed on component: %w", err)
 		}
+		engines[ci] = engine
 		for _, s := range sets {
 			perComp[ci] = append(perComp[ci], setIDs[s])
 		}
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var picks []core.ClassifierID
 	for _, p := range perComp {
 		picks = append(picks, p...)
 	}
-	return picks, nil
+	return picks, engines, nil
 }

@@ -1,11 +1,14 @@
 package solver
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/bipartite"
 	"repro/internal/core"
+	"repro/internal/maxflow"
 	"repro/internal/prep"
 )
 
@@ -15,15 +18,32 @@ import (
 // Weighted Vertex Cover (singleton classifiers on the left, length-2
 // classifiers on the right, two edges per query), solved exactly through
 // Max-Flow.
+//
+// Honors opts.Context / opts.Timeout (cancellation checkpoints in
+// preprocessing, component dispatch, and the max-flow engines) and populates
+// opts.Stats when attached.
 func KTwo(inst *core.Instance, opts Options) (*core.Solution, error) {
 	if inst.MaxQueryLen() > 2 {
 		return nil, fmt.Errorf("solver: KTwo requires max query length ≤ 2, instance has %d", inst.MaxQueryLen())
 	}
-	r, err := prep.Run(inst, opts.Prep)
+	ctx, cancelTimeout, opts := opts.solveContext()
+	defer cancelTimeout()
+	tr := startTracking(opts.Stats, "mc3-short")
+	sol, err := ktwoWithCtx(ctx, inst, opts, tr)
+	tr.finish(err)
+	return sol, err
+}
+
+// ktwoWithCtx is KTwo's body, split out so the tracker can observe the final
+// error uniformly.
+func ktwoWithCtx(ctx context.Context, inst *core.Instance, opts Options, tr *tracker) (*core.Solution, error) {
+	r, err := prep.RunCtx(ctx, inst, opts.Prep)
+	tr.prepDone(r)
 	if err != nil {
 		return nil, err
 	}
-	picks, err := ktwoResidual(r, opts)
+	picks, mf, err := ktwoResidual(ctx, r, opts)
+	tr.addMaxflow(mf)
 	if err != nil {
 		return nil, err
 	}
@@ -31,13 +51,14 @@ func KTwo(inst *core.Instance, opts Options) (*core.Solution, error) {
 }
 
 // ktwoResidual solves the residual of a preprocessed k ≤ 2 instance exactly
-// and returns the picked classifier IDs. Independent components run
-// concurrently when opts.Parallelism allows; concatenation order is fixed,
-// so the result is deterministic.
-func ktwoResidual(r *prep.Result, opts Options) ([]core.ClassifierID, error) {
+// and returns the picked classifier IDs plus the summed max-flow work across
+// components. Independent components run concurrently when opts.Parallelism
+// allows; concatenation order is fixed, so the result is deterministic.
+func ktwoResidual(ctx context.Context, r *prep.Result, opts Options) ([]core.ClassifierID, maxflow.Stats, error) {
 	inst := r.Inst
 	perComp := make([][]core.ClassifierID, len(r.Components))
-	err := forEachComponent(len(r.Components), opts.Parallelism, func(ci int) error {
+	mfs := make([]maxflow.Stats, len(r.Components))
+	err := forEachComponent(ctx, len(r.Components), opts.Parallelism, func(ci int) error {
 		comp := r.Components[ci]
 		// Left: one node per property in the component (its singleton
 		// classifier, or a +Inf placeholder when that classifier is absent
@@ -97,8 +118,11 @@ func ktwoResidual(r *prep.Result, opts Options) ([]core.ClassifierID, error) {
 				return err
 			}
 		}
-		coverL, coverR, _, err := wvc.Solve(opts.Engine)
+		coverL, coverR, _, err := wvc.SolveCtx(ctx, opts.Engine, &mfs[ci])
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
 			return fmt.Errorf("solver: component infeasible: %w", err)
 		}
 		for i, in := range coverL {
@@ -121,12 +145,16 @@ func ktwoResidual(r *prep.Result, opts Options) ([]core.ClassifierID, error) {
 		}
 		return nil
 	})
+	var mf maxflow.Stats
+	for i := range mfs {
+		mf.Add(mfs[i])
+	}
 	if err != nil {
-		return nil, err
+		return nil, mf, err
 	}
 	var picks []core.ClassifierID
 	for _, p := range perComp {
 		picks = append(picks, p...)
 	}
-	return picks, nil
+	return picks, mf, nil
 }

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -51,7 +52,9 @@ func GeneralWithMultiValued(inst *core.Instance, multis []MultiValued, opts Opti
 		}
 	}
 	opts.Prep = prep.Minimal
-	r, err := prep.Run(inst, opts.Prep)
+	ctx, cancelTimeout, opts := opts.solveContext()
+	defer cancelTimeout()
+	r, err := prep.RunCtx(ctx, inst, opts.Prep)
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +71,7 @@ func GeneralWithMultiValued(inst *core.Instance, multis []MultiValued, opts Opti
 		// uncovered bits in query order. Recreate it to attach multi sets.
 		multiSets := addMultiValuedSets(r, comp, sc, multis)
 
-		sets, _, err := runWSC(sc, opts.WSC)
+		sets, _, _, err := runWSC(ctx, sc, opts.WSC)
 		if err != nil {
 			return nil, err
 		}
@@ -155,43 +158,45 @@ func addMultiValuedSets(r *prep.Result, comp []int, sc *setcover.Instance, multi
 	return added
 }
 
-// runWSC executes the configured set-cover method(s) and returns the
-// cheapest result.
-func runWSC(sc *setcover.Instance, method WSCMethod) ([]int, float64, error) {
+// runWSC executes the configured set-cover method(s) under ctx and returns
+// the cheapest result plus the name of the engine that produced it
+// ("greedy", "primal-dual", or "lp-rounding").
+func runWSC(ctx context.Context, sc *setcover.Instance, method WSCMethod) ([]int, float64, string, error) {
 	type outcome struct {
 		sets []int
 		cost float64
+		name string
 	}
 	var results []outcome
-	run := func(f func() ([]int, float64, error)) error {
-		sets, cost, err := f()
+	run := func(name string, f func(context.Context) ([]int, float64, error)) error {
+		sets, cost, err := f(ctx)
 		if err != nil {
 			return err
 		}
-		results = append(results, outcome{sets, cost})
+		results = append(results, outcome{sets, cost, name})
 		return nil
 	}
 	var err error
 	switch method {
 	case WSCAuto:
-		if err = run(sc.Greedy); err == nil {
-			err = run(sc.PrimalDual)
+		if err = run("greedy", sc.GreedyCtx); err == nil {
+			err = run("primal-dual", sc.PrimalDualCtx)
 		}
 	case WSCGreedy:
-		err = run(sc.Greedy)
+		err = run("greedy", sc.GreedyCtx)
 	case WSCPrimalDual:
-		err = run(sc.PrimalDual)
+		err = run("primal-dual", sc.PrimalDualCtx)
 	case WSCLPRounding:
-		err = run(sc.LPRounding)
+		err = run("lp-rounding", sc.LPRoundingCtx)
 	case WSCAutoLP:
-		if err = run(sc.Greedy); err == nil {
-			err = run(sc.LPRounding)
+		if err = run("greedy", sc.GreedyCtx); err == nil {
+			err = run("lp-rounding", sc.LPRoundingCtx)
 		}
 	default:
 		err = fmt.Errorf("solver: unknown WSC method %v", method)
 	}
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, "", err
 	}
 	best := 0
 	for i := 1; i < len(results); i++ {
@@ -199,7 +204,7 @@ func runWSC(sc *setcover.Instance, method WSCMethod) ([]int, float64, error) {
 			best = i
 		}
 	}
-	return results[best].sets, results[best].cost, nil
+	return results[best].sets, results[best].cost, results[best].name, nil
 }
 
 // VerifyMulti checks that a mixed binary/multi-valued solution covers every

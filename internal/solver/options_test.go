@@ -1,0 +1,29 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/prep"
+)
+
+// TestDefaultOptionsMatchesDocumentation pins DefaultOptions to what its doc
+// comment (and the Options doc) promises: full preprocessing, Algorithm 3 =
+// greedy + primal-dual, Dinic max-flow, serial solving, no validation, no
+// deadline, no stats.
+func TestDefaultOptionsMatchesDocumentation(t *testing.T) {
+	got := DefaultOptions()
+	want := Options{Prep: prep.Full, WSC: WSCAuto, Engine: bipartite.Dinic}
+	if got != want {
+		t.Errorf("DefaultOptions() = %+v, want %+v", got, want)
+	}
+	if got.Context != nil || got.Timeout != 0 || got.Stats != nil {
+		t.Errorf("DefaultOptions() must not set Context/Timeout/Stats, got %+v", got)
+	}
+	// The Options doc explicitly warns that the zero value is NOT the
+	// paper's defaults because zero Prep is prep.Minimal. Keep the warning
+	// honest: if these ever coincide, the doc comment must change.
+	if (Options{}).Prep == got.Prep {
+		t.Error("zero-value Prep equals the paper default; the Options doc warning is stale")
+	}
+}

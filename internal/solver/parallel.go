@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,15 +13,42 @@ import (
 // decomposition "allows us to solve all sub-instances in parallel"
 // (Section 3). Results must be written by fn into per-index slots so the
 // final concatenation is deterministic regardless of scheduling.
-func forEachComponent(n, parallelism int, fn func(i int) error) error {
+//
+// The first error recorded (from fn, from a recovered fn panic, or from ctx
+// firing) stops dispatch: indices not yet handed to a worker are never run.
+// In-flight fn calls are not interrupted beyond their own ctx checkpoints.
+// Context errors are returned bare, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) hold for callers; fn errors are
+// wrapped with component context.
+func forEachComponent(ctx context.Context, n, parallelism int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := ctx.Done()
+	call := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("solver: component %d panicked: %v", i, r)
+			}
+		}()
+		return fn(i)
+	}
+
 	workers := parallelism
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
+			if err := call(i); err != nil {
+				return componentErr(err)
 			}
 		}
 		return nil
@@ -33,29 +62,51 @@ func forEachComponent(n, parallelism int, fn func(i int) error) error {
 		mu       sync.Mutex
 		firstErr error
 	)
+	failed := make(chan struct{})
+	record := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			close(failed)
+		}
+		mu.Unlock()
+	}
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+				if err := call(i); err != nil {
+					record(err)
 				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-failed:
+			break dispatch
+		case <-done:
+			record(ctx.Err())
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
 	if firstErr != nil {
-		return fmt.Errorf("solver: component failed: %w", firstErr)
+		return componentErr(firstErr)
 	}
 	return nil
+}
+
+// componentErr wraps a component failure, except for bare context errors,
+// which pass through so callers can match them with errors.Is.
+func componentErr(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return fmt.Errorf("solver: component failed: %w", err)
 }

@@ -1,11 +1,14 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -13,7 +16,7 @@ import (
 func TestForEachComponentSerialAndParallel(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 4, -1} {
 		var count int64
-		err := forEachComponent(20, workers, func(i int) error {
+		err := forEachComponent(context.Background(), 20, workers, func(i int) error {
 			atomic.AddInt64(&count, 1)
 			return nil
 		})
@@ -29,7 +32,7 @@ func TestForEachComponentSerialAndParallel(t *testing.T) {
 func TestForEachComponentPropagatesError(t *testing.T) {
 	sentinel := errors.New("boom")
 	for _, workers := range []int{1, 4} {
-		err := forEachComponent(10, workers, func(i int) error {
+		err := forEachComponent(context.Background(), 10, workers, func(i int) error {
 			if i == 7 {
 				return sentinel
 			}
@@ -45,8 +48,59 @@ func TestForEachComponentPropagatesError(t *testing.T) {
 }
 
 func TestForEachComponentEmpty(t *testing.T) {
-	if err := forEachComponent(0, 8, func(int) error { return nil }); err != nil {
+	if err := forEachComponent(context.Background(), 0, 8, func(int) error { return nil }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestForEachComponentStopsDispatchAfterError(t *testing.T) {
+	sentinel := errors.New("boom")
+	var ran int64
+	err := forEachComponent(context.Background(), 1000, 4, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 3 {
+			return sentinel
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if n := atomic.LoadInt64(&ran); n >= 1000 {
+		t.Errorf("dispatch did not stop after the error: ran all %d components", n)
+	}
+}
+
+func TestForEachComponentRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := forEachComponent(context.Background(), 10, workers, func(i int) error {
+			if i == 2 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Errorf("workers=%d: err = %v, want recovered panic", workers, err)
+		}
+	}
+}
+
+func TestForEachComponentCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran int64
+		err := forEachComponent(ctx, 100, workers, func(i int) error {
+			atomic.AddInt64(&ran, 1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := atomic.LoadInt64(&ran); n != 0 {
+			t.Errorf("workers=%d: ran %d components under a dead context", workers, n)
+		}
 	}
 }
 

@@ -1,9 +1,11 @@
 package solver
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/prep"
 )
 
 // Portfolio runs every applicable algorithm and returns the cheapest valid
@@ -12,42 +14,97 @@ import (
 // short (in which case nothing can beat it and nothing else runs),
 // otherwise Algorithm 3, Short-First, and Local-Greedy side by side.
 //
+// Preprocessing runs once and is shared by the k ≤ 2 path and the
+// mc3-general candidate (Short-First preprocesses its own per-phase
+// sub-instances — that is inherent to the algorithm). If every candidate
+// fails, the errors are all reported, joined via errors.Join.
+//
 // The extra work is bounded (each algorithm is near-linear for constant k),
 // and the result is deterministic: ties break in the fixed order below.
+// Honors opts.Context / opts.Timeout — one deadline spans all candidates,
+// and candidates are skipped once it fires (the best solution found before
+// that, if any, is still returned). opts.Stats records under "portfolio"
+// with Winner naming the kept candidate.
 func Portfolio(inst *core.Instance, opts Options) (*core.Solution, error) {
+	ctx, cancelTimeout, opts := opts.solveContext()
+	defer cancelTimeout()
+	tr := startTracking(opts.Stats, "portfolio")
+
+	// Preprocess once; every in-process candidate builds on this result.
+	r, err := prep.RunCtx(ctx, inst, opts.Prep)
+	tr.prepDone(r)
+	if err != nil {
+		tr.finish(err)
+		return nil, err
+	}
+
 	if inst.MaxQueryLen() <= 2 {
-		return KTwo(inst, opts) // exact: no portfolio can improve on it
+		// Exact: no portfolio can improve on it, so nothing else runs.
+		picks, mf, err := ktwoResidual(ctx, r, opts)
+		tr.addMaxflow(mf)
+		if err != nil {
+			tr.finish(err)
+			return nil, err
+		}
+		sol, err := assemble(inst, r, picks, opts)
+		tr.finish(err)
+		if err == nil {
+			opts.Stats.setWinner("mc3-short")
+		}
+		return sol, err
 	}
 
 	candidates := []struct {
 		name string
-		fn   Func
+		run  func() (*core.Solution, error)
 	}{
-		{"mc3-general", General},
-		{"short-first", ShortFirst},
-		{"local-greedy", LocalGreedy},
-	}
-	var best *core.Solution
-	var firstErr error
-	for _, c := range candidates {
-		sol, err := c.fn(inst, opts)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("solver: portfolio %s: %w", c.name, err)
+		{"mc3-general", func() (*core.Solution, error) {
+			picks, engines, err := generalResidual(ctx, r, opts)
+			tr.wscEngines(engines)
+			if err != nil {
+				return nil, err
 			}
+			return assemble(inst, r, picks, opts)
+		}},
+		// shortFirstPhases / LocalGreedy receive opts with the resolved
+		// context, so they share the portfolio's deadline.
+		{"short-first", func() (*core.Solution, error) { return shortFirstPhases(inst, opts) }},
+		{"local-greedy", func() (*core.Solution, error) { return LocalGreedy(inst, opts) }},
+	}
+
+	var best *core.Solution
+	var winner string
+	var errs []error
+	for _, c := range candidates {
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, fmt.Errorf("solver: portfolio %s skipped: %w", c.name, err))
+			break
+		}
+		sol, err := c.run()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("solver: portfolio %s: %w", c.name, err))
 			continue
 		}
 		if best == nil || sol.Cost < best.Cost {
 			best = sol
+			winner = c.name
 		}
 	}
 	if best == nil {
-		return nil, firstErr
+		err := errors.Join(errs...)
+		tr.finish(err)
+		return nil, err
 	}
 	if opts.Validate {
 		if err := inst.Verify(best); err != nil {
+			tr.finish(err)
 			return nil, err
 		}
 	}
+	// ctx.Err() is nil on a full run; when the deadline cut candidates
+	// short, the stats record the cancellation even though a solution is
+	// still returned.
+	tr.finish(ctx.Err())
+	opts.Stats.setWinner(winner)
 	return best, nil
 }

@@ -12,7 +12,24 @@ import (
 // the residual problem (the longer queries), with the already-selected
 // classifiers priced at zero. It shines when short queries dominate the load
 // (the paper's fashion category: 96% of queries have length ≤ 2).
+//
+// Honors opts.Context / opts.Timeout; the timeout is resolved once here, so
+// both phases share a single deadline. When opts.Stats is attached, the two
+// phases record individually (as "mc3-short" and "mc3-general") and the
+// overall algorithm name is set afterwards.
 func ShortFirst(inst *core.Instance, opts Options) (*core.Solution, error) {
+	_, cancelTimeout, opts := opts.solveContext()
+	defer cancelTimeout()
+	sol, err := shortFirstPhases(inst, opts)
+	if opts.Stats != nil {
+		opts.Stats.setAlgorithm("short-first")
+	}
+	return sol, err
+}
+
+// shortFirstPhases runs the two Short-First phases; opts already carries the
+// resolved context.
+func shortFirstPhases(inst *core.Instance, opts Options) (*core.Solution, error) {
 	var short, long []core.PropSet
 	for qi := 0; qi < inst.NumQueries(); qi++ {
 		q := inst.Query(qi)

@@ -20,7 +20,9 @@
 package solver
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/bipartite"
 	"repro/internal/core"
@@ -65,12 +67,14 @@ func (m WSCMethod) String() string {
 	}
 }
 
-// Options configure the solvers. The zero value is the paper's default
-// configuration: full preprocessing, Algorithm 3 = greedy + primal-dual,
-// Dinic max-flow.
+// Options configure the solvers. Note that the zero value is NOT the
+// paper's default configuration: the zero value of Prep is prep.Minimal,
+// whereas the paper preprocesses fully. Use DefaultOptions for the paper's
+// defaults (full preprocessing, Algorithm 3 = greedy + primal-dual, Dinic
+// max-flow).
 type Options struct {
-	// Prep is the preprocessing level (Full by default is index 1; note
-	// prep.Minimal == 0 is the zero value, so DefaultOptions sets Full).
+	// Prep is the preprocessing level. Its zero value is prep.Minimal;
+	// DefaultOptions sets prep.Full (the paper's configuration).
 	Prep prep.Level
 	// WSC selects Algorithm 3's set-cover engine(s).
 	WSC WSCMethod
@@ -84,11 +88,52 @@ type Options struct {
 	// Validate, when set, verifies every produced solution against the
 	// instance before returning it.
 	Validate bool
+	// Context, when non-nil, cancels a solve in flight: every solver
+	// inserts low-overhead checkpoints in its hot loops (branch-and-bound
+	// nodes, greedy selections, simplex pivots, max-flow phases,
+	// preprocessing steps, component dispatch) and returns an error
+	// satisfying errors.Is(err, ctx.Err()) promptly after the context
+	// fires. Nil means no cancellation.
+	Context context.Context
+	// Timeout, when positive, bounds the solve's wall time: it is applied
+	// once at the top-level entry point (derived from Context, or from
+	// context.Background() when Context is nil) and shared by every
+	// internal phase and sub-solve, so nested solvers such as ShortFirst
+	// and Portfolio observe a single deadline rather than restarting it
+	// per phase.
+	Timeout time.Duration
+	// Stats, when non-nil, accumulates observability data about the solve
+	// (per-phase wall times, preprocessing stats, component counts, engine
+	// choices, cancellation reason). Fields accumulate across solves so a
+	// single struct can tally a whole run; call Reset between solves for
+	// per-solve numbers. Safe for concurrent use.
+	Stats *SolveStats
 }
 
-// DefaultOptions returns the paper's default configuration.
+// DefaultOptions returns the paper's default configuration: full
+// preprocessing, Algorithm 3 = greedy + primal-dual, Dinic max-flow, serial
+// component solving, no validation, no deadline.
 func DefaultOptions() Options {
 	return Options{Prep: prep.Full, WSC: WSCAuto, Engine: bipartite.Dinic, Validate: false}
+}
+
+// solveContext resolves Context and Timeout into the single context that
+// governs a whole solve. It returns the context, a cancel function the
+// caller must defer, and an Options copy whose Context carries the deadline
+// and whose Timeout is zeroed — sub-solves receiving the copy share the
+// deadline instead of re-applying the timeout.
+func (o Options) solveContext() (context.Context, context.CancelFunc, Options) {
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancel := context.CancelFunc(func() {})
+	if o.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		o.Timeout = 0
+	}
+	o.Context = ctx
+	return ctx, cancel, o
 }
 
 // Func is the uniform signature all solvers expose.

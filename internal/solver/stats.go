@@ -1,0 +1,245 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/maxflow"
+	"repro/internal/prep"
+)
+
+// SolveStats accumulates observability data about solves — the per-engine
+// runtime telemetry a serving layer needs to pick algorithms and enforce
+// deadlines. Attach one via Options.Stats; General, KTwo, ShortFirst, and
+// Portfolio populate it. Fields accumulate across solves (and across nested
+// phases: Short-First's two sub-solves and Portfolio's candidates each
+// record individually), so a single struct can tally a whole benchmark run;
+// call Reset between solves for per-solve numbers. All methods and all
+// solver writes are guarded by an internal mutex, so one struct may be
+// shared by concurrent solves. Use it by pointer only.
+type SolveStats struct {
+	mu sync.Mutex
+
+	// Algorithm names the solver that recorded most recently.
+	Algorithm string
+	// Solves counts tracked solve phases (nested phases count individually).
+	Solves int
+	// PrepTime accumulates wall time spent in preprocessing (Algorithm 1).
+	PrepTime time.Duration
+	// SolveTime accumulates wall time spent covering the residual
+	// (set-cover / vertex-cover work after preprocessing).
+	SolveTime time.Duration
+	// TotalTime accumulates end-to-end wall time per tracked solve. With
+	// nested solvers (Portfolio over ShortFirst) inner phases are counted
+	// inside the outer span too, so TotalTime can exceed the wall clock a
+	// caller observes.
+	TotalTime time.Duration
+	// Prep accumulates Algorithm 1's per-step counters.
+	Prep prep.Stats
+	// Components accumulates the number of residual components.
+	Components int
+	// WSCEngine lists, per component Algorithm 3 solved, the set-cover
+	// engine whose output was kept ("greedy", "primal-dual", "lp-rounding").
+	WSCEngine []string
+	// MaxFlow accumulates max-flow engine work across Algorithm 2
+	// components.
+	MaxFlow maxflow.Stats
+	// Cancelled reports whether some tracked solve was cut short by its
+	// context.
+	Cancelled bool
+	// CancelReason is "deadline" (timeout fired), "cancelled" (context
+	// cancelled), or "" when every tracked solve ran to completion.
+	CancelReason string
+	// Winner is the candidate Portfolio kept ("" for other solvers).
+	Winner string
+}
+
+// Reset clears every counter, keeping the struct attachable.
+func (s *SolveStats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Algorithm = ""
+	s.Solves = 0
+	s.PrepTime = 0
+	s.SolveTime = 0
+	s.TotalTime = 0
+	s.Prep = prep.Stats{}
+	s.Components = 0
+	s.WSCEngine = nil
+	s.MaxFlow = maxflow.Stats{}
+	s.Cancelled = false
+	s.CancelReason = ""
+	s.Winner = ""
+}
+
+// setAlgorithm overwrites the recorded algorithm name — used by composite
+// solvers (ShortFirst, Portfolio) whose phases record under their own names.
+func (s *SolveStats) setAlgorithm(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Algorithm = name
+	s.mu.Unlock()
+}
+
+// setWinner records Portfolio's kept candidate.
+func (s *SolveStats) setWinner(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Winner = name
+	s.mu.Unlock()
+}
+
+// Render writes a human-readable report.
+func (s *SolveStats) Render(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(w, "algorithm: %s (%d solve phase(s))\n", s.Algorithm, s.Solves)
+	fmt.Fprintf(w, "time: total %v  (prep %v, solve %v)\n", s.TotalTime, s.PrepTime, s.SolveTime)
+	fmt.Fprintf(w, "prep: %d selected (singleton %d, zero-cost %d, forced %d, step4 %d), %d removed, %d covered\n",
+		s.Prep.SingletonSelected+s.Prep.ZeroCostSelected+s.Prep.Step3Selected+s.Prep.Step4Selected,
+		s.Prep.SingletonSelected, s.Prep.ZeroCostSelected, s.Prep.Step3Selected, s.Prep.Step4Selected,
+		s.Prep.Step3Removed+s.Prep.Step4Removed, s.Prep.QueriesCovered)
+	fmt.Fprintf(w, "components: %d\n", s.Components)
+	if len(s.WSCEngine) > 0 {
+		counts := map[string]int{}
+		for _, e := range s.WSCEngine {
+			counts[e]++
+		}
+		var parts []string
+		for _, e := range []string{"greedy", "primal-dual", "lp-rounding"} {
+			if counts[e] > 0 {
+				parts = append(parts, fmt.Sprintf("%s×%d", e, counts[e]))
+				delete(counts, e)
+			}
+		}
+		for e, c := range counts {
+			parts = append(parts, fmt.Sprintf("%s×%d", e, c))
+		}
+		fmt.Fprintf(w, "wsc engines kept: %s\n", strings.Join(parts, " "))
+	}
+	if s.MaxFlow != (maxflow.Stats{}) {
+		fmt.Fprintf(w, "max-flow: %d phases, %d augments, %d discharges, %d relabels\n",
+			s.MaxFlow.Phases, s.MaxFlow.Augments, s.MaxFlow.Discharges, s.MaxFlow.Relabels)
+	}
+	if s.Winner != "" {
+		fmt.Fprintf(w, "portfolio winner: %s\n", s.Winner)
+	}
+	if s.Cancelled {
+		fmt.Fprintf(w, "cancelled: yes (%s)\n", s.CancelReason)
+	}
+}
+
+// String renders the report into a string.
+func (s *SolveStats) String() string {
+	var b strings.Builder
+	s.Render(&b)
+	return b.String()
+}
+
+// tracker collects one solve's measurements locally — no locking on the hot
+// path — and merges them into the shared SolveStats exactly once, at finish.
+// A nil tracker is a no-op, so solvers call its methods unconditionally.
+type tracker struct {
+	stats   *SolveStats
+	algo    string
+	start   time.Time
+	prepEnd time.Time
+	prep    *prep.Result
+	engines []string
+	mf      maxflow.Stats
+}
+
+// startTracking opens a tracked solve; nil stats yields a nil (no-op)
+// tracker.
+func startTracking(stats *SolveStats, algo string) *tracker {
+	if stats == nil {
+		return nil
+	}
+	return &tracker{stats: stats, algo: algo, start: time.Now()}
+}
+
+// prepDone marks the end of the preprocessing phase. r may be nil when
+// preprocessing itself failed.
+func (t *tracker) prepDone(r *prep.Result) {
+	if t == nil {
+		return
+	}
+	t.prepEnd = time.Now()
+	t.prep = r
+}
+
+// wscEngines records the per-component winning set-cover engines (empty
+// entries — components resolved without a cover run — are dropped at merge).
+func (t *tracker) wscEngines(engines []string) {
+	if t == nil {
+		return
+	}
+	t.engines = engines
+}
+
+// addMaxflow accumulates max-flow work from Algorithm 2 components.
+func (t *tracker) addMaxflow(st maxflow.Stats) {
+	if t == nil {
+		return
+	}
+	t.mf.Add(st)
+}
+
+// finish closes the tracked solve and merges everything into the shared
+// stats under its lock, classifying err as a cancellation when appropriate.
+func (t *tracker) finish(err error) {
+	if t == nil {
+		return
+	}
+	end := time.Now()
+	s := t.stats
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Algorithm = t.algo
+	s.Solves++
+	s.TotalTime += end.Sub(t.start)
+	if !t.prepEnd.IsZero() {
+		s.PrepTime += t.prepEnd.Sub(t.start)
+		s.SolveTime += end.Sub(t.prepEnd)
+	}
+	if t.prep != nil {
+		addPrepStats(&s.Prep, t.prep.Stats)
+		s.Components += len(t.prep.Components)
+	}
+	for _, e := range t.engines {
+		if e != "" {
+			s.WSCEngine = append(s.WSCEngine, e)
+		}
+	}
+	s.MaxFlow.Add(t.mf)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		s.Cancelled = true
+		s.CancelReason = "deadline"
+	case errors.Is(err, context.Canceled):
+		s.Cancelled = true
+		s.CancelReason = "cancelled"
+	}
+}
+
+// addPrepStats accumulates b into a field by field.
+func addPrepStats(a *prep.Stats, b prep.Stats) {
+	a.SingletonSelected += b.SingletonSelected
+	a.ZeroCostSelected += b.ZeroCostSelected
+	a.Step3Removed += b.Step3Removed
+	a.Step3Selected += b.Step3Selected
+	a.Step4Removed += b.Step4Removed
+	a.Step4Selected += b.Step4Selected
+	a.QueriesCovered += b.QueriesCovered
+	a.Components += b.Components
+}

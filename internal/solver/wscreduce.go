@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"math"
 	"math/bits"
 
 	"repro/internal/core"
@@ -13,7 +14,10 @@ import (
 // still-uncovered property p ∈ q, a distinct element p_q is created; every
 // alive classifier S becomes a set covering the elements {p_q : p ∈ S, S ⊆ q}
 // at its effective cost. It returns the WSC instance plus the classifier ID
-// of every set (parallel to set indices).
+// of every set (parallel to set indices). Classifiers with non-finite
+// effective cost are skipped — they can never be part of a minimum-cost
+// solution and would poison the set-cover engines (defense in depth:
+// core.NewInstance already drops +Inf-cost classifiers at admission).
 func buildWSC(r *prep.Result, comp []int) (*setcover.Instance, []core.ClassifierID) {
 	inst := r.Inst
 
@@ -54,6 +58,11 @@ func buildWSC(r *prep.Result, comp []int) (*setcover.Instance, []core.Classifier
 				continue
 			}
 			seen[id] = true
+			if c := r.EffCost[id]; math.IsInf(c, 0) || math.IsNaN(c) {
+				// A non-finite cost would poison the greedy ratios and the LP
+				// objective; an unusable classifier simply contributes no set.
+				continue
+			}
 			elems = elems[:0]
 			// Walk every residual query containing this classifier.
 			for _, q2 := range inst.ClassifierQueries(id) {

@@ -94,12 +94,21 @@ const (
 
 // Solver configuration.
 type (
-	// SolveOptions configure the solvers.
+	// SolveOptions configure the solvers. Set Context and/or Timeout to
+	// bound a solve (cancellation checkpoints run throughout the stack and
+	// return an error satisfying errors.Is(err, context.Canceled) or
+	// errors.Is(err, context.DeadlineExceeded)); attach a *SolveStats to
+	// collect per-phase observability data.
 	SolveOptions = solver.Options
 	// WSCMethod selects Algorithm 3's internal set-cover engine(s).
 	WSCMethod = solver.WSCMethod
 	// SolverFunc is the uniform solver signature.
 	SolverFunc = solver.Func
+	// SolveStats accumulates solve observability data (per-phase wall
+	// times, preprocessing counters, component counts, engine choices,
+	// max-flow work, cancellation reason). Attach one via
+	// SolveOptions.Stats; call Reset between solves for per-solve numbers.
+	SolveStats = solver.SolveStats
 )
 
 // Set-cover engine choices for SolveOptions.WSC.
@@ -149,7 +158,8 @@ func DefaultSolveOptions() SolveOptions { return solver.DefaultOptions() }
 
 // Solve covers the query load at (approximately) minimal cost: it runs the
 // exact polynomial Algorithm 2 when every query has at most two properties,
-// and the approximate Algorithm 3 otherwise.
+// and the approximate Algorithm 3 otherwise. Honors opts.Context and
+// opts.Timeout, and populates opts.Stats when attached.
 func Solve(inst *Instance, opts SolveOptions) (*Solution, error) {
 	if inst.MaxQueryLen() <= 2 {
 		return solver.KTwo(inst, opts)
