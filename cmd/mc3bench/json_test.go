@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// benchSpan mirrors the obs.JSONLSink line format.
+type benchSpan struct {
+	Name   string         `json:"name"`
+	ID     uint64         `json:"id"`
+	Parent uint64         `json:"parent"`
+	Nanos  int64          `json:"ns"`
+	Attrs  map[string]any `json:"attrs"`
+}
+
+func readSpans(t *testing.T, path string) []benchSpan {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var spans []benchSpan
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var sp benchSpan
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("bad span line %q: %v", sc.Text(), err)
+		}
+		spans = append(spans, sp)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return spans
+}
+
+// TestBenchJSONReportMatchesSpans is the ISSUE acceptance check: a -quick run
+// with a JSONL trace sink produces solve spans whose durations sum (within
+// tolerance) to the SolveStats totals embedded in the -json report — the two
+// outputs are views of the same trace.
+func TestBenchJSONReportMatchesSpans(t *testing.T) {
+	spanPath := filepath.Join(t.TempDir(), "spans.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-exp", "fig3a", "-json", "-stats", "-spans", spanPath}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	var rep struct {
+		Tool         string  `json:"tool"`
+		Quick        bool    `json:"quick"`
+		TotalSeconds float64 `json:"total_seconds"`
+		Experiments  []struct {
+			ID      string  `json:"id"`
+			Seconds float64 `json:"seconds"`
+			Series  []struct {
+				Name   string     `json:"name"`
+				Values []*float64 `json:"values"`
+			} `json:"series"`
+		} `json:"experiments"`
+		Stats *struct {
+			Algorithm    string  `json:"algorithm"`
+			Solves       int     `json:"solves"`
+			PrepSeconds  float64 `json:"prep_seconds"`
+			SolveSeconds float64 `json:"solve_seconds"`
+			TotalSeconds float64 `json:"total_seconds"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Tool != "mc3bench" || !rep.Quick {
+		t.Errorf("report header = %+v", rep)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "fig3a" {
+		t.Fatalf("experiments = %+v", rep.Experiments)
+	}
+	if len(rep.Experiments[0].Series) == 0 {
+		t.Fatal("fig3a has no series")
+	}
+	if rep.Stats == nil {
+		t.Fatal("-stats set but report carries no stats")
+	}
+	if rep.Stats.Solves == 0 || rep.Stats.TotalSeconds <= 0 {
+		t.Errorf("stats = %+v", rep.Stats)
+	}
+
+	spans := readSpans(t, spanPath)
+	if len(spans) == 0 {
+		t.Fatal("no spans written")
+	}
+	var solveSecs, prepSecs float64
+	solves := 0
+	ids := map[uint64]bool{}
+	for _, sp := range spans {
+		if ids[sp.ID] {
+			t.Errorf("duplicate span id %d", sp.ID)
+		}
+		ids[sp.ID] = true
+		switch sp.Name {
+		case "solve":
+			solves++
+			solveSecs += time.Duration(sp.Nanos).Seconds()
+		case "prep":
+			prepSecs += time.Duration(sp.Nanos).Seconds()
+		}
+	}
+	// Spans appear in end order, so every non-root parent must already be
+	// known by the end of the file.
+	for _, sp := range spans {
+		if sp.Parent != 0 && !ids[sp.Parent] {
+			t.Errorf("span %d (%s) has unknown parent %d", sp.ID, sp.Name, sp.Parent)
+		}
+	}
+
+	if solves != rep.Stats.Solves {
+		t.Errorf("spans show %d solves, report says %d", solves, rep.Stats.Solves)
+	}
+	// Stats are populated from the same events the JSONL sink saw, so the
+	// sums agree to rounding; allow 1%% + 1ms of slack.
+	tol := func(a, b float64) bool { return math.Abs(a-b) <= 0.01*math.Max(a, b)+0.001 }
+	if !tol(solveSecs, rep.Stats.TotalSeconds) {
+		t.Errorf("solve spans sum to %.6fs, stats total %.6fs", solveSecs, rep.Stats.TotalSeconds)
+	}
+	if !tol(prepSecs, rep.Stats.PrepSeconds) {
+		t.Errorf("prep spans sum to %.6fs, stats prep %.6fs", prepSecs, rep.Stats.PrepSeconds)
+	}
+	if !tol(rep.Stats.PrepSeconds+rep.Stats.SolveSeconds, rep.Stats.TotalSeconds) {
+		t.Errorf("prep %.6f + solve %.6f != total %.6f",
+			rep.Stats.PrepSeconds, rep.Stats.SolveSeconds, rep.Stats.TotalSeconds)
+	}
+}
+
+// TestBenchJSONHandlesNaN checks table1 (whose table carries NaN "not
+// applicable" cells) still marshals, rendering them as null.
+func TestBenchJSONHandlesNaN(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-exp", "table1", "-json"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("table1 report is not JSON: %v", err)
+	}
+	if doc["stats"] != nil {
+		t.Error("stats present without -stats")
+	}
+}

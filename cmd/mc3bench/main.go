@@ -8,6 +8,12 @@
 //	mc3bench -quick            # reduced-scale smoke run (seconds)
 //	mc3bench -exp fig3a,fig3d  # selected experiments only
 //	mc3bench -exp ablation     # all ablations
+//	mc3bench -quick -json      # machine-readable report (BENCH_*.json format)
+//
+// Observability: -spans traces every solve as JSON lines, -log-spans logs
+// spans through log/slog, -cpuprofile/-memprofile/-trace write the standard
+// Go profiles, and -debug-addr serves /debug/pprof, /debug/vars, and
+// /metrics for the duration of the run.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
@@ -31,7 +38,7 @@ func main() {
 
 // run executes the selected experiments, writing tables to out and progress
 // to errw.
-func run(args []string, out, errw io.Writer) error {
+func run(args []string, out, errw io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("mc3bench", flag.ContinueOnError)
 	var (
 		quick   = fs.Bool("quick", false, "run at reduced scale")
@@ -39,14 +46,42 @@ func run(args []string, out, errw io.Writer) error {
 		exps    = fs.String("exp", "all", "comma-separated experiments: table1,fig3a,fig3b,fig3c,fig3d,fig3e,fig3f,ablation,all")
 		repeats = fs.Int("repeats", 1, "timing repetitions (min reported)")
 		format  = fs.String("format", "text", "output format: text|csv|markdown")
+		asJSON  = fs.Bool("json", false, "emit one JSON report instead of tables (the BENCH_*.json format; implies -stats data when -stats is set)")
 		seeds   = fs.Int("seeds", 1, "run each experiment under this many seeds and report means")
 		timeout = fs.Duration("timeout", 0, "abort any individual solve after this wall time (0 = no limit)")
 		stats   = fs.Bool("stats", false, "print accumulated solve statistics after the run")
 	)
+	var obsCfg obs.CLIConfig
+	obsCfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	render := func(tab *bench.Table) error {
+	obsCLI, err := obsCfg.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsCLI.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	if obsCLI.DebugAddr != "" {
+		fmt.Fprintf(errw, "mc3bench: debug server on http://%s\n", obsCLI.DebugAddr)
+	}
+
+	var rep *report
+	if *asJSON {
+		rep = &report{
+			Tool: "mc3bench", Generated: time.Now().UTC(),
+			Quick: *quick, Seed: *seed, Seeds: *seeds, Repeats: *repeats,
+			TimeoutSecs: timeout.Seconds(),
+		}
+	}
+	render := func(tab *bench.Table, elapsed time.Duration) error {
+		if rep != nil {
+			rep.addTable(tab, elapsed)
+			return nil
+		}
 		switch *format {
 		case "csv":
 			fmt.Fprintf(out, "# %s: %s\n", tab.ID, tab.Title)
@@ -71,6 +106,7 @@ func run(args []string, out, errw io.Writer) error {
 	}
 	cfg.Repeats = *repeats
 	cfg.Timeout = *timeout
+	cfg.Tracer = obsCLI.Tracer
 	if *stats {
 		cfg.Stats = new(solver.SolveStats)
 	}
@@ -126,23 +162,31 @@ func run(args []string, out, errw io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		if err := render(tab); err != nil {
+		if err := render(tab, time.Since(t0)); err != nil {
 			return err
 		}
 		fmt.Fprintf(errw, "mc3bench: %s done in %v\n", name, time.Since(t0).Round(time.Millisecond))
 	}
 	if wantAblation {
+		t0 := time.Now()
 		tabs, err := bench.Ablations(cfg)
 		if err != nil {
 			return fmt.Errorf("ablations: %w", err)
 		}
+		elapsed := time.Since(t0)
 		for _, tab := range tabs {
-			if err := render(tab); err != nil {
+			if err := render(tab, elapsed/time.Duration(len(tabs))); err != nil {
 				return err
 			}
 		}
 	}
-	if cfg.Stats != nil {
+	if rep != nil {
+		rep.TotalSeconds = time.Since(start).Seconds()
+		rep.Stats = cfg.Stats
+		if err := rep.write(out); err != nil {
+			return err
+		}
+	} else if cfg.Stats != nil {
 		fmt.Fprintln(out, "== solve stats (accumulated across the run) ==")
 		cfg.Stats.Render(out)
 	}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/solver"
+)
+
+// report is the -json output document — the BENCH_*.json format the
+// repository uses to record performance trajectories across commits: run
+// parameters, per-experiment tables with wall times, and (with -stats) the
+// accumulated solver statistics.
+type report struct {
+	Tool         string             `json:"tool"`
+	Generated    time.Time          `json:"generated"`
+	Quick        bool               `json:"quick"`
+	Seed         int64              `json:"seed"`
+	Seeds        int                `json:"seeds"`
+	Repeats      int                `json:"repeats"`
+	TimeoutSecs  float64            `json:"timeout_seconds,omitempty"`
+	Experiments  []reportExperiment `json:"experiments"`
+	TotalSeconds float64            `json:"total_seconds"`
+	Stats        *solver.SolveStats `json:"stats,omitempty"`
+}
+
+// reportExperiment is one experiment's table plus its wall time.
+type reportExperiment struct {
+	ID      string         `json:"id"`
+	Title   string         `json:"title"`
+	XLabel  string         `json:"xlabel"`
+	X       []string       `json:"x"`
+	Unit    string         `json:"unit,omitempty"`
+	Series  []reportSeries `json:"series"`
+	Seconds float64        `json:"seconds"`
+	Notes   string         `json:"notes,omitempty"`
+}
+
+// reportSeries is one labelled column of values.
+type reportSeries struct {
+	Name   string      `json:"name"`
+	Values []jsonFloat `json:"values"`
+}
+
+// jsonFloat marshals NaN and ±Inf (bench's "not applicable" markers) as
+// null, which encoding/json rejects for plain float64.
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// addTable appends tab to the report.
+func (r *report) addTable(tab *bench.Table, elapsed time.Duration) {
+	exp := reportExperiment{
+		ID:      tab.ID,
+		Title:   tab.Title,
+		XLabel:  tab.XLabel,
+		X:       tab.XValues,
+		Unit:    tab.Unit,
+		Seconds: elapsed.Seconds(),
+		Notes:   tab.Notes,
+	}
+	for _, s := range tab.Series {
+		vals := make([]jsonFloat, len(s.Values))
+		for i, v := range s.Values {
+			vals[i] = jsonFloat(v)
+		}
+		exp.Series = append(exp.Series, reportSeries{Name: s.Name, Values: vals})
+	}
+	r.Experiments = append(r.Experiments, exp)
+}
+
+// write renders the report as indented JSON.
+func (r *report) write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -8,6 +8,11 @@
 //
 // Algorithms: auto (exact for k ≤ 2, Algorithm 3 otherwise), ktwo, general,
 // short-first, exact, mixed, property-oriented, query-oriented, local-greedy.
+//
+// Observability: -spans traces the solve as JSON lines, -log-spans logs
+// spans through log/slog, -cpuprofile/-memprofile/-trace write the standard
+// Go profiles, and -debug-addr serves /debug/pprof, /debug/vars, and
+// /metrics for the duration of the run.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 
 	"repro/internal/bipartite"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prep"
 	"repro/internal/solver"
 	"repro/internal/textio"
@@ -35,7 +41,7 @@ func main() {
 }
 
 // run executes the tool against args, writing results to out.
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("mc3solve", flag.ContinueOnError)
 	var (
 		inPath   = fs.String("in", "", "instance JSON file (required)")
@@ -52,11 +58,25 @@ func run(args []string, out io.Writer) error {
 		timeout  = fs.Duration("timeout", 0, "abort the solve after this wall time (e.g. 500ms, 2s; 0 = no limit)")
 		stats    = fs.Bool("stats", false, "print solve statistics (phase timings, components, engine choices)")
 	)
+	var obsCfg obs.CLIConfig
+	obsCfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *inPath == "" {
 		return errors.New("-in is required")
+	}
+	obsCLI, err := obsCfg.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsCLI.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	if obsCLI.DebugAddr != "" {
+		fmt.Fprintf(os.Stderr, "mc3solve: debug server on http://%s\n", obsCLI.DebugAddr)
 	}
 
 	f, err := os.Open(*inPath)
@@ -80,6 +100,7 @@ func run(args []string, out io.Writer) error {
 	opts.Parallelism = *parallel
 	opts.Validate = true
 	opts.Timeout = *timeout
+	opts.Tracer = obsCLI.Tracer
 	var solveStats *solver.SolveStats
 	if *stats {
 		solveStats = new(solver.SolveStats)

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
@@ -40,6 +41,9 @@ type Config struct {
 	// Stats, when non-nil, accumulates solve observability data across
 	// every solve of the run (see solver.SolveStats).
 	Stats *solver.SolveStats
+	// Tracer, when non-nil, traces every solve of the run (see
+	// solver.Options.Tracer).
+	Tracer *obs.Tracer
 }
 
 // SolverOptions returns the paper-default solver options carrying the
@@ -49,6 +53,7 @@ func (c Config) SolverOptions() solver.Options {
 	opts := solver.DefaultOptions()
 	opts.Timeout = c.Timeout
 	opts.Stats = c.Stats
+	opts.Tracer = c.Tracer
 	return opts
 }
 

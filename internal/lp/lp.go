@@ -17,7 +17,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
+
+// SpanSolve is the span name wrapping one LP solve (see internal/obs).
+// Attrs: "vars", "constraints"; on completion also "pivots" (simplex pivots
+// across both phases) and "status".
+const SpanSolve = "lp.solve"
 
 // Sense is the relational operator of a constraint.
 type Sense int
@@ -165,17 +172,33 @@ func (p *Problem) Solve() (*Solution, error) {
 
 // SolveCtx is Solve with cancellation: the simplex loop checks the context
 // every 128 pivots and returns ctx.Err() when it fires, discarding partial
-// progress (a half-pivoted tableau is worthless to callers).
+// progress (a half-pivoted tableau is worthless to callers). When ctx
+// carries a span (see internal/obs) the solve is traced as an "lp.solve"
+// span.
 func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
+	sp, ctx := obs.StartChild(ctx, SpanSolve,
+		obs.Int("vars", p.numVars), obs.Int("constraints", len(p.rows)))
+	sol, pivots, err := p.solveCtx(ctx)
+	sp.SetAttr(obs.Int("pivots", pivots))
+	if err == nil {
+		sp.SetAttr(obs.Str("status", sol.Status.String()))
+	}
+	sp.EndErr(err)
+	return sol, err
+}
+
+// solveCtx is SolveCtx's body; it also returns the total simplex pivot count
+// across both phases.
+func (p *Problem) solveCtx(ctx context.Context) (*Solution, int, error) {
 	m := len(p.rows)
 	if m == 0 {
 		// Minimize c·x over x ≥ 0: x = 0 if c ≥ 0, else unbounded.
 		for _, c := range p.obj {
 			if c < -eps {
-				return &Solution{Status: Unbounded}, nil
+				return &Solution{Status: Unbounded}, 0, nil
 			}
 		}
-		return &Solution{Status: Optimal, X: make([]float64, p.numVars)}, nil
+		return &Solution{Status: Optimal, X: make([]float64, p.numVars)}, 0, nil
 	}
 
 	// Standard form: one slack/surplus column per inequality, then one
@@ -209,7 +232,7 @@ func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 			slackCol++
 		case EQ:
 		default:
-			return nil, fmt.Errorf("lp: unknown sense %d", p.senses[i])
+			return nil, 0, fmt.Errorf("lp: unknown sense %d", p.senses[i])
 		}
 		if rhs < 0 {
 			for j := 0; j < nTotal; j++ {
@@ -228,16 +251,16 @@ func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	for i := 0; i < m; i++ {
 		phase1[artStart+i] = 1
 	}
-	status, err := simplex(ctx, tab, basis, phase1, artStart)
+	status, pivots, err := simplex(ctx, tab, basis, phase1, artStart)
 	if err != nil {
-		return nil, err
+		return nil, pivots, err
 	}
 	if status == Unbounded {
 		// Phase-1 objective is bounded below by 0; unbounded is impossible.
-		return nil, errors.New("lp: internal error: phase 1 unbounded")
+		return nil, pivots, errors.New("lp: internal error: phase 1 unbounded")
 	}
 	if v := phaseValue(tab, basis, phase1); v > 1e-7 {
-		return &Solution{Status: Infeasible}, nil
+		return &Solution{Status: Infeasible}, pivots, nil
 	}
 	// Drive remaining artificials out of the basis where possible.
 	for i := 0; i < m; i++ {
@@ -266,12 +289,13 @@ func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	phase2 := make([]float64, nTotal)
 	copy(phase2, p.obj)
 	finalReduced := make([]float64, nTotal)
-	status, err = simplexWithReduced(ctx, tab, basis, phase2, artStart, finalReduced)
+	status, pivots2, err := simplexWithReduced(ctx, tab, basis, phase2, artStart, finalReduced)
+	pivots += pivots2
 	if err != nil {
-		return nil, err
+		return nil, pivots, err
 	}
 	if status == Unbounded {
-		return &Solution{Status: Unbounded}, nil
+		return &Solution{Status: Unbounded}, pivots, nil
 	}
 
 	x := make([]float64, p.numVars)
@@ -297,7 +321,7 @@ func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 		}
 		duals[i] = y
 	}
-	return &Solution{Status: Optimal, X: x, Objective: objVal, Duals: duals}, nil
+	return &Solution{Status: Optimal, X: x, Objective: objVal, Duals: duals}, pivots, nil
 }
 
 // phaseValue computes the current objective value of obj given the basis.
@@ -313,7 +337,7 @@ func phaseValue(tab [][]float64, basis []int, obj []float64) float64 {
 }
 
 // simplex optimizes obj over the current tableau. See simplexWithReduced.
-func simplex(ctx context.Context, tab [][]float64, basis []int, obj []float64, artLimit int) (Status, error) {
+func simplex(ctx context.Context, tab [][]float64, basis []int, obj []float64, artLimit int) (Status, int, error) {
 	return simplexWithReduced(ctx, tab, basis, obj, artLimit, nil)
 }
 
@@ -323,14 +347,16 @@ func simplex(ctx context.Context, tab [][]float64, basis []int, obj []float64, a
 // the column-restricted program is the same). It returns Optimal or
 // Unbounded, or ctx.Err() if the context fires (checked every 128 pivots);
 // on Optimal, if outReduced is non-nil it receives the final (freshly
-// recomputed) reduced-cost row, from which dual values derive.
+// recomputed) reduced-cost row, from which dual values derive. The second
+// return is the number of pivots performed.
 //
 // The reduced-cost row is carried in the tableau and updated per pivot
 // (O(columns) instead of O(rows·columns) per iteration). Pivoting uses
 // Dantzig's rule (most negative reduced cost) for speed, falling back to
 // Bland's rule — which provably cannot cycle — after a long run of pivots
 // without objective improvement.
-func simplexWithReduced(ctx context.Context, tab [][]float64, basis []int, obj []float64, artLimit int, outReduced []float64) (Status, error) {
+func simplexWithReduced(ctx context.Context, tab [][]float64, basis []int, obj []float64, artLimit int, outReduced []float64) (Status, int, error) {
+	pivots := 0
 	done := ctx.Done()
 	m := len(tab)
 	nTotal := len(tab[0]) - 1
@@ -369,7 +395,7 @@ func simplexWithReduced(ctx context.Context, tab [][]float64, basis []int, obj [
 		if done != nil && iter&127 == 0 {
 			select {
 			case <-done:
-				return Optimal, ctx.Err()
+				return Optimal, pivots, ctx.Err()
 			default:
 			}
 		}
@@ -399,7 +425,7 @@ func simplexWithReduced(ctx context.Context, tab [][]float64, basis []int, obj [
 				if outReduced != nil {
 					copy(outReduced, reduced[:nTotal])
 				}
-				return Optimal, nil
+				return Optimal, pivots, nil
 			}
 			recompute()
 			fresh = true
@@ -423,7 +449,7 @@ func simplexWithReduced(ctx context.Context, tab [][]float64, basis []int, obj [
 		}
 		if leave == -1 {
 			if fresh && reduced[enter] < -1e-7 {
-				return Unbounded, nil
+				return Unbounded, pivots, nil
 			}
 			// Either a stale row or reduced-cost noise around zero:
 			// recompute exactly and neutralize the column if its true
@@ -434,7 +460,7 @@ func simplexWithReduced(ctx context.Context, tab [][]float64, basis []int, obj [
 				reduced[enter] = 0
 				continue
 			}
-			return Unbounded, nil
+			return Unbounded, pivots, nil
 		}
 
 		if bestRatio <= eps {
@@ -447,6 +473,7 @@ func simplexWithReduced(ctx context.Context, tab [][]float64, basis []int, obj [
 		}
 
 		pivot(tab, basis, leave, enter)
+		pivots++
 		// Update the reduced-cost row against the (now normalized) pivot row.
 		f := reduced[enter]
 		if f != 0 {

@@ -22,8 +22,16 @@ func Dinic(g *Graph, s, t int) float64 {
 // by at least one graph traversal, so the check is negligible). On
 // cancellation it returns the flow pushed so far together with ctx.Err(); the
 // residual capacities then reflect a valid partial flow, not a maximum one.
-// A nil st skips accounting.
+// A nil st skips accounting. When ctx carries a span (see internal/obs) the
+// run is traced as a "maxflow" span carrying the work counters.
 func DinicCtx(ctx context.Context, g *Graph, s, t int, st *Stats) (float64, error) {
+	sp, run, caller := startRun(ctx, "dinic", st)
+	f, err := dinicCtx(ctx, g, s, t, run)
+	endRun(sp, run, caller, err)
+	return f, err
+}
+
+func dinicCtx(ctx context.Context, g *Graph, s, t int, st *Stats) (float64, error) {
 	if s == t {
 		return 0, nil
 	}

@@ -23,8 +23,16 @@ func PushRelabel(g *Graph, s, t int) float64 {
 // context is checked every 256 discharge rounds. On cancellation it returns
 // the excess at t so far together with ctx.Err(); the residual capacities
 // then hold a preflow, NOT a valid flow — callers must discard the graph. A
-// nil st skips accounting.
+// nil st skips accounting. When ctx carries a span (see internal/obs) the
+// run is traced as a "maxflow" span carrying the work counters.
 func PushRelabelCtx(ctx context.Context, g *Graph, s, t int, st *Stats) (float64, error) {
+	sp, run, caller := startRun(ctx, "push-relabel", st)
+	f, err := pushRelabelCtx(ctx, g, s, t, run)
+	endRun(sp, run, caller, err)
+	return f, err
+}
+
+func pushRelabelCtx(ctx context.Context, g *Graph, s, t int, st *Stats) (float64, error) {
 	if s == t {
 		return 0, nil
 	}

@@ -25,8 +25,17 @@ func CapacityScaling(g *Graph, s, t int) float64 {
 // augmenting-path search (each search is a full BFS, so the check is
 // negligible). On cancellation it returns the flow pushed so far together
 // with ctx.Err(); the residual capacities then reflect a valid partial flow,
-// not a maximum one. A nil st skips accounting.
+// not a maximum one. A nil st skips accounting. When ctx carries a span (see
+// internal/obs) the run is traced as a "maxflow" span carrying the work
+// counters.
 func CapacityScalingCtx(ctx context.Context, g *Graph, s, t int, st *Stats) (float64, error) {
+	sp, run, caller := startRun(ctx, "capacity-scaling", st)
+	f, err := capacityScalingCtx(ctx, g, s, t, run)
+	endRun(sp, run, caller, err)
+	return f, err
+}
+
+func capacityScalingCtx(ctx context.Context, g *Graph, s, t int, st *Stats) (float64, error) {
 	if s == t {
 		return 0, nil
 	}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CLIConfig collects the standard observability flags the repository's CLIs
+// expose. Register the flags with RegisterFlags, then call Start after flag
+// parsing; the zero value (no flag set) starts nothing and yields a nil
+// (disabled) Tracer.
+type CLIConfig struct {
+	// CPUProfile is the -cpuprofile path (pprof CPU profile).
+	CPUProfile string
+	// MemProfile is the -memprofile path (heap profile written at Close).
+	MemProfile string
+	// TracePath is the -trace path (runtime/trace execution trace).
+	TracePath string
+	// DebugAddr is the -debug-addr listen address for the debug HTTP server
+	// (/debug/pprof, /debug/vars, /metrics).
+	DebugAddr string
+	// SpanPath is the -spans path for the JSON-lines span sink ("-" =
+	// stderr).
+	SpanPath string
+	// SpanLog is the -log-spans toggle for the log/slog span sink.
+	SpanLog bool
+}
+
+// RegisterFlags installs the observability flags on fs, bound to c.
+func (c *CLIConfig) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file at exit")
+	fs.StringVar(&c.TracePath, "trace", "", "write a runtime execution trace to this file")
+	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve /debug/pprof, /debug/vars, and /metrics on this address while running (e.g. localhost:6060)")
+	fs.StringVar(&c.SpanPath, "spans", "", `write completed solver spans as JSON lines to this file ("-" = stderr)`)
+	fs.BoolVar(&c.SpanLog, "log-spans", false, "log completed solver spans through log/slog")
+}
+
+// CLI is the running observability state Start builds: the tracer to put
+// into solver.Options, the metrics registry behind /metrics (nil unless
+// -debug-addr was given), and the bound debug address. Close releases
+// everything (and writes the heap profile), so defer it.
+type CLI struct {
+	// Tracer is nil (disabled) when no span sink and no debug server were
+	// requested.
+	Tracer *Tracer
+	// Registry is the metrics registry served at /metrics, nil without
+	// -debug-addr.
+	Registry *Registry
+	// DebugAddr is the debug server's bound address ("" when not running) —
+	// useful with ":0".
+	DebugAddr string
+
+	prof      *Profiles
+	spanFile  *os.File
+	stopDebug func() error
+}
+
+// Start begins the requested profiles, opens the span sink, and launches the
+// debug server. On error, anything already started is shut down.
+func (c CLIConfig) Start() (*CLI, error) {
+	cl := &CLI{}
+	prof, err := StartProfiles(c.CPUProfile, c.MemProfile, c.TracePath)
+	if err != nil {
+		return nil, err
+	}
+	cl.prof = prof
+
+	var tr *Tracer
+	if c.SpanPath != "" {
+		var w io.Writer = os.Stderr
+		if c.SpanPath != "-" {
+			f, err := os.Create(c.SpanPath)
+			if err != nil {
+				cl.Close()
+				return nil, fmt.Errorf("obs: span sink: %w", err)
+			}
+			cl.spanFile = f
+			w = f
+		}
+		tr = tr.WithSink(NewJSONLSink(w))
+	}
+	if c.SpanLog {
+		tr = tr.WithSink(NewSlogSink(nil))
+	}
+	if c.DebugAddr != "" {
+		reg := NewRegistry()
+		reg.Publish("mc3")
+		addr, stop, err := ServeDebug(c.DebugAddr, reg)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.Registry = reg
+		cl.DebugAddr = addr
+		cl.stopDebug = stop
+		tr = tr.WithMetrics(reg)
+	}
+	cl.Tracer = tr
+	return cl, nil
+}
+
+// Close stops the debug server, closes the span sink, and finishes the
+// profiles (writing the heap profile). Safe on a nil receiver.
+func (cl *CLI) Close() error {
+	if cl == nil {
+		return nil
+	}
+	var errs []error
+	if cl.stopDebug != nil {
+		if err := cl.stopDebug(); err != nil {
+			errs = append(errs, err)
+		}
+		cl.stopDebug = nil
+	}
+	if cl.spanFile != nil {
+		if err := cl.spanFile.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("obs: span sink: %w", err))
+		}
+		cl.spanFile = nil
+	}
+	if err := cl.prof.Stop(); err != nil {
+		errs = append(errs, err)
+	}
+	cl.prof = nil
+	return errors.Join(errs...)
+}

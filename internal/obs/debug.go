@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug starts an HTTP debug server on addr (e.g. "localhost:6060", or
+// ":0" for an ephemeral port) exposing:
+//
+//	/debug/pprof/   — the standard pprof index, profiles, and symbolization
+//	/debug/vars     — expvar (publish the registry first to see it there)
+//	/metrics        — reg in Prometheus text format (404 when reg is nil)
+//
+// It returns the bound address and a shutdown function. The server runs
+// until the shutdown function is called; serving errors after shutdown are
+// ignored.
+func ServeDebug(addr string, reg *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if reg != nil {
+		mux.Handle("/metrics", reg)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,193 @@
+package obs_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/solver"
+)
+
+func TestRegistryPrometheusExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("mc3_solves_total").Add(3)
+	reg.Gauge("mc3_queue_depth").Set(1.5)
+	reg.Histogram(`mc3_span_duration_seconds{span="prep"}`).Observe(0.01)
+	reg.Histogram(`mc3_span_duration_seconds{span="solve"}`).Observe(2e-6)
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE mc3_solves_total counter\n",
+		"mc3_solves_total 3\n",
+		"# TYPE mc3_queue_depth gauge\n",
+		"mc3_queue_depth 1.5\n",
+		"# TYPE mc3_span_duration_seconds histogram\n",
+		`mc3_span_duration_seconds_count{span="prep"} 1`,
+		`mc3_span_duration_seconds_sum{span="prep"} 0.01`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	// One # TYPE line per family even with several labelled series.
+	if n := strings.Count(text, "# TYPE mc3_span_duration_seconds"); n != 1 {
+		t.Errorf("histogram family typed %d times, want 1", n)
+	}
+	// Buckets are cumulative: the 2µs observation must appear in every
+	// bucket from le="2e-06" up, so the +Inf bucket for solve is 1.
+	if !strings.Contains(text, `mc3_span_duration_seconds_bucket{span="solve",le="2e-06"} 1`) {
+		t.Errorf("2µs observation not in its bucket\n%s", text)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c").Add(2)
+	reg.Gauge("g").Set(0.5)
+	reg.Histogram("h").Observe(1)
+	snap := reg.Snapshot()
+	if snap["c"] != int64(2) || snap["g"] != 0.5 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	h, ok := snap["h"].(map[string]any)
+	if !ok || h["count"] != int64(1) || h["sum"] != 1.0 {
+		t.Errorf("histogram snapshot = %v", snap["h"])
+	}
+	var nilReg *obs.Registry
+	if nilReg.Snapshot() != nil {
+		t.Error("nil registry snapshot not nil")
+	}
+	nilReg.Counter("x").Inc() // must not panic
+}
+
+// solveInstance builds an instance big enough that its solve outlasts a few
+// /metrics polls.
+func solveInstance(t testing.TB) *core.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	u := core.NewUniverse()
+	names := make([]string, 40)
+	for i := range names {
+		names[i] = fmt.Sprintf("p%02d", i)
+	}
+	seen := map[string]bool{}
+	var queries []core.PropSet
+	for len(queries) < 1500 {
+		idx := rng.Perm(len(names))[:3]
+		q := u.Set(names[idx[0]], names[idx[1]], names[idx[2]])
+		if seen[q.Key()] {
+			continue
+		}
+		seen[q.Key()] = true
+		queries = append(queries, q)
+	}
+	cost := core.CostFunc(func(s core.PropSet) float64 { return 1 + float64(len(s)) })
+	inst, err := core.NewInstance(u, queries, cost, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestMetricsServedDuringSolve is the ISSUE acceptance check: with
+// -debug-addr wired up, /metrics serves non-empty Prometheus text while a
+// solve is running.
+func TestMetricsServedDuringSolve(t *testing.T) {
+	reg := obs.NewRegistry()
+	addr, stop, err := obs.ServeDebug("localhost:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	inst := solveInstance(t)
+	opts := solver.DefaultOptions()
+	opts.Tracer = obs.New().WithMetrics(reg)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := solver.General(inst, opts)
+		done <- err
+	}()
+
+	get := func() (string, string) {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	// Poll while the solve runs; inner spans (prep, components, wsc runs)
+	// end long before the solve does, so metrics appear mid-solve. If the
+	// solve outruns the polls, the registry still holds its spans after.
+	var body, ctype string
+	solveDone := false
+	deadline := time.Now().Add(10 * time.Second)
+	for body, ctype = get(); !strings.Contains(body, "mc3_spans_total"); body, ctype = get() {
+		if time.Now().After(deadline) {
+			t.Fatalf("no span metrics within deadline:\n%s", body)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			solveDone = true
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("content-type = %q", ctype)
+	}
+	if !strings.Contains(body, "# TYPE mc3_spans_total counter") {
+		t.Errorf("missing TYPE line:\n%s", body)
+	}
+	if !strings.Contains(body, `mc3_span_duration_seconds_bucket{span=`) {
+		t.Errorf("missing span duration histogram:\n%s", body)
+	}
+
+	if !solveDone {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("solve did not finish")
+		}
+	}
+
+	// /debug/vars and /debug/pprof/ are mounted too.
+	reg.Publish("mc3_test")
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(vars), "cmdline") {
+		t.Errorf("/debug/vars response unexpected: %.100s", vars)
+	}
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiles manages the standard Go profiling outputs a CLI run can request:
+// a CPU profile, a heap profile written at shutdown, and a runtime/trace.
+// Obtain one with StartProfiles and stop it exactly once with Stop (safe to
+// defer even when every path is empty).
+type Profiles struct {
+	cpuFile   *os.File
+	traceFile *os.File
+	memPath   string
+}
+
+// StartProfiles starts the requested profiles; any path may be empty. On
+// error, anything already started is stopped before returning.
+func StartProfiles(cpuPath, memPath, tracePath string) (*Profiles, error) {
+	p := &Profiles{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			p.Stop()
+			return nil, fmt.Errorf("obs: execution trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			p.Stop()
+			return nil, fmt.Errorf("obs: execution trace: %w", err)
+		}
+		p.traceFile = f
+	}
+	return p, nil
+}
+
+// Stop finishes every active profile: it stops the CPU profile and the
+// execution trace, and writes the heap profile (after a GC, so it reflects
+// live memory). Safe on a nil receiver and idempotent.
+func (p *Profiles) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var errs []error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("obs: cpu profile: %w", err))
+		}
+		p.cpuFile = nil
+	}
+	if p.traceFile != nil {
+		trace.Stop()
+		if err := p.traceFile.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("obs: execution trace: %w", err))
+		}
+		p.traceFile = nil
+	}
+	if p.memPath != "" {
+		path := p.memPath
+		p.memPath = ""
+		f, err := os.Create(path)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("obs: heap profile: %w", err))
+		} else {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				errs = append(errs, fmt.Errorf("obs: heap profile: %w", err))
+			}
+			if err := f.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("obs: heap profile: %w", err))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

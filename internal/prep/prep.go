@@ -34,6 +34,20 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Span names emitted by preprocessing (see internal/obs). Solvers' stats
+// sinks match SpanPrep to split a solve's wall time into prep + solve and to
+// accumulate the per-step counters carried in its attrs.
+const (
+	// SpanPrep wraps a whole Algorithm 1 run. Attrs: "level", "queries",
+	// "classifiers"; on success also "stats" (a prep.Stats value),
+	// "components", and "selected".
+	SpanPrep = "prep"
+	// SpanStep wraps one preprocessing step. Attrs: "step" ("feasibility",
+	// "step1", "step3", "step4", or "step2").
+	SpanStep = "prep.step"
 )
 
 // Level selects how much of Algorithm 1 runs.
@@ -172,8 +186,24 @@ func Run(inst *core.Instance, level Level) (*Result, error) {
 
 // RunCtx is Run with cancellation: the step loops check the context every
 // 256 work items and return ctx.Err() when it fires, discarding the partial
-// preprocessing result.
+// preprocessing result. When ctx carries a span (see internal/obs) the run
+// is traced as a "prep" span with one "prep.step" child per step executed.
 func RunCtx(ctx context.Context, inst *core.Instance, level Level) (*Result, error) {
+	sp, ctx := obs.StartChild(ctx, SpanPrep,
+		obs.Str("level", level.String()),
+		obs.Int("queries", inst.NumQueries()), obs.Int("classifiers", inst.NumClassifiers()))
+	r, err := runCtx(ctx, inst, level)
+	if err == nil {
+		sp.SetAttr(obs.Any("stats", r.Stats),
+			obs.Int("components", len(r.Components)), obs.Int("selected", len(r.Selected)))
+	}
+	sp.EndErr(err)
+	return r, err
+}
+
+// runCtx is RunCtx's body, split out so the prep span observes the final
+// error uniformly.
+func runCtx(ctx context.Context, inst *core.Instance, level Level) (*Result, error) {
 	// Fail fast on an already-dead context: small instances can otherwise
 	// finish before the first batched checkpoint fires.
 	if err := ctx.Err(); err != nil {
@@ -196,8 +226,10 @@ func RunCtx(ctx context.Context, inst *core.Instance, level Level) (*Result, err
 	st := &state{inst: inst, r: r, ctx: ctx, done: ctx.Done()}
 
 	// Feasibility: every query must be coverable by finite-cost classifiers.
+	fsp, _ := obs.StartChild(ctx, SpanStep, obs.Str("step", "feasibility"))
 	for qi := 0; qi < n; qi++ {
 		if !st.checkpoint() {
+			fsp.EndErr(st.err)
 			return nil, st.err
 		}
 		var union uint64
@@ -205,11 +237,15 @@ func RunCtx(ctx context.Context, inst *core.Instance, level Level) (*Result, err
 			union |= qc.Mask
 		}
 		if union != inst.FullMask(qi) {
-			return nil, fmt.Errorf("prep: query %d (%v) cannot be covered by any finite-cost classifiers", qi, inst.Query(qi))
+			err := fmt.Errorf("prep: query %d (%v) cannot be covered by any finite-cost classifiers", qi, inst.Query(qi))
+			fsp.EndErr(err)
+			return nil, err
 		}
 	}
+	fsp.End()
 
 	// ---- Step 1 ----
+	s1, _ := obs.StartChild(ctx, SpanStep, obs.Str("step", "step1"))
 	for qi := 0; qi < n; qi++ {
 		q := inst.Query(qi)
 		if q.Len() != 1 {
@@ -217,7 +253,9 @@ func RunCtx(ctx context.Context, inst *core.Instance, level Level) (*Result, err
 		}
 		id, ok := inst.ClassifierIDOf(q)
 		if !ok {
-			return nil, fmt.Errorf("prep: singleton query %v has no finite-cost classifier", q)
+			err := fmt.Errorf("prep: singleton query %v has no finite-cost classifier", q)
+			s1.EndErr(err)
+			return nil, err
 		}
 		if !r.SelectedSet[id] {
 			r.Stats.SingletonSelected++
@@ -233,12 +271,20 @@ func RunCtx(ctx context.Context, inst *core.Instance, level Level) (*Result, err
 			}
 		}
 	}
+	s1.SetAttr(obs.Int("selected", len(r.Selected)))
+	s1.End()
 
 	if level == Full {
 		st.buildPropIndex()
+		s3, _ := obs.StartChild(ctx, SpanStep, obs.Str("step", "step3"))
 		st.step3()
+		s3.SetAttr(obs.Int("removed", r.Stats.Step3Removed), obs.Int("selected", r.Stats.Step3Selected))
+		s3.EndErr(st.err)
 		if st.err == nil && inst.MaxQueryLen() <= 2 {
+			s4, _ := obs.StartChild(ctx, SpanStep, obs.Str("step", "step4"))
 			st.step4()
+			s4.SetAttr(obs.Int("removed", r.Stats.Step4Removed), obs.Int("selected", r.Stats.Step4Selected))
+			s4.EndErr(st.err)
 		}
 		if st.err != nil {
 			return nil, st.err
@@ -246,7 +292,10 @@ func RunCtx(ctx context.Context, inst *core.Instance, level Level) (*Result, err
 	}
 
 	// ---- Step 2: component partition of the residual ----
+	s2, _ := obs.StartChild(ctx, SpanStep, obs.Str("step", "step2"))
 	r.Components = st.components(level)
+	s2.SetAttr(obs.Int("components", len(r.Components)))
+	s2.End()
 	r.Stats.Components = len(r.Components)
 	for _, cov := range r.CoveredQuery {
 		if cov {

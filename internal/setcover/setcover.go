@@ -15,7 +15,14 @@ import (
 	"math"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
+
+// SpanRun is the span each set-cover engine run emits (see internal/obs).
+// Attrs: "engine" ("greedy", "primal-dual", "lp-rounding"), "sets" (picked),
+// "cost", and engine-internal counters — "pops" (greedy heap pops), "tight"
+// (primal-dual sets tight before reverse-delete).
+const SpanRun = "setcover"
 
 // Instance is a weighted set cover instance: a universe of elements
 // 0..numElements−1 and a collection of sets, each with a non-negative cost.
@@ -161,8 +168,18 @@ func (in *Instance) Greedy() ([]int, float64, error) {
 // context every 256 heap pops and returns ctx.Err() when it fires,
 // discarding the partial cover.
 func (in *Instance) GreedyCtx(ctx context.Context) ([]int, float64, error) {
+	sp, ctx := obs.StartChild(ctx, SpanRun, obs.Str("engine", "greedy"))
+	picked, total, pops, err := in.greedyCtx(ctx)
+	if err == nil {
+		sp.SetAttr(obs.Int("pops", pops), obs.Int("sets", len(picked)), obs.F64("cost", total))
+	}
+	sp.EndErr(err)
+	return picked, total, err
+}
+
+func (in *Instance) greedyCtx(ctx context.Context) ([]int, float64, int, error) {
 	if err := in.checkCoverable(); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	done := ctx.Done()
 	covered := make([]bool, in.numElements)
@@ -177,16 +194,17 @@ func (in *Instance) GreedyCtx(ctx context.Context) ([]int, float64, error) {
 	remaining := in.numElements
 	var picked []int
 	var total float64
-	for pops := 0; remaining > 0; pops++ {
+	pops := 0
+	for ; remaining > 0; pops++ {
 		if done != nil && pops&255 == 0 {
 			select {
 			case <-done:
-				return nil, 0, ctx.Err()
+				return nil, 0, pops, ctx.Err()
 			default:
 			}
 		}
 		if h.Len() == 0 {
-			return nil, 0, fmt.Errorf("setcover: internal error: queue drained with %d elements uncovered", remaining)
+			return nil, 0, pops, fmt.Errorf("setcover: internal error: queue drained with %d elements uncovered", remaining)
 		}
 		it := heap.Pop(&h).(greedyItem)
 		s := it.set
@@ -217,7 +235,7 @@ func (in *Instance) GreedyCtx(ctx context.Context) ([]int, float64, error) {
 			}
 		}
 	}
-	return picked, total, nil
+	return picked, total, pops, nil
 }
 
 // PrimalDual runs the Bar-Yehuda–Even primal-dual algorithm: for each
@@ -233,8 +251,18 @@ func (in *Instance) PrimalDual() ([]int, float64, error) {
 // PrimalDualCtx is PrimalDual with cancellation: the element loop checks the
 // context every 1024 elements and returns ctx.Err() when it fires.
 func (in *Instance) PrimalDualCtx(ctx context.Context) ([]int, float64, error) {
+	sp, ctx := obs.StartChild(ctx, SpanRun, obs.Str("engine", "primal-dual"))
+	picked, cost, tight, err := in.primalDualCtx(ctx)
+	if err == nil {
+		sp.SetAttr(obs.Int("tight", tight), obs.Int("sets", len(picked)), obs.F64("cost", cost))
+	}
+	sp.EndErr(err)
+	return picked, cost, err
+}
+
+func (in *Instance) primalDualCtx(ctx context.Context) ([]int, float64, int, error) {
 	if err := in.checkCoverable(); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	done := ctx.Done()
 	residual := append([]float64(nil), in.costs...)
@@ -246,7 +274,7 @@ func (in *Instance) PrimalDualCtx(ctx context.Context) ([]int, float64, error) {
 		if done != nil && e&1023 == 0 {
 			select {
 			case <-done:
-				return nil, 0, ctx.Err()
+				return nil, 0, 0, ctx.Err()
 			default:
 			}
 		}
@@ -263,7 +291,7 @@ func (in *Instance) PrimalDualCtx(ctx context.Context) ([]int, float64, error) {
 		if math.IsInf(delta, 1) {
 			// All containing sets already tight; e is covered by one of
 			// them — but covered[] would have said so. Unreachable.
-			return nil, 0, fmt.Errorf("setcover: internal error at element %d", e)
+			return nil, 0, 0, fmt.Errorf("setcover: internal error at element %d", e)
 		}
 		for _, s := range in.elemSets[e] {
 			if tight[s] {
@@ -280,8 +308,9 @@ func (in *Instance) PrimalDualCtx(ctx context.Context) ([]int, float64, error) {
 		}
 	}
 
+	raw := len(picked)
 	picked = in.reverseDelete(picked)
-	return picked, in.CoverCost(picked), nil
+	return picked, in.CoverCost(picked), raw, nil
 }
 
 // reverseDelete drops sets that are redundant given the rest, scanning in
@@ -427,8 +456,18 @@ func (in *Instance) LPRounding() ([]int, float64, error) {
 }
 
 // LPRoundingCtx is LPRounding with cancellation: the context is handed to
-// the underlying simplex solver, which checks it between pivots.
+// the underlying simplex solver's pivot loop.
 func (in *Instance) LPRoundingCtx(ctx context.Context) ([]int, float64, error) {
+	sp, ctx := obs.StartChild(ctx, SpanRun, obs.Str("engine", "lp-rounding"))
+	picked, cost, err := in.lpRoundingCtx(ctx)
+	if err == nil {
+		sp.SetAttr(obs.Int("sets", len(picked)), obs.F64("cost", cost))
+	}
+	sp.EndErr(err)
+	return picked, cost, err
+}
+
+func (in *Instance) lpRoundingCtx(ctx context.Context) ([]int, float64, error) {
 	if err := in.checkCoverable(); err != nil {
 		return nil, 0, err
 	}

@@ -1,0 +1,88 @@
+package setcover
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+type spanRecorder struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (r *spanRecorder) Span(ev obs.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ev.Attrs = append([]obs.Attr(nil), ev.Attrs...)
+	r.events = append(r.events, ev)
+}
+
+// TestEnginesEmitSpans checks each engine reports a setcover span with its
+// engine name, cost, and internal counters under a traced context.
+func TestEnginesEmitSpans(t *testing.T) {
+	in := New(4)
+	in.AddSet([]int32{0, 1}, 2)
+	in.AddSet([]int32{2, 3}, 2)
+	in.AddSet([]int32{0, 1, 2, 3}, 5)
+
+	rec := &spanRecorder{}
+	tr := obs.New(rec)
+	root, ctx := obs.StartSpan(context.Background(), tr, "root")
+
+	type engine struct {
+		name    string
+		run     func(context.Context) ([]int, float64, error)
+		counter string
+	}
+	engines := []engine{
+		{"greedy", in.GreedyCtx, "pops"},
+		{"primal-dual", in.PrimalDualCtx, "tight"},
+		{"lp-rounding", in.LPRoundingCtx, ""},
+	}
+	for _, e := range engines {
+		if _, _, err := e.run(ctx); err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+	}
+	root.End()
+
+	found := map[string]obs.Event{}
+	rec.mu.Lock()
+	for _, ev := range rec.events {
+		if ev.Name == SpanRun {
+			found[ev.Str("engine")] = ev
+		}
+	}
+	rec.mu.Unlock()
+	for _, e := range engines {
+		ev, ok := found[e.name]
+		if !ok {
+			t.Errorf("no setcover span for %s", e.name)
+			continue
+		}
+		if v, _ := ev.Value("cost"); v != 4.0 {
+			t.Errorf("%s span cost = %v, want 4", e.name, v)
+		}
+		if ev.Int("sets") != 2 {
+			t.Errorf("%s span sets = %d, want 2", e.name, ev.Int("sets"))
+		}
+		if e.counter != "" && ev.Int(e.counter) == 0 {
+			t.Errorf("%s span missing counter %q", e.name, e.counter)
+		}
+	}
+}
+
+// TestEnginesUntracedUnaffected checks a plain context stays span-free and
+// results are unchanged.
+func TestEnginesUntracedUnaffected(t *testing.T) {
+	in := New(2)
+	in.AddSet([]int32{0}, 1)
+	in.AddSet([]int32{1}, 1)
+	sets, cost, err := in.GreedyCtx(context.Background())
+	if err != nil || cost != 2 || len(sets) != 2 {
+		t.Fatalf("greedy = %v %v %v", sets, cost, err)
+	}
+}

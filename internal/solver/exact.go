@@ -1,12 +1,14 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ExactLimit caps the instance size Exact accepts: branch-and-bound is
@@ -22,17 +24,28 @@ const ExactLimit = 64
 //
 // Honors opts.Context / opts.Timeout with a checkpoint every 1024
 // branch-and-bound nodes; on cancellation the partial search is discarded
-// and ctx.Err() is returned.
+// and ctx.Err() is returned. The search runs under a "solve" span whose
+// "nodes" attr counts visited branch-and-bound nodes.
 func Exact(inst *core.Instance, opts Options) (*core.Solution, error) {
 	if inst.NumClassifiers() > ExactLimit {
 		return nil, fmt.Errorf("solver: Exact limited to %d classifiers, instance has %d", ExactLimit, inst.NumClassifiers())
 	}
 	ctx, cancelTimeout, opts := opts.solveContext()
 	defer cancelTimeout()
+	sp, ctx, opts := startSolve(ctx, opts, SpanSolve, "exact")
+	sol, nodes, err := exactSearch(ctx, inst, opts)
+	sp.SetAttr(obs.Int("nodes", nodes))
+	sp.EndErr(err)
+	return sol, err
+}
+
+// exactSearch is Exact's branch-and-bound body; it returns the number of
+// search nodes visited alongside the solution.
+func exactSearch(ctx context.Context, inst *core.Instance, opts Options) (*core.Solution, int, error) {
 	// Fail fast if the context is already dead: tiny searches can finish
 	// before the first per-1024-nodes checkpoint.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	done := ctx.Done()
 
@@ -124,16 +137,16 @@ func Exact(inst *core.Instance, opts Options) (*core.Solution, error) {
 
 	dfsQuery(0, 0)
 	if stopErr != nil {
-		return nil, stopErr
+		return nil, nodes, stopErr
 	}
 	if math.IsInf(best, 1) {
-		return nil, fmt.Errorf("solver: instance is infeasible")
+		return nil, nodes, fmt.Errorf("solver: instance is infeasible")
 	}
 	sol := core.NewSolution(inst, bestSet)
 	if opts.Validate {
 		if err := inst.Verify(sol); err != nil {
-			return nil, err
+			return nil, nodes, err
 		}
 	}
-	return sol, nil
+	return sol, nodes, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prep"
 )
 
@@ -16,27 +17,26 @@ import (
 // min{ln I + ln(k−1) + 1, 2^{k−1}} (Theorem 5.3).
 //
 // Honors opts.Context / opts.Timeout (cancellation checkpoints in
-// preprocessing, component dispatch, and every set-cover engine) and
-// populates opts.Stats when attached.
+// preprocessing, component dispatch, and every set-cover engine), populates
+// opts.Stats when attached, and emits spans through opts.Tracer.
 func General(inst *core.Instance, opts Options) (*core.Solution, error) {
 	ctx, cancelTimeout, opts := opts.solveContext()
 	defer cancelTimeout()
-	tr := startTracking(opts.Stats, "mc3-general")
-	sol, err := generalWithCtx(ctx, inst, opts, tr)
-	tr.finish(err)
+	sp, ctx, opts := startSolve(ctx, opts, SpanSolve, "mc3-general")
+	sp.SetAttr(obs.Int("queries", inst.NumQueries()), obs.Int("classifiers", inst.NumClassifiers()))
+	sol, err := generalWithCtx(ctx, inst, opts)
+	sp.EndErr(err)
 	return sol, err
 }
 
-// generalWithCtx is General's body, split out so the tracker can observe the
+// generalWithCtx is General's body, split out so the solve span observes the
 // final error uniformly.
-func generalWithCtx(ctx context.Context, inst *core.Instance, opts Options, tr *tracker) (*core.Solution, error) {
+func generalWithCtx(ctx context.Context, inst *core.Instance, opts Options) (*core.Solution, error) {
 	r, err := prep.RunCtx(ctx, inst, opts.Prep)
-	tr.prepDone(r)
 	if err != nil {
 		return nil, err
 	}
-	picks, engines, err := generalResidual(ctx, r, opts)
-	tr.wscEngines(engines)
+	picks, err := generalResidual(ctx, r, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -44,38 +44,44 @@ func generalWithCtx(ctx context.Context, inst *core.Instance, opts Options, tr *
 }
 
 // generalResidual covers the residual of a preprocessed instance and returns
-// the picked classifier IDs (preprocessing selections not included) together
-// with the winning set-cover engine per component ("" for components that
-// needed no cover run). Components are independent (Observation 3.2) and
-// solved concurrently when opts.Parallelism allows; the concatenation order
-// is fixed, so the result is deterministic.
-func generalResidual(ctx context.Context, r *prep.Result, opts Options) ([]core.ClassifierID, []string, error) {
+// the picked classifier IDs (preprocessing selections not included).
+// Components are independent (Observation 3.2) and solved concurrently when
+// opts.Parallelism allows; the concatenation order is fixed, so the result
+// is deterministic.
+func generalResidual(ctx context.Context, r *prep.Result, opts Options) ([]core.ClassifierID, error) {
 	perComp := make([][]core.ClassifierID, len(r.Components))
-	engines := make([]string, len(r.Components))
 	err := forEachComponent(ctx, len(r.Components), opts.Parallelism, func(ci int) error {
-		sc, setIDs := buildWSC(r, r.Components[ci])
-		if sc.NumElements() == 0 {
-			return nil
-		}
-		sets, _, engine, err := runWSC(ctx, sc, opts.WSC)
-		if err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				return err
-			}
-			return fmt.Errorf("solver: WSC failed on component: %w", err)
-		}
-		engines[ci] = engine
-		for _, s := range sets {
-			perComp[ci] = append(perComp[ci], setIDs[s])
-		}
-		return nil
+		csp, cctx := obs.StartChild(ctx, SpanComponent,
+			obs.Int("index", ci), obs.Int("queries", len(r.Components[ci])))
+		err := generalComponent(cctx, r, ci, opts, perComp)
+		csp.EndErr(err)
+		return err
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var picks []core.ClassifierID
 	for _, p := range perComp {
 		picks = append(picks, p...)
 	}
-	return picks, engines, nil
+	return picks, nil
+}
+
+// generalComponent covers component ci, writing its picks into perComp[ci].
+func generalComponent(ctx context.Context, r *prep.Result, ci int, opts Options, perComp [][]core.ClassifierID) error {
+	sc, setIDs := buildWSC(r, r.Components[ci])
+	if sc.NumElements() == 0 {
+		return nil
+	}
+	sets, _, _, err := runWSC(ctx, sc, opts.WSC)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return fmt.Errorf("solver: WSC failed on component: %w", err)
+	}
+	for _, s := range sets {
+		perComp[ci] = append(perComp[ci], setIDs[s])
+	}
+	return nil
 }

@@ -8,7 +8,7 @@ import (
 
 	"repro/internal/bipartite"
 	"repro/internal/core"
-	"repro/internal/maxflow"
+	"repro/internal/obs"
 	"repro/internal/prep"
 )
 
@@ -20,30 +20,29 @@ import (
 // Max-Flow.
 //
 // Honors opts.Context / opts.Timeout (cancellation checkpoints in
-// preprocessing, component dispatch, and the max-flow engines) and populates
-// opts.Stats when attached.
+// preprocessing, component dispatch, and the max-flow engines), populates
+// opts.Stats when attached, and emits spans through opts.Tracer.
 func KTwo(inst *core.Instance, opts Options) (*core.Solution, error) {
 	if inst.MaxQueryLen() > 2 {
 		return nil, fmt.Errorf("solver: KTwo requires max query length ≤ 2, instance has %d", inst.MaxQueryLen())
 	}
 	ctx, cancelTimeout, opts := opts.solveContext()
 	defer cancelTimeout()
-	tr := startTracking(opts.Stats, "mc3-short")
-	sol, err := ktwoWithCtx(ctx, inst, opts, tr)
-	tr.finish(err)
+	sp, ctx, opts := startSolve(ctx, opts, SpanSolve, "mc3-short")
+	sp.SetAttr(obs.Int("queries", inst.NumQueries()), obs.Int("classifiers", inst.NumClassifiers()))
+	sol, err := ktwoWithCtx(ctx, inst, opts)
+	sp.EndErr(err)
 	return sol, err
 }
 
-// ktwoWithCtx is KTwo's body, split out so the tracker can observe the final
+// ktwoWithCtx is KTwo's body, split out so the solve span observes the final
 // error uniformly.
-func ktwoWithCtx(ctx context.Context, inst *core.Instance, opts Options, tr *tracker) (*core.Solution, error) {
+func ktwoWithCtx(ctx context.Context, inst *core.Instance, opts Options) (*core.Solution, error) {
 	r, err := prep.RunCtx(ctx, inst, opts.Prep)
-	tr.prepDone(r)
 	if err != nil {
 		return nil, err
 	}
-	picks, mf, err := ktwoResidual(ctx, r, opts)
-	tr.addMaxflow(mf)
+	picks, err := ktwoResidual(ctx, r, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -51,110 +50,116 @@ func ktwoWithCtx(ctx context.Context, inst *core.Instance, opts Options, tr *tra
 }
 
 // ktwoResidual solves the residual of a preprocessed k ≤ 2 instance exactly
-// and returns the picked classifier IDs plus the summed max-flow work across
-// components. Independent components run concurrently when opts.Parallelism
-// allows; concatenation order is fixed, so the result is deterministic.
-func ktwoResidual(ctx context.Context, r *prep.Result, opts Options) ([]core.ClassifierID, maxflow.Stats, error) {
-	inst := r.Inst
+// and returns the picked classifier IDs. Independent components run
+// concurrently when opts.Parallelism allows; concatenation order is fixed,
+// so the result is deterministic. Max-flow work is observed through the
+// engines' own spans.
+func ktwoResidual(ctx context.Context, r *prep.Result, opts Options) ([]core.ClassifierID, error) {
 	perComp := make([][]core.ClassifierID, len(r.Components))
-	mfs := make([]maxflow.Stats, len(r.Components))
 	err := forEachComponent(ctx, len(r.Components), opts.Parallelism, func(ci int) error {
-		comp := r.Components[ci]
-		// Left: one node per property in the component (its singleton
-		// classifier, or a +Inf placeholder when that classifier is absent
-		// or pruned). Right: one node per residual query (its full pair
-		// classifier or a placeholder).
-		propNode := make(map[core.PropID]int)
-		var weightL []float64
-		var idL []core.ClassifierID
-		leftOf := func(p core.PropID) int {
-			if i, ok := propNode[p]; ok {
-				return i
-			}
-			i := len(weightL)
-			propNode[p] = i
-			w := math.Inf(1)
-			id := core.NoClassifier
-			if cid, ok := inst.ClassifierIDOf(core.NewPropSet(p)); ok && !r.Removed[cid] {
-				w = r.EffCost[cid]
-				id = cid
-			}
-			weightL = append(weightL, w)
-			idL = append(idL, id)
-			return i
-		}
-
-		var weightR []float64
-		var idR []core.ClassifierID
-		type edge struct{ l, r int }
-		var edges []edge
-		for _, qi := range comp {
-			q := inst.Query(qi)
-			if q.Len() != 2 {
-				return fmt.Errorf("solver: residual query %v has length %d; preprocessing should leave only length-2 queries", q, q.Len())
-			}
-			ri := len(weightR)
-			w := math.Inf(1)
-			id := core.NoClassifier
-			full := inst.FullMask(qi)
-			for _, qc := range inst.QueryClassifiers(qi) {
-				if qc.Mask == full && !r.Removed[qc.ID] {
-					w = r.EffCost[qc.ID]
-					id = qc.ID
-					break
-				}
-			}
-			weightR = append(weightR, w)
-			idR = append(idR, id)
-			edges = append(edges, edge{leftOf(q[0]), ri}, edge{leftOf(q[1]), ri})
-		}
-
-		wvc, err := bipartite.New(weightL, weightR)
-		if err != nil {
-			return err
-		}
-		for _, e := range edges {
-			if err := wvc.AddEdge(e.l, e.r); err != nil {
-				return err
-			}
-		}
-		coverL, coverR, _, err := wvc.SolveCtx(ctx, opts.Engine, &mfs[ci])
-		if err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				return err
-			}
-			return fmt.Errorf("solver: component infeasible: %w", err)
-		}
-		for i, in := range coverL {
-			if !in {
-				continue
-			}
-			if idL[i] == core.NoClassifier {
-				return fmt.Errorf("solver: internal error: placeholder singleton selected")
-			}
-			perComp[ci] = append(perComp[ci], idL[i])
-		}
-		for i, in := range coverR {
-			if !in {
-				continue
-			}
-			if idR[i] == core.NoClassifier {
-				return fmt.Errorf("solver: internal error: placeholder pair selected")
-			}
-			perComp[ci] = append(perComp[ci], idR[i])
-		}
-		return nil
+		csp, cctx := obs.StartChild(ctx, SpanComponent,
+			obs.Int("index", ci), obs.Int("queries", len(r.Components[ci])))
+		err := ktwoComponent(cctx, r, ci, opts, perComp)
+		csp.EndErr(err)
+		return err
 	})
-	var mf maxflow.Stats
-	for i := range mfs {
-		mf.Add(mfs[i])
-	}
 	if err != nil {
-		return nil, mf, err
+		return nil, err
 	}
 	var picks []core.ClassifierID
 	for _, p := range perComp {
 		picks = append(picks, p...)
 	}
-	return picks, mf, nil
+	return picks, nil
+}
+
+// ktwoComponent solves component ci exactly via the bipartite WVC reduction,
+// writing its picks into perComp[ci].
+func ktwoComponent(ctx context.Context, r *prep.Result, ci int, opts Options, perComp [][]core.ClassifierID) error {
+	inst := r.Inst
+	comp := r.Components[ci]
+	// Left: one node per property in the component (its singleton
+	// classifier, or a +Inf placeholder when that classifier is absent
+	// or pruned). Right: one node per residual query (its full pair
+	// classifier or a placeholder).
+	propNode := make(map[core.PropID]int)
+	var weightL []float64
+	var idL []core.ClassifierID
+	leftOf := func(p core.PropID) int {
+		if i, ok := propNode[p]; ok {
+			return i
+		}
+		i := len(weightL)
+		propNode[p] = i
+		w := math.Inf(1)
+		id := core.NoClassifier
+		if cid, ok := inst.ClassifierIDOf(core.NewPropSet(p)); ok && !r.Removed[cid] {
+			w = r.EffCost[cid]
+			id = cid
+		}
+		weightL = append(weightL, w)
+		idL = append(idL, id)
+		return i
+	}
+
+	var weightR []float64
+	var idR []core.ClassifierID
+	type edge struct{ l, r int }
+	var edges []edge
+	for _, qi := range comp {
+		q := inst.Query(qi)
+		if q.Len() != 2 {
+			return fmt.Errorf("solver: residual query %v has length %d; preprocessing should leave only length-2 queries", q, q.Len())
+		}
+		ri := len(weightR)
+		w := math.Inf(1)
+		id := core.NoClassifier
+		full := inst.FullMask(qi)
+		for _, qc := range inst.QueryClassifiers(qi) {
+			if qc.Mask == full && !r.Removed[qc.ID] {
+				w = r.EffCost[qc.ID]
+				id = qc.ID
+				break
+			}
+		}
+		weightR = append(weightR, w)
+		idR = append(idR, id)
+		edges = append(edges, edge{leftOf(q[0]), ri}, edge{leftOf(q[1]), ri})
+	}
+
+	wvc, err := bipartite.New(weightL, weightR)
+	if err != nil {
+		return err
+	}
+	for _, e := range edges {
+		if err := wvc.AddEdge(e.l, e.r); err != nil {
+			return err
+		}
+	}
+	coverL, coverR, _, err := wvc.SolveCtx(ctx, opts.Engine, nil)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return fmt.Errorf("solver: component infeasible: %w", err)
+	}
+	for i, in := range coverL {
+		if !in {
+			continue
+		}
+		if idL[i] == core.NoClassifier {
+			return fmt.Errorf("solver: internal error: placeholder singleton selected")
+		}
+		perComp[ci] = append(perComp[ci], idL[i])
+	}
+	for i, in := range coverR {
+		if !in {
+			continue
+		}
+		if idR[i] == core.NoClassifier {
+			return fmt.Errorf("solver: internal error: placeholder pair selected")
+		}
+		perComp[ci] = append(perComp[ci], idR[i])
+	}
+	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"math/bits"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prep"
 	"repro/internal/setcover"
 )
@@ -160,8 +161,23 @@ func addMultiValuedSets(r *prep.Result, comp []int, sc *setcover.Instance, multi
 
 // runWSC executes the configured set-cover method(s) under ctx and returns
 // the cheapest result plus the name of the engine that produced it
-// ("greedy", "primal-dual", or "lp-rounding").
+// ("greedy", "primal-dual", or "lp-rounding"). The race runs under a "wsc"
+// span whose "engine" attr names the winner, with one "wsc.run" child per
+// engine executed.
 func runWSC(ctx context.Context, sc *setcover.Instance, method WSCMethod) ([]int, float64, string, error) {
+	wsp, ctx := obs.StartChild(ctx, SpanWSC,
+		obs.Int("elements", sc.NumElements()), obs.Int("sets_available", sc.NumSets()))
+	sets, cost, name, err := runWSCEngines(ctx, sc, method)
+	if err == nil {
+		wsp.SetAttr(obs.Str("engine", name), obs.F64("cost", cost), obs.Int("sets", len(sets)))
+	}
+	wsp.EndErr(err)
+	return sets, cost, name, err
+}
+
+// runWSCEngines runs the engine(s) method selects and keeps the cheapest
+// output.
+func runWSCEngines(ctx context.Context, sc *setcover.Instance, method WSCMethod) ([]int, float64, string, error) {
 	type outcome struct {
 		sets []int
 		cost float64
@@ -169,10 +185,14 @@ func runWSC(ctx context.Context, sc *setcover.Instance, method WSCMethod) ([]int
 	}
 	var results []outcome
 	run := func(name string, f func(context.Context) ([]int, float64, error)) error {
-		sets, cost, err := f(ctx)
+		rsp, rctx := obs.StartChild(ctx, SpanWSCRun, obs.Str("engine", name))
+		sets, cost, err := f(rctx)
 		if err != nil {
+			rsp.EndErr(err)
 			return err
 		}
+		rsp.SetAttr(obs.F64("cost", cost), obs.Int("sets", len(sets)))
+		rsp.End()
 		results = append(results, outcome{sets, cost, name})
 		return nil
 	}

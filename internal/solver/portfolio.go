@@ -1,10 +1,12 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prep"
 )
 
@@ -24,52 +26,74 @@ import (
 // Honors opts.Context / opts.Timeout — one deadline spans all candidates,
 // and candidates are skipped once it fires (the best solution found before
 // that, if any, is still returned). opts.Stats records under "portfolio"
-// with Winner naming the kept candidate.
+// with Winner naming the kept candidate; each candidate runs under its own
+// "candidate" span.
 func Portfolio(inst *core.Instance, opts Options) (*core.Solution, error) {
 	ctx, cancelTimeout, opts := opts.solveContext()
 	defer cancelTimeout()
-	tr := startTracking(opts.Stats, "portfolio")
+	sp, ctx, opts := startSolve(ctx, opts, SpanSolve, "portfolio")
+	sol, winner, err := portfolioWithCtx(ctx, inst, opts)
+	if winner != "" {
+		sp.SetAttr(obs.Str("winner", winner))
+	}
+	sp.EndErr(err)
+	if sol != nil {
+		// A partial run (deadline fired after some candidate succeeded)
+		// still returns the best solution; the cancellation is recorded on
+		// the span and in the stats.
+		return sol, nil
+	}
+	return nil, err
+}
 
+// portfolioWithCtx is Portfolio's body, split out so the solve span observes
+// the winner and the final error uniformly.
+func portfolioWithCtx(ctx context.Context, inst *core.Instance, opts Options) (*core.Solution, string, error) {
 	// Preprocess once; every in-process candidate builds on this result.
 	r, err := prep.RunCtx(ctx, inst, opts.Prep)
-	tr.prepDone(r)
 	if err != nil {
-		tr.finish(err)
-		return nil, err
+		return nil, "", err
 	}
 
 	if inst.MaxQueryLen() <= 2 {
 		// Exact: no portfolio can improve on it, so nothing else runs.
-		picks, mf, err := ktwoResidual(ctx, r, opts)
-		tr.addMaxflow(mf)
+		csp, cctx := obs.StartChild(ctx, SpanCandidate, obs.Str("candidate", "mc3-short"))
+		picks, err := ktwoResidual(cctx, r, opts)
 		if err != nil {
-			tr.finish(err)
-			return nil, err
+			csp.EndErr(err)
+			return nil, "", err
 		}
 		sol, err := assemble(inst, r, picks, opts)
-		tr.finish(err)
-		if err == nil {
-			opts.Stats.setWinner("mc3-short")
+		csp.EndErr(err)
+		if err != nil {
+			return nil, "", err
 		}
-		return sol, err
+		return sol, "mc3-short", nil
 	}
 
 	candidates := []struct {
 		name string
-		run  func() (*core.Solution, error)
+		run  func(ctx context.Context) (*core.Solution, error)
 	}{
-		{"mc3-general", func() (*core.Solution, error) {
-			picks, engines, err := generalResidual(ctx, r, opts)
-			tr.wscEngines(engines)
+		{"mc3-general", func(ctx context.Context) (*core.Solution, error) {
+			picks, err := generalResidual(ctx, r, opts)
 			if err != nil {
 				return nil, err
 			}
 			return assemble(inst, r, picks, opts)
 		}},
 		// shortFirstPhases / LocalGreedy receive opts with the resolved
-		// context, so they share the portfolio's deadline.
-		{"short-first", func() (*core.Solution, error) { return shortFirstPhases(inst, opts) }},
-		{"local-greedy", func() (*core.Solution, error) { return LocalGreedy(inst, opts) }},
+		// context, so they share the portfolio's deadline (and its trace).
+		{"short-first", func(ctx context.Context) (*core.Solution, error) {
+			copts := opts
+			copts.Context = ctx
+			return shortFirstPhases(inst, copts)
+		}},
+		{"local-greedy", func(ctx context.Context) (*core.Solution, error) {
+			copts := opts
+			copts.Context = ctx
+			return LocalGreedy(inst, copts)
+		}},
 	}
 
 	var best *core.Solution
@@ -80,7 +104,9 @@ func Portfolio(inst *core.Instance, opts Options) (*core.Solution, error) {
 			errs = append(errs, fmt.Errorf("solver: portfolio %s skipped: %w", c.name, err))
 			break
 		}
-		sol, err := c.run()
+		csp, cctx := obs.StartChild(ctx, SpanCandidate, obs.Str("candidate", c.name))
+		sol, err := c.run(cctx)
+		csp.EndErr(err)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("solver: portfolio %s: %w", c.name, err))
 			continue
@@ -91,20 +117,15 @@ func Portfolio(inst *core.Instance, opts Options) (*core.Solution, error) {
 		}
 	}
 	if best == nil {
-		err := errors.Join(errs...)
-		tr.finish(err)
-		return nil, err
+		return nil, "", errors.Join(errs...)
 	}
 	if opts.Validate {
 		if err := inst.Verify(best); err != nil {
-			tr.finish(err)
-			return nil, err
+			return nil, "", err
 		}
 	}
 	// ctx.Err() is nil on a full run; when the deadline cut candidates
 	// short, the stats record the cancellation even though a solution is
 	// still returned.
-	tr.finish(ctx.Err())
-	opts.Stats.setWinner(winner)
-	return best, nil
+	return best, winner, ctx.Err()
 }

@@ -15,15 +15,14 @@ import (
 //
 // Honors opts.Context / opts.Timeout; the timeout is resolved once here, so
 // both phases share a single deadline. When opts.Stats is attached, the two
-// phases record individually (as "mc3-short" and "mc3-general") and the
-// overall algorithm name is set afterwards.
+// phases record individually (as "mc3-short" and "mc3-general") under a
+// composite span that names the overall algorithm "short-first".
 func ShortFirst(inst *core.Instance, opts Options) (*core.Solution, error) {
-	_, cancelTimeout, opts := opts.solveContext()
+	ctx, cancelTimeout, opts := opts.solveContext()
 	defer cancelTimeout()
+	sp, _, opts := startSolve(ctx, opts, SpanComposite, "short-first")
 	sol, err := shortFirstPhases(inst, opts)
-	if opts.Stats != nil {
-		opts.Stats.setAlgorithm("short-first")
-	}
+	sp.EndErr(err)
 	return sol, err
 }
 

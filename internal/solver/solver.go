@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/bipartite"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prep"
 )
 
@@ -107,7 +108,19 @@ type Options struct {
 	// choices, cancellation reason). Fields accumulate across solves so a
 	// single struct can tally a whole run; call Reset between solves for
 	// per-solve numbers. Safe for concurrent use.
+	//
+	// Stats is populated from the same trace events a Tracer observes (a
+	// stats-collecting sink is attached internally), so the two views can
+	// never disagree.
 	Stats *SolveStats
+	// Tracer, when non-nil and enabled (it has at least one sink or a
+	// metrics registry), receives hierarchical spans covering the whole
+	// solve: preprocessing steps, per-component dispatch, every set-cover
+	// engine run, simplex solves, max-flow runs, and branch-and-bound. It
+	// is resolved once at the top-level entry (the same pattern as
+	// Context/Timeout), so nested solvers chain onto one trace. A nil or
+	// disabled tracer costs nothing on the hot path.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions returns the paper's default configuration: full

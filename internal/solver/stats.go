@@ -1,10 +1,10 @@
 package solver
 
 import (
-	"context"
-	"errors"
+	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -15,13 +15,17 @@ import (
 
 // SolveStats accumulates observability data about solves — the per-engine
 // runtime telemetry a serving layer needs to pick algorithms and enforce
-// deadlines. Attach one via Options.Stats; General, KTwo, ShortFirst, and
-// Portfolio populate it. Fields accumulate across solves (and across nested
-// phases: Short-First's two sub-solves and Portfolio's candidates each
-// record individually), so a single struct can tally a whole benchmark run;
-// call Reset between solves for per-solve numbers. All methods and all
-// solver writes are guarded by an internal mutex, so one struct may be
-// shared by concurrent solves. Use it by pointer only.
+// deadlines. Attach one via Options.Stats; General, KTwo, ShortFirst,
+// Portfolio, and Exact populate it. Fields accumulate across solves (and
+// across nested phases: Short-First's two sub-solves and Portfolio's
+// candidates each record individually), so a single struct can tally a whole
+// benchmark run; call Reset between solves for per-solve numbers. All
+// methods and all solver writes are guarded by an internal mutex, so one
+// struct may be shared by concurrent solves. Use it by pointer only.
+//
+// SolveStats is populated from the solver's trace events (it is an
+// obs.Sink consumer under the hood — see Options.Tracer), so the aggregate
+// numbers here and the spans a tracer records are views of the same data.
 type SolveStats struct {
 	mu sync.Mutex
 
@@ -45,6 +49,8 @@ type SolveStats struct {
 	Components int
 	// WSCEngine lists, per component Algorithm 3 solved, the set-cover
 	// engine whose output was kept ("greedy", "primal-dual", "lp-rounding").
+	// With parallel component solving the list order follows completion
+	// order; Render reports sorted counts.
 	WSCEngine []string
 	// MaxFlow accumulates max-flow engine work across Algorithm 2
 	// components.
@@ -77,25 +83,38 @@ func (s *SolveStats) Reset() {
 	s.Winner = ""
 }
 
-// setAlgorithm overwrites the recorded algorithm name — used by composite
-// solvers (ShortFirst, Portfolio) whose phases record under their own names.
-func (s *SolveStats) setAlgorithm(name string) {
-	if s == nil {
-		return
+// engineCounts tallies WSCEngine into deterministic (name, count) pairs:
+// the known engines first in fixed order, then any unknown names sorted.
+// Callers must hold s.mu.
+func (s *SolveStats) engineCounts() []engineCount {
+	if len(s.WSCEngine) == 0 {
+		return nil
 	}
-	s.mu.Lock()
-	s.Algorithm = name
-	s.mu.Unlock()
+	counts := map[string]int{}
+	for _, e := range s.WSCEngine {
+		counts[e]++
+	}
+	var out []engineCount
+	for _, e := range []string{"greedy", "primal-dual", "lp-rounding"} {
+		if counts[e] > 0 {
+			out = append(out, engineCount{e, counts[e]})
+			delete(counts, e)
+		}
+	}
+	rest := make([]string, 0, len(counts))
+	for e := range counts {
+		rest = append(rest, e)
+	}
+	sort.Strings(rest)
+	for _, e := range rest {
+		out = append(out, engineCount{e, counts[e]})
+	}
+	return out
 }
 
-// setWinner records Portfolio's kept candidate.
-func (s *SolveStats) setWinner(name string) {
-	if s == nil {
-		return
-	}
-	s.mu.Lock()
-	s.Winner = name
-	s.mu.Unlock()
+type engineCount struct {
+	Name  string
+	Count int
 }
 
 // Render writes a human-readable report.
@@ -109,20 +128,10 @@ func (s *SolveStats) Render(w io.Writer) {
 		s.Prep.SingletonSelected, s.Prep.ZeroCostSelected, s.Prep.Step3Selected, s.Prep.Step4Selected,
 		s.Prep.Step3Removed+s.Prep.Step4Removed, s.Prep.QueriesCovered)
 	fmt.Fprintf(w, "components: %d\n", s.Components)
-	if len(s.WSCEngine) > 0 {
-		counts := map[string]int{}
-		for _, e := range s.WSCEngine {
-			counts[e]++
-		}
-		var parts []string
-		for _, e := range []string{"greedy", "primal-dual", "lp-rounding"} {
-			if counts[e] > 0 {
-				parts = append(parts, fmt.Sprintf("%s×%d", e, counts[e]))
-				delete(counts, e)
-			}
-		}
-		for e, c := range counts {
-			parts = append(parts, fmt.Sprintf("%s×%d", e, c))
+	if counts := s.engineCounts(); len(counts) > 0 {
+		parts := make([]string, 0, len(counts))
+		for _, ec := range counts {
+			parts = append(parts, fmt.Sprintf("%s×%d", ec.Name, ec.Count))
 		}
 		fmt.Fprintf(w, "wsc engines kept: %s\n", strings.Join(parts, " "))
 	}
@@ -145,91 +154,52 @@ func (s *SolveStats) String() string {
 	return b.String()
 }
 
-// tracker collects one solve's measurements locally — no locking on the hot
-// path — and merges them into the shared SolveStats exactly once, at finish.
-// A nil tracker is a no-op, so solvers call its methods unconditionally.
-type tracker struct {
-	stats   *SolveStats
-	algo    string
-	start   time.Time
-	prepEnd time.Time
-	prep    *prep.Result
-	engines []string
-	mf      maxflow.Stats
+// jsonSolveStats is SolveStats' wire form: durations in seconds, engine
+// picks as a name → count map (JSON object keys render sorted, so the
+// output is deterministic).
+type jsonSolveStats struct {
+	Algorithm    string         `json:"algorithm"`
+	Solves       int            `json:"solves"`
+	PrepSeconds  float64        `json:"prep_seconds"`
+	SolveSeconds float64        `json:"solve_seconds"`
+	TotalSeconds float64        `json:"total_seconds"`
+	Prep         prep.Stats     `json:"prep"`
+	Components   int            `json:"components"`
+	WSCEngines   map[string]int `json:"wsc_engines,omitempty"`
+	MaxFlow      *maxflow.Stats `json:"maxflow,omitempty"`
+	Cancelled    bool           `json:"cancelled,omitempty"`
+	CancelReason string         `json:"cancel_reason,omitempty"`
+	Winner       string         `json:"winner,omitempty"`
 }
 
-// startTracking opens a tracked solve; nil stats yields a nil (no-op)
-// tracker.
-func startTracking(stats *SolveStats, algo string) *tracker {
-	if stats == nil {
-		return nil
-	}
-	return &tracker{stats: stats, algo: algo, start: time.Now()}
-}
-
-// prepDone marks the end of the preprocessing phase. r may be nil when
-// preprocessing itself failed.
-func (t *tracker) prepDone(r *prep.Result) {
-	if t == nil {
-		return
-	}
-	t.prepEnd = time.Now()
-	t.prep = r
-}
-
-// wscEngines records the per-component winning set-cover engines (empty
-// entries — components resolved without a cover run — are dropped at merge).
-func (t *tracker) wscEngines(engines []string) {
-	if t == nil {
-		return
-	}
-	t.engines = engines
-}
-
-// addMaxflow accumulates max-flow work from Algorithm 2 components.
-func (t *tracker) addMaxflow(st maxflow.Stats) {
-	if t == nil {
-		return
-	}
-	t.mf.Add(st)
-}
-
-// finish closes the tracked solve and merges everything into the shared
-// stats under its lock, classifying err as a cancellation when appropriate.
-func (t *tracker) finish(err error) {
-	if t == nil {
-		return
-	}
-	end := time.Now()
-	s := t.stats
+// MarshalJSON renders a consistent snapshot taken under the lock — the
+// format mc3bench's -json report embeds.
+func (s *SolveStats) MarshalJSON() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.Algorithm = t.algo
-	s.Solves++
-	s.TotalTime += end.Sub(t.start)
-	if !t.prepEnd.IsZero() {
-		s.PrepTime += t.prepEnd.Sub(t.start)
-		s.SolveTime += end.Sub(t.prepEnd)
+	doc := jsonSolveStats{
+		Algorithm:    s.Algorithm,
+		Solves:       s.Solves,
+		PrepSeconds:  s.PrepTime.Seconds(),
+		SolveSeconds: s.SolveTime.Seconds(),
+		TotalSeconds: s.TotalTime.Seconds(),
+		Prep:         s.Prep,
+		Components:   s.Components,
+		Cancelled:    s.Cancelled,
+		CancelReason: s.CancelReason,
+		Winner:       s.Winner,
 	}
-	if t.prep != nil {
-		addPrepStats(&s.Prep, t.prep.Stats)
-		s.Components += len(t.prep.Components)
-	}
-	for _, e := range t.engines {
-		if e != "" {
-			s.WSCEngine = append(s.WSCEngine, e)
+	if counts := s.engineCounts(); len(counts) > 0 {
+		doc.WSCEngines = make(map[string]int, len(counts))
+		for _, ec := range counts {
+			doc.WSCEngines[ec.Name] = ec.Count
 		}
 	}
-	s.MaxFlow.Add(t.mf)
-	switch {
-	case err == nil:
-	case errors.Is(err, context.DeadlineExceeded):
-		s.Cancelled = true
-		s.CancelReason = "deadline"
-	case errors.Is(err, context.Canceled):
-		s.Cancelled = true
-		s.CancelReason = "cancelled"
+	if s.MaxFlow != (maxflow.Stats{}) {
+		mf := s.MaxFlow
+		doc.MaxFlow = &mf
 	}
+	return json.Marshal(doc)
 }
 
 // addPrepStats accumulates b into a field by field.

@@ -1,0 +1,189 @@
+package solver
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/prep"
+)
+
+// TestAddPrepStatsCoversAllFields guards addPrepStats against prep.Stats
+// growing a field it forgets to accumulate: every field is set to a distinct
+// nonzero value by reflection, and one add must reproduce it exactly.
+func TestAddPrepStatsCoversAllFields(t *testing.T) {
+	var b prep.Stats
+	bv := reflect.ValueOf(&b).Elem()
+	bt := bv.Type()
+	for i := 0; i < bv.NumField(); i++ {
+		f := bv.Field(i)
+		if f.Kind() != reflect.Int {
+			t.Fatalf("prep.Stats.%s is %s; extend this test and addPrepStats for non-int fields",
+				bt.Field(i).Name, f.Kind())
+		}
+		f.SetInt(int64(i + 1))
+	}
+
+	var a prep.Stats
+	addPrepStats(&a, b)
+	av := reflect.ValueOf(a)
+	for i := 0; i < av.NumField(); i++ {
+		if got, want := av.Field(i).Int(), int64(i+1); got != want {
+			t.Errorf("after one add, %s = %d, want %d (addPrepStats misses the field?)",
+				bt.Field(i).Name, got, want)
+		}
+	}
+
+	addPrepStats(&a, b)
+	av = reflect.ValueOf(a)
+	for i := 0; i < av.NumField(); i++ {
+		if got, want := av.Field(i).Int(), int64(2*(i+1)); got != want {
+			t.Errorf("after two adds, %s = %d, want %d (addPrepStats overwrites instead of adding?)",
+				bt.Field(i).Name, got, want)
+		}
+	}
+}
+
+// eventSink records completed spans, copying attrs.
+type eventSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (s *eventSink) Span(ev obs.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev.Attrs = append([]obs.Attr(nil), ev.Attrs...)
+	s.events = append(s.events, ev)
+}
+
+// TestStatsAgreeWithSpans solves with both a recording sink and a SolveStats
+// attached and checks the aggregate numbers equal what the spans say: the
+// stats are a projection of the same trace events, so the agreement is exact,
+// not approximate.
+func TestStatsAgreeWithSpans(t *testing.T) {
+	inst := multiComponentInstance(t, 4)
+	sink := &eventSink{}
+	var stats SolveStats
+	opts := DefaultOptions()
+	opts.Tracer = obs.New(sink)
+	opts.Stats = &stats
+
+	if _, err := General(inst, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		solveDur, prepDur time.Duration
+		solves            int
+		prepParents       = map[uint64]time.Duration{}
+		components        int64
+		engines           []string
+	)
+	sink.mu.Lock()
+	events := sink.events
+	sink.mu.Unlock()
+	for _, ev := range events {
+		switch ev.Name {
+		case SpanSolve:
+			solves++
+			solveDur += ev.Duration
+		case prep.SpanPrep:
+			prepDur += ev.Duration
+			prepParents[ev.Parent] += ev.Duration
+			components += ev.Int("components")
+		case SpanWSC:
+			if e := ev.Str("engine"); e != "" {
+				engines = append(engines, e)
+			}
+		}
+	}
+	var splitDur time.Duration
+	for _, ev := range events {
+		if ev.Name == SpanSolve {
+			if d := ev.Duration - prepParents[ev.ID]; prepParents[ev.ID] > 0 && d > 0 {
+				splitDur += d
+			}
+		}
+	}
+
+	if solves == 0 {
+		t.Fatal("no solve spans recorded")
+	}
+	if stats.Solves != solves {
+		t.Errorf("stats.Solves = %d, spans say %d", stats.Solves, solves)
+	}
+	if stats.TotalTime != solveDur {
+		t.Errorf("stats.TotalTime = %v, solve spans sum to %v", stats.TotalTime, solveDur)
+	}
+	if stats.PrepTime != prepDur {
+		t.Errorf("stats.PrepTime = %v, prep spans sum to %v", stats.PrepTime, prepDur)
+	}
+	if stats.SolveTime != splitDur {
+		t.Errorf("stats.SolveTime = %v, spans say %v", stats.SolveTime, splitDur)
+	}
+	if stats.Components != int(components) {
+		t.Errorf("stats.Components = %d, prep spans say %d", stats.Components, components)
+	}
+	if len(stats.WSCEngine) != len(engines) {
+		t.Errorf("stats.WSCEngine has %d entries, wsc spans %d", len(stats.WSCEngine), len(engines))
+	}
+	// The per-phase split covers the whole solve: prep + solve = total.
+	if got := stats.PrepTime + stats.SolveTime; got != stats.TotalTime {
+		t.Errorf("prep %v + solve %v = %v, total %v", stats.PrepTime, stats.SolveTime, got, stats.TotalTime)
+	}
+}
+
+// TestConcurrentSolvesShareTracer runs concurrent solves against one shared
+// Tracer (sink + metrics registry) and one shared SolveStats — the -race
+// check for the whole observability fan-out.
+func TestConcurrentSolvesShareTracer(t *testing.T) {
+	sink := &eventSink{}
+	reg := obs.NewRegistry()
+	tr := obs.New(sink).WithMetrics(reg)
+	var stats SolveStats
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inst := adversarialInstance(t, 60, 24, int64(i+1))
+			opts := DefaultOptions()
+			opts.Tracer = tr
+			opts.Stats = &stats
+			_, errs[i] = General(inst, opts)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+	}
+
+	if stats.Solves != n {
+		t.Errorf("stats.Solves = %d, want %d", stats.Solves, n)
+	}
+	if got := reg.Counter(`mc3_spans_total{span="solve"}`).Value(); got != n {
+		t.Errorf(`mc3_spans_total{span="solve"} = %d, want %d`, got, n)
+	}
+	if got := reg.Histogram(`mc3_span_duration_seconds{span="solve"}`).Count(); got != n {
+		t.Errorf("solve duration observations = %d, want %d", got, n)
+	}
+	solveSpans := 0
+	sink.mu.Lock()
+	for _, ev := range sink.events {
+		if ev.Name == SpanSolve {
+			solveSpans++
+		}
+	}
+	sink.mu.Unlock()
+	if solveSpans != n {
+		t.Errorf("sink saw %d solve spans, want %d", solveSpans, n)
+	}
+}

@@ -40,7 +40,11 @@
 package mc3
 
 import (
+	"io"
+	"log/slog"
+
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prep"
 	"repro/internal/solver"
 )
@@ -110,6 +114,39 @@ type (
 	// SolveOptions.Stats; call Reset between solves for per-solve numbers.
 	SolveStats = solver.SolveStats
 )
+
+// Observability types (see docs/OBSERVABILITY.md). Attach a Tracer via
+// SolveOptions.Tracer to receive one event per completed span of the solve;
+// SolveStats is populated from the same events.
+type (
+	// Tracer creates spans and fans completion events out to sinks.
+	Tracer = obs.Tracer
+	// TraceSink consumes completed spans; implementations must be safe for
+	// concurrent use.
+	TraceSink = obs.Sink
+	// TraceEvent is the record of one completed span.
+	TraceEvent = obs.Event
+	// MetricsRegistry holds counters, gauges, and duration histograms with
+	// Prometheus text and expvar exposition.
+	MetricsRegistry = obs.Registry
+)
+
+// NewTracer returns a Tracer emitting to the given sinks. Extend it with
+// Tracer.WithSink / Tracer.WithMetrics; a tracer with no sinks and no
+// registry is disabled at zero cost.
+func NewTracer(sinks ...TraceSink) *Tracer { return obs.New(sinks...) }
+
+// NewJSONLTraceSink returns a sink writing one JSON object per completed
+// span to w.
+func NewJSONLTraceSink(w io.Writer) TraceSink { return obs.NewJSONLSink(w) }
+
+// NewSlogTraceSink returns a sink logging completed spans through l
+// (slog.Default() when nil).
+func NewSlogTraceSink(l *slog.Logger) TraceSink { return obs.NewSlogSink(l) }
+
+// NewMetricsRegistry returns an empty metrics registry; attach it with
+// Tracer.WithMetrics to record per-span counters and duration histograms.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Set-cover engine choices for SolveOptions.WSC.
 const (
