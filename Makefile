@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race check bench bench-full experiments experiments-quick fuzz clean
+.PHONY: all build vet test test-race race check bench bench-full experiments experiments-quick serve fuzz clean
 
 all: build vet test
 
@@ -39,6 +39,11 @@ experiments:
 
 experiments-quick:
 	$(GO) run ./cmd/mc3bench -quick
+
+# Run the solve daemon locally (POST instances to http://localhost:8080/solve;
+# see docs/SERVING.md for the API and the component-solution cache behind it).
+serve:
+	$(GO) run ./cmd/mc3serve -addr localhost:8080
 
 # Short fuzzing passes over the parser and the set algebra.
 fuzz:

@@ -1,0 +1,186 @@
+package mc3
+
+// Differential testing for the component-solution cache: on every workload
+// generator, a solve with a shared cache attached must produce a verifiable
+// solution of exactly the same cost as the cache-free solve — on the first
+// pass (all misses) and on repeated passes (hits). See internal/cache for
+// the signature soundness argument; this file checks it end to end.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// cacheDiffLoads builds one modest instance per workload generator.
+func cacheDiffLoads(t *testing.T) map[string]*core.Instance {
+	t.Helper()
+	loads := make(map[string]*core.Instance)
+	for name, ds := range map[string]*workload.Dataset{
+		"synthetic": workload.Synthetic(400, 42),
+		"bestbuy":   workload.BestBuy(7),
+		"private":   workload.Private(11),
+	} {
+		inst, err := ds.SubsetInstance(120, 1)
+		if err != nil {
+			t.Fatalf("%s: SubsetInstance: %v", name, err)
+		}
+		loads[name] = inst
+	}
+	return loads
+}
+
+// cacheDiffSolvers are the cache-aware entry points: General always applies;
+// KTwo (and the exact short path of Solve) only on k ≤ 2 instances.
+func cacheDiffSolvers(inst *core.Instance) map[string]SolverFunc {
+	fns := map[string]SolverFunc{
+		"general":   SolveGeneral,
+		"portfolio": SolvePortfolio,
+	}
+	if inst.MaxQueryLen() <= 2 {
+		fns["ktwo"] = SolveKTwo
+	}
+	return fns
+}
+
+func TestCacheDifferentialAcrossWorkloads(t *testing.T) {
+	for name, inst := range cacheDiffLoads(t) {
+		inst := inst
+		t.Run(name, func(t *testing.T) {
+			for algo, fn := range cacheDiffSolvers(inst) {
+				base := DefaultSolveOptions()
+				plain, err := fn(inst, base)
+				if err != nil {
+					t.Fatalf("%s uncached: %v", algo, err)
+				}
+
+				c := NewCache(CacheConfig{})
+				cached := base
+				cached.Cache = c
+
+				// Pass 1 populates (all misses), pass 2 and 3 replay from
+				// the cache; every pass must match the uncached cost exactly
+				// and verify against the instance.
+				for pass := 1; pass <= 3; pass++ {
+					sol, err := fn(inst, cached)
+					if err != nil {
+						t.Fatalf("%s cached pass %d: %v", algo, pass, err)
+					}
+					if err := inst.Verify(sol); err != nil {
+						t.Fatalf("%s cached pass %d: invalid solution: %v", algo, pass, err)
+					}
+					if sol.Cost != plain.Cost {
+						t.Fatalf("%s cached pass %d: cost %v != uncached %v", algo, pass, sol.Cost, plain.Cost)
+					}
+				}
+
+				st := c.Stats()
+				if st.Misses == 0 {
+					t.Errorf("%s: first pass recorded no misses", algo)
+				}
+				if st.Hits == 0 {
+					t.Errorf("%s: repeat passes recorded no hits (stats %+v)", algo, st)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheSharedConcurrentSolves hammers one shared cache from concurrent
+// solves over a mix of instances. Run under -race this exercises the cache's
+// locking; the assertions check that concurrency never changes results.
+func TestCacheSharedConcurrentSolves(t *testing.T) {
+	loads := cacheDiffLoads(t)
+
+	// Reference costs, computed serially without a cache.
+	want := make(map[string]float64)
+	for name, inst := range loads {
+		sol, err := SolvePortfolio(inst, DefaultSolveOptions())
+		if err != nil {
+			t.Fatalf("%s reference: %v", name, err)
+		}
+		want[name] = sol.Cost
+	}
+
+	// Small cache bound forces concurrent evictions, not just hits.
+	c := NewCache(CacheConfig{MaxEntries: 64})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for worker := 0; worker < 8; worker++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				for name, inst := range loads {
+					opts := DefaultSolveOptions()
+					opts.Cache = c
+					opts.Parallelism = 2
+					sol, err := SolvePortfolio(inst, opts)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if err := inst.Verify(sol); err != nil {
+						errs <- err
+						return
+					}
+					if sol.Cost != want[name] {
+						errs <- &costMismatchError{name: name, got: sol.Cost, want: want[name]}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits == 0 {
+		t.Errorf("shared cache saw no hits across 32 repeated solves (stats %+v)", st)
+	}
+}
+
+type costMismatchError struct {
+	name      string
+	got, want float64
+}
+
+func (e *costMismatchError) Error() string {
+	return "concurrent cached solve changed the cost on " + e.name
+}
+
+// TestCacheHitRateOnRepeatedComponents is the acceptance check from the
+// issue: a repeated-workload run with the cache attached must report a
+// positive hit rate through the observability metrics.
+func TestCacheHitRateOnRepeatedComponents(t *testing.T) {
+	reg := NewMetricsRegistry()
+	c := NewCache(CacheConfig{Metrics: reg})
+
+	inst, err := workload.Synthetic(300, 3).SubsetInstance(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultSolveOptions()
+	opts.Cache = c
+	for i := 0; i < 3; i++ {
+		if _, err := SolveGeneral(inst, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hr := c.Stats().HitRate(); !(hr > 0) {
+		t.Fatalf("hit rate = %v, want > 0", hr)
+	}
+	// The same counters must be visible through the registry exposition.
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mc3_cache_hits_total") {
+		t.Errorf("metrics exposition lacks mc3_cache_hits_total:\n%s", sb.String())
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cache"
 	"repro/internal/obs"
 	"repro/internal/solver"
 )
@@ -41,15 +42,16 @@ func main() {
 func run(args []string, out, errw io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("mc3bench", flag.ContinueOnError)
 	var (
-		quick   = fs.Bool("quick", false, "run at reduced scale")
-		seed    = fs.Int64("seed", 1, "dataset generation seed")
-		exps    = fs.String("exp", "all", "comma-separated experiments: table1,fig3a,fig3b,fig3c,fig3d,fig3e,fig3f,ablation,all")
-		repeats = fs.Int("repeats", 1, "timing repetitions (min reported)")
-		format  = fs.String("format", "text", "output format: text|csv|markdown")
-		asJSON  = fs.Bool("json", false, "emit one JSON report instead of tables (the BENCH_*.json format; implies -stats data when -stats is set)")
-		seeds   = fs.Int("seeds", 1, "run each experiment under this many seeds and report means")
-		timeout = fs.Duration("timeout", 0, "abort any individual solve after this wall time (0 = no limit)")
-		stats   = fs.Bool("stats", false, "print accumulated solve statistics after the run")
+		quick    = fs.Bool("quick", false, "run at reduced scale")
+		seed     = fs.Int64("seed", 1, "dataset generation seed")
+		exps     = fs.String("exp", "all", "comma-separated experiments: table1,fig3a,fig3b,fig3c,fig3d,fig3e,fig3f,ablation,all")
+		repeats  = fs.Int("repeats", 1, "timing repetitions (min reported)")
+		format   = fs.String("format", "text", "output format: text|csv|markdown")
+		asJSON   = fs.Bool("json", false, "emit one JSON report instead of tables (the BENCH_*.json format; implies -stats data when -stats is set)")
+		seeds    = fs.Int("seeds", 1, "run each experiment under this many seeds and report means")
+		timeout  = fs.Duration("timeout", 0, "abort any individual solve after this wall time (0 = no limit)")
+		stats    = fs.Bool("stats", false, "print accumulated solve statistics after the run")
+		useCache = fs.Bool("cache", false, "share one component-solution cache across every solve of the run and report its hit/miss stats")
 	)
 	var obsCfg obs.CLIConfig
 	obsCfg.RegisterFlags(fs)
@@ -109,6 +111,9 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 	cfg.Tracer = obsCLI.Tracer
 	if *stats {
 		cfg.Stats = new(solver.SolveStats)
+	}
+	if *useCache {
+		cfg.Cache = cache.New(cache.Config{})
 	}
 
 	runners := map[string]func(bench.Config) (*bench.Table, error){
@@ -183,12 +188,23 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 	if rep != nil {
 		rep.TotalSeconds = time.Since(start).Seconds()
 		rep.Stats = cfg.Stats
+		if cfg.Cache != nil {
+			st := cfg.Cache.Stats()
+			rep.Cache = &st
+		}
 		if err := rep.write(out); err != nil {
 			return err
 		}
-	} else if cfg.Stats != nil {
-		fmt.Fprintln(out, "== solve stats (accumulated across the run) ==")
-		cfg.Stats.Render(out)
+	} else {
+		if cfg.Stats != nil {
+			fmt.Fprintln(out, "== solve stats (accumulated across the run) ==")
+			cfg.Stats.Render(out)
+		}
+		if cfg.Cache != nil {
+			st := cfg.Cache.Stats()
+			fmt.Fprintf(out, "component cache: %d hits / %d misses (%.1f%% hit rate), %d entries, %d evictions\n",
+				st.Hits, st.Misses, 100*st.HitRate(), st.Entries, st.Evictions)
+		}
 	}
 	fmt.Fprintf(errw, "mc3bench: total %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

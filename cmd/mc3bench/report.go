@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cache"
 	"repro/internal/solver"
 )
 
@@ -25,6 +26,9 @@ type report struct {
 	Experiments  []reportExperiment `json:"experiments"`
 	TotalSeconds float64            `json:"total_seconds"`
 	Stats        *solver.SolveStats `json:"stats,omitempty"`
+	// Cache reports the shared component-solution cache's counters when the
+	// run was invoked with -cache: the amortization record for BENCH_*.json.
+	Cache *cache.Stats `json:"cache,omitempty"`
 }
 
 // reportExperiment is one experiment's table plus its wall time.

@@ -1,0 +1,385 @@
+// Command mc3serve is a long-lived HTTP daemon that answers MC³ solve
+// requests. Where mc3solve pays the full solve cost on every invocation, the
+// daemon keeps a process-wide component-solution cache (internal/cache), so
+// query loads that repeat components — the normal shape of production query
+// logs — are answered increasingly from memory.
+//
+// Usage:
+//
+//	mc3serve [-addr :8080] [-algo auto] [-wsc auto] [-prep full]
+//	         [-engine dinic] [-parallel 0] [-cache-size 4096]
+//	         [-cache-quantum 0] [-request-timeout 30s] [-max-body 8388608]
+//
+// API (see docs/SERVING.md):
+//
+//	POST /solve   — body: instance JSON (the mc3solve/textio format);
+//	                response: {"cost", "classifiers", "queries", "seconds",
+//	                "algorithm", "cache_hit_rate"}.
+//	GET  /healthz — liveness probe, "ok".
+//	GET  /stats   — JSON snapshot: uptime, request counters, cache stats.
+//	GET  /metrics — Prometheus text exposition of the process registry.
+//
+// Each request is solved under its own deadline: the request context (client
+// disconnect cancels the solve) bounded by -request-timeout. Timeouts answer
+// 504, client cancellations 499, malformed or infeasible instances 4xx.
+// SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// Observability: the standard flags (-spans, -log-spans, -cpuprofile,
+// -memprofile, -trace, -debug-addr) work as in the other CLIs; /metrics is
+// additionally served on the main address so scraping needs no second port.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/prep"
+	"repro/internal/solver"
+	"repro/internal/textio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mc3serve:", err)
+		os.Exit(1)
+	}
+}
+
+// config is the parsed daemon configuration.
+type config struct {
+	addr         string
+	algo         string
+	wsc          string
+	prep         string
+	engine       string
+	parallel     int
+	cacheSize    int
+	cacheQuantum float64
+	reqTimeout   time.Duration
+	maxBody      int64
+	validate     bool
+}
+
+// run parses flags, builds the server, and serves until a termination signal
+// arrives; logs go to logw.
+func run(args []string, logw io.Writer) (retErr error) {
+	fs := flag.NewFlagSet("mc3serve", flag.ContinueOnError)
+	cfg := config{}
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&cfg.algo, "algo", "auto", "algorithm: auto|ktwo|general|short-first|portfolio")
+	fs.StringVar(&cfg.wsc, "wsc", "auto", "Algorithm 3 set-cover engine: auto|greedy|primal-dual|lp-rounding|auto-lp")
+	fs.StringVar(&cfg.prep, "prep", "full", "preprocessing level: full|minimal")
+	fs.StringVar(&cfg.engine, "engine", "dinic", "Algorithm 2 max-flow engine: dinic|push-relabel|capacity-scaling")
+	fs.IntVar(&cfg.parallel, "parallel", 0, "components solved concurrently per request (0/1 serial, -1 = GOMAXPROCS)")
+	fs.IntVar(&cfg.cacheSize, "cache-size", cache.DefaultMaxEntries, "component-solution cache entries (0 disables the cache)")
+	fs.Float64Var(&cfg.cacheQuantum, "cache-quantum", 0, "cost quantum for cache keys (0 = exact costs)")
+	fs.DurationVar(&cfg.reqTimeout, "request-timeout", 30*time.Second, "per-request solve deadline (0 = client-controlled only)")
+	fs.Int64Var(&cfg.maxBody, "max-body", 8<<20, "maximum request body bytes")
+	fs.BoolVar(&cfg.validate, "validate", true, "verify every solution before answering")
+	var obsCfg obs.CLIConfig
+	obsCfg.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	obsCLI, err := obsCfg.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsCLI.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+
+	srv, err := newServer(cfg, obsCLI.Tracer)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	fmt.Fprintf(logw, "mc3serve: listening on http://%s (cache %d entries, timeout %v)\n",
+		ln.Addr(), cfg.cacheSize, cfg.reqTimeout)
+	if obsCLI.DebugAddr != "" {
+		fmt.Fprintf(logw, "mc3serve: debug server on http://%s\n", obsCLI.DebugAddr)
+	}
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(logw, "mc3serve: shutting down, draining in-flight requests")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := srv.cache.Stats()
+	fmt.Fprintf(logw, "mc3serve: served %d solves (%d errors), cache hit rate %.1f%%\n",
+		srv.requests.Load(), srv.errored.Load(), 100*st.HitRate())
+	return nil
+}
+
+// server is the HTTP handler: immutable solver configuration plus the shared
+// mutable state (cache, metrics, counters). Safe for concurrent requests.
+type server struct {
+	cfg      config
+	opts     solver.Options // template; Context is set per request
+	cache    *cache.Cache   // nil when -cache-size 0
+	registry *obs.Registry
+	mux      *http.ServeMux
+	started  time.Time
+
+	requests atomic.Int64
+	errored  atomic.Int64
+}
+
+// newServer validates cfg and assembles the handler.
+func newServer(cfg config, tracer *obs.Tracer) (*server, error) {
+	opts, err := buildOptions(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkAlgo(cfg.algo); err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	reg.Publish("mc3serve")
+	s := &server{
+		cfg:      cfg,
+		opts:     opts,
+		registry: reg,
+		started:  time.Now(),
+	}
+	if cfg.cacheSize > 0 {
+		s.cache = cache.New(cache.Config{
+			MaxEntries:  cfg.cacheSize,
+			CostQuantum: cfg.cacheQuantum,
+			Metrics:     reg,
+		})
+	}
+	s.opts.Cache = s.cache
+	s.opts.Tracer = tracer.WithMetrics(reg)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.Handle("GET /metrics", reg)
+	return s, nil
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// solveResponse is the /solve success document.
+type solveResponse struct {
+	Cost         float64    `json:"cost"`
+	Classifiers  [][]string `json:"classifiers"`
+	Queries      int        `json:"queries"`
+	Seconds      float64    `json:"seconds"`
+	Algorithm    string     `json:"algorithm"`
+	CacheHitRate float64    `json:"cache_hit_rate"`
+}
+
+// errorResponse is the JSON error document for non-2xx answers.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// statusClientClosedRequest is nginx's conventional code for a request whose
+// client went away before the answer was ready.
+const statusClientClosedRequest = 499
+
+// handleSolve answers POST /solve: parse the instance, solve it under the
+// request's deadline with the shared cache, answer JSON.
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.registry.Counter("mc3serve_requests_total").Inc()
+
+	file, err := textio.Read(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		s.fail(w, code, fmt.Errorf("parse instance: %w", err))
+		return
+	}
+	_, inst, err := file.Build(core.Options{})
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("build instance: %w", err))
+		return
+	}
+	fn, algoName := pickAlgorithm(s.cfg.algo, inst)
+
+	// The solve runs under the request context — a dropped connection
+	// cancels it — additionally bounded by the configured timeout. The
+	// cancellation checkpoints throughout the solver stack make both
+	// effective mid-solve.
+	opts := s.opts
+	opts.Context = r.Context()
+	opts.Timeout = s.cfg.reqTimeout
+	opts.Validate = s.cfg.validate
+
+	start := time.Now()
+	sol, err := fn(inst, opts)
+	elapsed := time.Since(start)
+	s.registry.Histogram("mc3serve_solve_seconds").Observe(elapsed.Seconds())
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.fail(w, http.StatusGatewayTimeout, fmt.Errorf("solve exceeded %v", s.cfg.reqTimeout))
+		case errors.Is(err, context.Canceled):
+			s.fail(w, statusClientClosedRequest, errors.New("client closed request"))
+		default:
+			s.fail(w, http.StatusUnprocessableEntity, err)
+		}
+		return
+	}
+
+	writeJSON(w, http.StatusOK, solveResponse{
+		Cost:         sol.Cost,
+		Classifiers:  textio.SolutionNames(inst, sol),
+		Queries:      inst.NumQueries(),
+		Seconds:      elapsed.Seconds(),
+		Algorithm:    algoName,
+		CacheHitRate: s.cache.Stats().HitRate(),
+	})
+}
+
+// statsResponse is the /stats document.
+type statsResponse struct {
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Requests      int64       `json:"requests"`
+	Errors        int64       `json:"errors"`
+	Cache         cache.Stats `json:"cache"`
+	CacheHitRate  float64     `json:"cache_hit_rate"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.cache.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      s.requests.Load(),
+		Errors:        s.errored.Load(),
+		Cache:         st,
+		CacheHitRate:  st.HitRate(),
+	})
+}
+
+// fail answers an error as JSON and counts it.
+func (s *server) fail(w http.ResponseWriter, code int, err error) {
+	s.errored.Add(1)
+	s.registry.Counter("mc3serve_errors_total").Inc()
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// buildOptions translates the flag strings into solver options (same
+// vocabulary as mc3solve).
+func buildOptions(cfg config) (solver.Options, error) {
+	opts := solver.DefaultOptions()
+	switch cfg.wsc {
+	case "auto":
+		opts.WSC = solver.WSCAuto
+	case "greedy":
+		opts.WSC = solver.WSCGreedy
+	case "primal-dual":
+		opts.WSC = solver.WSCPrimalDual
+	case "lp-rounding":
+		opts.WSC = solver.WSCLPRounding
+	case "auto-lp":
+		opts.WSC = solver.WSCAutoLP
+	default:
+		return opts, fmt.Errorf("unknown -wsc %q", cfg.wsc)
+	}
+	switch cfg.prep {
+	case "full":
+		opts.Prep = prep.Full
+	case "minimal":
+		opts.Prep = prep.Minimal
+	default:
+		return opts, fmt.Errorf("unknown -prep %q", cfg.prep)
+	}
+	switch cfg.engine {
+	case "dinic":
+		opts.Engine = bipartite.Dinic
+	case "push-relabel":
+		opts.Engine = bipartite.PushRelabel
+	case "capacity-scaling":
+		opts.Engine = bipartite.CapacityScaling
+	default:
+		return opts, fmt.Errorf("unknown -engine %q", cfg.engine)
+	}
+	opts.Parallelism = cfg.parallel
+	return opts, nil
+}
+
+// checkAlgo validates the -algo flag once at startup (resolution still
+// happens per request, since "auto" depends on the instance).
+func checkAlgo(name string) error {
+	switch name {
+	case "auto", "ktwo", "general", "short-first", "portfolio":
+		return nil
+	}
+	return fmt.Errorf("unknown -algo %q", name)
+}
+
+// pickAlgorithm resolves the configured algorithm against an instance.
+func pickAlgorithm(name string, inst *core.Instance) (solver.Func, string) {
+	switch name {
+	case "ktwo":
+		return solver.KTwo, "ktwo"
+	case "general":
+		return solver.General, "general"
+	case "short-first":
+		return solver.ShortFirst, "short-first"
+	case "portfolio":
+		return solver.Portfolio, "portfolio"
+	default: // "auto", validated at startup
+		if inst.MaxQueryLen() <= 2 {
+			return solver.KTwo, "ktwo"
+		}
+		return solver.General, "general"
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/obs"
 	"repro/internal/solver"
 )
@@ -44,6 +45,11 @@ type Config struct {
 	// Tracer, when non-nil, traces every solve of the run (see
 	// solver.Options.Tracer).
 	Tracer *obs.Tracer
+	// Cache, when non-nil, memoizes component solutions across every solve
+	// of the run (see solver.Options.Cache) — experiments that revisit the
+	// same dataset at growing subset sizes re-meet components, so the
+	// hit/miss counters quantify real-workload amortization.
+	Cache *cache.Cache
 }
 
 // SolverOptions returns the paper-default solver options carrying the
@@ -54,6 +60,7 @@ func (c Config) SolverOptions() solver.Options {
 	opts.Timeout = c.Timeout
 	opts.Stats = c.Stats
 	opts.Tracer = c.Tracer
+	opts.Cache = c.Cache
 	return opts
 }
 

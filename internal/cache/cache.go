@@ -1,0 +1,260 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// DefaultMaxEntries bounds the cache when Config.MaxEntries is unset.
+const DefaultMaxEntries = 4096
+
+// Config configures a Cache.
+type Config struct {
+	// MaxEntries bounds the number of cached component solutions; the
+	// least-recently-used entry is evicted beyond it. Zero or negative means
+	// DefaultMaxEntries.
+	MaxEntries int
+	// CostQuantum, when positive, rounds effective costs to multiples of
+	// this value inside signatures, letting components whose costs differ
+	// only by noise share entries. Zero (the default) keys on exact cost bit
+	// patterns, guaranteeing cached and uncached solves agree exactly.
+	CostQuantum float64
+	// Metrics, when non-nil, receives the cache's counters and gauges:
+	// mc3_cache_hits_total, mc3_cache_misses_total,
+	// mc3_cache_evictions_total, and mc3_cache_entries. All obs.Registry
+	// methods are nil-safe, so leaving this unset costs nothing.
+	Metrics *obs.Registry
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	// Hits counts lookups answered from the cache.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that found no entry.
+	Misses int64 `json:"misses"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64 `json:"evictions"`
+	// Entries is the current number of cached component solutions.
+	Entries int `json:"entries"`
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// entry is one cached component solution on the LRU list.
+type entry struct {
+	key        string
+	picks      []int32 // canonical local classifier indices
+	prev, next *entry
+}
+
+// Cache is a concurrency-safe, bounded LRU memoization of component
+// solutions. The zero value is not usable; construct with New. All methods
+// are safe for concurrent use and no-ops on a nil receiver, so solvers can
+// thread an optional cache without branching.
+type Cache struct {
+	max     int
+	quantum float64
+	metrics *obs.Registry
+
+	hits, misses, evictions atomic.Int64
+
+	mu         sync.Mutex
+	entries    map[string]*entry
+	head, tail *entry // LRU list: head = most recent, tail = next to evict
+}
+
+// New returns an empty cache.
+func New(cfg Config) *Cache {
+	max := cfg.MaxEntries
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	return &Cache{
+		max:     max,
+		quantum: cfg.CostQuantum,
+		metrics: cfg.Metrics,
+		entries: make(map[string]*entry),
+	}
+}
+
+// Lookup returns the cached solution for k, translated into the classifier
+// IDs of the component k was built from, and whether it was found. The
+// returned slice is freshly allocated and owned by the caller.
+func (c *Cache) Lookup(k Key) ([]core.ClassifierID, bool) {
+	if c == nil || !k.Valid() {
+		return nil, false
+	}
+	c.mu.Lock()
+	e, ok := c.entries[k.id]
+	if ok {
+		c.moveToFront(e)
+	}
+	var picks []int32
+	if ok {
+		picks = e.picks
+	}
+	c.mu.Unlock()
+
+	if !ok {
+		c.misses.Add(1)
+		c.metrics.Counter("mc3_cache_misses_total").Inc()
+		return nil, false
+	}
+	out := make([]core.ClassifierID, len(picks))
+	for i, li := range picks {
+		// Equal signatures imply identical classifier enumerations, so every
+		// stored local index is in range; guard anyway rather than panic on a
+		// (theoretically impossible) mismatch.
+		if int(li) >= len(k.globals) {
+			c.misses.Add(1)
+			c.metrics.Counter("mc3_cache_misses_total").Inc()
+			return nil, false
+		}
+		out[i] = k.globals[li]
+	}
+	c.hits.Add(1)
+	c.metrics.Counter("mc3_cache_hits_total").Inc()
+	return out, true
+}
+
+// Store records picks (instance classifier IDs) as the solution of the
+// component k was built from. Picks outside the component's classifier
+// enumeration make the store a no-op (they cannot be canonicalized); that
+// never happens for solutions produced by the solvers.
+func (c *Cache) Store(k Key, picks []core.ClassifierID) {
+	if c == nil || !k.Valid() {
+		return
+	}
+	local := make(map[core.ClassifierID]int32, len(k.globals))
+	for i, id := range k.globals {
+		local[id] = int32(i)
+	}
+	enc := make([]int32, len(picks))
+	for i, id := range picks {
+		li, ok := local[id]
+		if !ok {
+			return
+		}
+		enc[i] = li
+	}
+
+	c.mu.Lock()
+	if e, ok := c.entries[k.id]; ok {
+		// Deterministic solvers re-derive the same solution; keep the fresh
+		// one and just refresh recency.
+		e.picks = enc
+		c.moveToFront(e)
+		c.mu.Unlock()
+		return
+	}
+	e := &entry{key: k.id, picks: enc}
+	c.entries[k.id] = e
+	c.pushFront(e)
+	var evicted int
+	for len(c.entries) > c.max {
+		c.evictTail()
+		evicted++
+	}
+	n := len(c.entries)
+	c.mu.Unlock()
+
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+		c.metrics.Counter("mc3_cache_evictions_total").Add(int64(evicted))
+	}
+	c.metrics.Gauge("mc3_cache_entries").Set(float64(n))
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   n,
+	}
+}
+
+// Len returns the current number of entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops every entry, keeping the counters.
+func (c *Cache) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.entries = make(map[string]*entry)
+	c.head, c.tail = nil, nil
+	c.mu.Unlock()
+	c.metrics.Gauge("mc3_cache_entries").Set(0)
+}
+
+// pushFront links e as the most-recently-used entry. Callers hold mu.
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// moveToFront refreshes e's recency. Callers hold mu.
+func (c *Cache) moveToFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	// Unlink.
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	c.pushFront(e)
+}
+
+// evictTail drops the least-recently-used entry. Callers hold mu.
+func (c *Cache) evictTail() {
+	e := c.tail
+	if e == nil {
+		return
+	}
+	delete(c.entries, e.key)
+	c.tail = e.prev
+	if c.tail != nil {
+		c.tail.next = nil
+	} else {
+		c.head = nil
+	}
+	e.prev, e.next = nil, nil
+}

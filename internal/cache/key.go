@@ -1,0 +1,147 @@
+// Package cache memoizes component solutions across solves.
+//
+// The paper's Algorithm 1 decomposes every load into property-disjoint
+// residual components that are solved independently (Observation 3.2). Real
+// query logs repeat: the same shop categories, the same popular property
+// combinations, arrive again and again, so long-lived processes (cmd/mc3serve,
+// repeated mc3bench iterations) keep re-solving structurally identical
+// components. This package exploits that repetition: a concurrency-safe,
+// bounded LRU cache keyed by a canonical signature of a residual component,
+// storing the component's selected-classifier solution so a repeated
+// component is answered in O(signature) instead of re-running the set-cover
+// or max-flow machinery.
+//
+// # Signature canonicalization
+//
+// A component's solve outcome is fully determined by its local structure:
+// per residual query, the set of alive classifiers (query-local bitmask +
+// effective cost), the query's already-covered property mask, and the
+// cross-query identity of classifiers (which queries share which
+// classifier). The signature encodes exactly that, with two canonical
+// renamings applied so that structurally identical components met in
+// different loads — different property names, different query order — map to
+// the same key:
+//
+//   - queries are ordered by a local fingerprint (length, covered mask,
+//     classifier masks and quantized costs), not by their instance indices;
+//   - classifiers are numbered by first appearance in that canonical order,
+//     not by their instance IDs.
+//
+// The full encoding is the map key (byte equality, no hash collisions), so
+// equal keys imply an exact isomorphism between the components, under which
+// a stored solution transfers soundly: the translated picks cover the new
+// component at the same effective cost. Renamings that permute properties
+// *within* a query reorder its local bits and produce a different signature;
+// that costs a miss, never a wrong hit. The algorithm domain (general vs
+// k ≤ 2, set-cover method, max-flow engine) is part of the key, so different
+// configurations never share entries.
+package cache
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/prep"
+)
+
+// Key identifies one residual component under one algorithm domain. The zero
+// Key is invalid; build one with Cache.ComponentKey. A Key carries the
+// local→global classifier mapping of the component it was built from, so the
+// cache can translate stored solutions into the current instance's IDs.
+type Key struct {
+	id      string
+	globals []core.ClassifierID // canonical local index → instance classifier ID
+}
+
+// Valid reports whether the key was successfully built.
+func (k Key) Valid() bool { return k.id != "" }
+
+// queryFP is one query's canonical fingerprint plus its bookkeeping.
+type queryFP struct {
+	fp  string // local fingerprint bytes (no cross-query identity)
+	qi  int    // instance query index
+	pos int    // original position within the component (tie-break)
+}
+
+// ComponentKey builds the canonical signature of component comp (a slice of
+// residual query indices, as produced by preprocessing) of r, under the
+// given algorithm domain. Costs are quantized by c's configured quantum.
+// A nil cache returns an invalid Key.
+func (c *Cache) ComponentKey(domain string, r *prep.Result, comp []int) Key {
+	if c == nil || len(comp) == 0 {
+		return Key{}
+	}
+	inst := r.Inst
+
+	// Pass 1: per-query local fingerprints — everything about the query
+	// except cross-query classifier identity.
+	fps := make([]queryFP, len(comp))
+	var scratch []byte
+	for i, qi := range comp {
+		scratch = scratch[:0]
+		scratch = binary.AppendUvarint(scratch, uint64(inst.Query(qi).Len()))
+		scratch = binary.AppendUvarint(scratch, r.CoveredMask[qi])
+		for _, qc := range inst.QueryClassifiers(qi) {
+			if r.Removed[qc.ID] {
+				continue
+			}
+			scratch = binary.AppendUvarint(scratch, qc.Mask)
+			scratch = binary.AppendUvarint(scratch, c.quantize(r.EffCost[qc.ID]))
+		}
+		fps[i] = queryFP{fp: string(scratch), qi: qi, pos: i}
+	}
+
+	// Canonical query order: by fingerprint, original position breaking ties.
+	// Tied queries are locally indistinguishable, so either order yields a
+	// signature that transfers correctly; ties merely make two isomorphic
+	// components *potentially* hash apart (an extra miss, never a wrong hit).
+	sort.Slice(fps, func(i, j int) bool {
+		if fps[i].fp != fps[j].fp {
+			return fps[i].fp < fps[j].fp
+		}
+		return fps[i].pos < fps[j].pos
+	})
+
+	// Pass 2: number classifiers by first appearance in canonical order and
+	// emit the final encoding: header, then per query its fingerprint plus
+	// the local-ID sequence of its alive classifiers.
+	var (
+		buf     []byte
+		globals []core.ClassifierID
+		local   = make(map[core.ClassifierID]uint64)
+	)
+	buf = append(buf, domain...)
+	buf = append(buf, 0)
+	buf = binary.AppendUvarint(buf, uint64(len(fps)))
+	for _, f := range fps {
+		buf = binary.AppendUvarint(buf, uint64(len(f.fp)))
+		buf = append(buf, f.fp...)
+		for _, qc := range inst.QueryClassifiers(f.qi) {
+			if r.Removed[qc.ID] {
+				continue
+			}
+			li, ok := local[qc.ID]
+			if !ok {
+				li = uint64(len(globals))
+				local[qc.ID] = li
+				globals = append(globals, qc.ID)
+			}
+			buf = binary.AppendUvarint(buf, li)
+		}
+	}
+	return Key{id: string(buf), globals: globals}
+}
+
+// quantize maps a cost to its signature representation: the exact IEEE-754
+// bit pattern when the quantum is 0 (the default — bit-for-bit equality, so
+// cached and uncached solves agree exactly), otherwise the nearest multiple
+// of the quantum (coarser keys, more sharing, costs may differ by up to half
+// a quantum between a hit and a fresh solve).
+func (c *Cache) quantize(cost float64) uint64 {
+	if c.quantum > 0 {
+		cost = math.Round(cost/c.quantum) * c.quantum
+	}
+	return math.Float64bits(cost)
+}

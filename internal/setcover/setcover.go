@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/lp"
 	"repro/internal/obs"
@@ -45,8 +46,12 @@ func New(numElements int) *Instance {
 }
 
 // AddSet adds a set with the given elements and cost, returning its index.
-// Element lists may be in any order; duplicates within one set are the
-// caller's bug and will distort greedy's coverage counts.
+// Element lists may be in any order; duplicates are removed on insert (the
+// stored set is sorted and unique). Without the dedup a repeated element
+// would inflate greedy's cost-per-newly-covered priorities, double-count in
+// Degree and reverseDelete's cover counts, and register the set twice in the
+// element's membership list — silently degrading solution quality rather
+// than failing. elements is not modified.
 func (in *Instance) AddSet(elements []int32, cost float64) int {
 	if cost < 0 || math.IsNaN(cost) || math.IsInf(cost, 0) {
 		panic(fmt.Sprintf("setcover: invalid cost %v", cost))
@@ -54,13 +59,19 @@ func (in *Instance) AddSet(elements []int32, cost float64) int {
 	idx := len(in.sets)
 	es := make([]int32, len(elements))
 	copy(es, elements)
-	for _, e := range es {
+	sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+	uniq := es[:0]
+	for i, e := range es {
 		if e < 0 || int(e) >= in.numElements {
 			panic(fmt.Sprintf("setcover: element %d out of range [0,%d)", e, in.numElements))
 		}
+		if i > 0 && e == es[i-1] {
+			continue
+		}
+		uniq = append(uniq, e)
 		in.elemSets[e] = append(in.elemSets[e], int32(idx))
 	}
-	in.sets = append(in.sets, es)
+	in.sets = append(in.sets, uniq)
 	in.costs = append(in.costs, cost)
 	return idx
 }

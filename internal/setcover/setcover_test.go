@@ -418,3 +418,47 @@ func TestDualCertificateEmptyUniverse(t *testing.T) {
 		t.Errorf("empty universe: bound=%v y=%v err=%v", bound, y, err)
 	}
 }
+
+func TestAddSetDeduplicatesElements(t *testing.T) {
+	in := New(3)
+	s := in.AddSet([]int32{2, 0, 2, 2, 0}, 4)
+
+	// The stored set is sorted and unique.
+	got := in.Set(s)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Set(%d) = %v, want [0 2]", s, got)
+	}
+	// Each element registers the set once, so f and Δ are not inflated.
+	if f := in.Frequency(); f != 1 {
+		t.Errorf("Frequency = %d, want 1", f)
+	}
+	if d := in.Degree(); d != 2 {
+		t.Errorf("Degree = %d, want 2", d)
+	}
+
+	// Regression: with duplicates kept, this instance made greedy prefer
+	// the duplicated set (cost/|elements| = 4/5 < 1) over the two singletons
+	// (cost 1 each), yielding cost 4+1 instead of the optimum 2.
+	in.AddSet([]int32{0}, 1)
+	in.AddSet([]int32{1}, 1)
+	in.AddSet([]int32{2}, 1)
+	picked, cost, err := in.Greedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsCover(picked) {
+		t.Fatalf("greedy result %v is not a cover", picked)
+	}
+	if cost != 3 {
+		t.Errorf("greedy cost = %v, want 3 (three unit singletons; the padded set must not look dense)", cost)
+	}
+}
+
+func TestAddSetDoesNotModifyInput(t *testing.T) {
+	in := New(4)
+	elems := []int32{3, 1, 3, 0}
+	in.AddSet(elems, 1)
+	if elems[0] != 3 || elems[1] != 1 || elems[2] != 3 || elems[3] != 0 {
+		t.Errorf("AddSet modified its input: %v", elems)
+	}
+}

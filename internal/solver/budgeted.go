@@ -96,6 +96,13 @@ func Budgeted(inst *core.Instance, weights []float64, budget float64, opts Optio
 	pushQuery := func(qi int) {
 		c, _ := evaluate(qi)
 		val[qi] = c
+		// A free completion (c == 0: zero-cost classifiers, or everything the
+		// query needs was already bought) is defined to have ratio +Inf — it
+		// is taken before any paid completion, even when the query's weight is
+		// also 0. The naive weights[qi]/c would make that case 0/0 = NaN, and
+		// one NaN item corrupts the max-heap: Less is false in both
+		// directions, so sift comparisons order arbitrarily and unrelated
+		// items can get stuck behind it.
 		ratio := math.Inf(1)
 		if c > 0 {
 			ratio = weights[qi] / c

@@ -202,3 +202,68 @@ func TestBudgetedExactRejectsHuge(t *testing.T) {
 		t.Error("oversized instance must be rejected")
 	}
 }
+
+func TestBudgetedFreeQueryZeroWeight(t *testing.T) {
+	// Regression: a query whose completion is free (zero-cost classifiers)
+	// and whose weight is 0 used to evaluate to ratio 0/0 = NaN, and a NaN
+	// item corrupts the max-heap's ordering (Less is false both ways), which
+	// could strand affordable queries behind it. Free queries must get ratio
+	// +Inf and be taken first.
+	_, inst := buildInstance(t,
+		[][]string{{"x"}, {"p", "q"}, {"r", "s"}},
+		map[string]float64{
+			"x": 0,
+			"p": 3, "q": 3, "p|q": 5,
+			"r": 4, "s": 4, "r|s": 6,
+		})
+	weights := []float64{0, 5, 1}
+	sol, err := Budgeted(inst, weights, 11, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The free query is covered at no cost; the two paid queries both fit
+	// the budget (5 + 6) and must not be lost behind the free/NaN item.
+	if !sol.Covered[0] {
+		t.Error("free zero-weight query not covered")
+	}
+	if !sol.Covered[1] || !sol.Covered[2] {
+		t.Errorf("covered = %v, want all three queries within budget 11", sol.Covered)
+	}
+	if sol.CoveredWeight != 6 {
+		t.Errorf("covered weight = %v, want 6", sol.CoveredWeight)
+	}
+	if math.IsNaN(sol.Cost) || sol.Cost > 11 {
+		t.Errorf("cost = %v, want ≤ 11 and not NaN", sol.Cost)
+	}
+}
+
+func TestBudgetedManyFreeQueriesDoNotStarveHeap(t *testing.T) {
+	// Several free zero-weight queries interleaved with paid ones: every
+	// paid completion within budget must still be found, in weight order.
+	queries := [][]string{
+		{"f1"}, {"a", "b"}, {"f2"}, {"c", "d"}, {"f3"},
+	}
+	costs := map[string]float64{
+		"f1": 0, "f2": 0, "f3": 0,
+		"a": 2, "b": 2, "a|b": 3,
+		"c": 2, "d": 2, "c|d": 3,
+	}
+	_, inst := buildInstance(t, queries, costs)
+	weights := []float64{0, 7, 0, 9, 0}
+	sol, err := Budgeted(inst, weights, 3, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qi := range []int{0, 2, 4} {
+		if !sol.Covered[qi] {
+			t.Errorf("free query %d not covered", qi)
+		}
+	}
+	// Budget 3 fits exactly one paid pair; the heavier one must win.
+	if !sol.Covered[3] || sol.Covered[1] {
+		t.Errorf("covered = %v, want the weight-9 query, not the weight-7 one", sol.Covered)
+	}
+	if sol.CoveredWeight != 9 {
+		t.Errorf("covered weight = %v, want 9", sol.CoveredWeight)
+	}
+}

@@ -68,9 +68,17 @@ func generalResidual(ctx context.Context, r *prep.Result, opts Options) ([]core.
 }
 
 // generalComponent covers component ci, writing its picks into perComp[ci].
+// With opts.Cache attached, a component whose canonical signature was solved
+// before is answered from the cache without building the WSC reduction.
 func generalComponent(ctx context.Context, r *prep.Result, ci int, opts Options, perComp [][]core.ClassifierID) error {
+	key, picks, hit := componentCacheLookup(ctx, opts, "general/"+opts.WSC.String(), r, r.Components[ci])
+	if hit {
+		perComp[ci] = picks
+		return nil
+	}
 	sc, setIDs := buildWSC(r, r.Components[ci])
 	if sc.NumElements() == 0 {
+		opts.Cache.Store(key, nil)
 		return nil
 	}
 	sets, _, _, err := runWSC(ctx, sc, opts.WSC)
@@ -83,5 +91,6 @@ func generalComponent(ctx context.Context, r *prep.Result, ci int, opts Options,
 	for _, s := range sets {
 		perComp[ci] = append(perComp[ci], setIDs[s])
 	}
+	opts.Cache.Store(key, perComp[ci])
 	return nil
 }

@@ -74,10 +74,17 @@ func ktwoResidual(ctx context.Context, r *prep.Result, opts Options) ([]core.Cla
 }
 
 // ktwoComponent solves component ci exactly via the bipartite WVC reduction,
-// writing its picks into perComp[ci].
+// writing its picks into perComp[ci]. With opts.Cache attached, a component
+// whose canonical signature was solved before is answered from the cache
+// without building the flow network.
 func ktwoComponent(ctx context.Context, r *prep.Result, ci int, opts Options, perComp [][]core.ClassifierID) error {
 	inst := r.Inst
 	comp := r.Components[ci]
+	key, picks, hit := componentCacheLookup(ctx, opts, "ktwo/"+opts.Engine.String(), r, comp)
+	if hit {
+		perComp[ci] = picks
+		return nil
+	}
 	// Left: one node per property in the component (its singleton
 	// classifier, or a +Inf placeholder when that classifier is absent
 	// or pruned). Right: one node per residual query (its full pair
@@ -161,5 +168,6 @@ func ktwoComponent(ctx context.Context, r *prep.Result, ci int, opts Options, pe
 		}
 		perComp[ci] = append(perComp[ci], idR[i])
 	}
+	opts.Cache.Store(key, perComp[ci])
 	return nil
 }

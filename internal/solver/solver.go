@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/bipartite"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/prep"
@@ -113,6 +114,15 @@ type Options struct {
 	// stats-collecting sink is attached internally), so the two views can
 	// never disagree.
 	Stats *SolveStats
+	// Cache, when non-nil, memoizes residual-component solutions across
+	// solves: components whose canonical signature (query bitmasks,
+	// classifier structure, effective costs) matches a previously solved
+	// component are answered from the cache instead of re-running the
+	// set-cover or max-flow machinery. Safe to share between concurrent
+	// solves; nil (the default) disables memoization at zero overhead. The
+	// algorithm domain (general/k≤2, WSC method, max-flow engine) is part of
+	// every key, so one cache serves mixed configurations soundly.
+	Cache *cache.Cache
 	// Tracer, when non-nil and enabled (it has at least one sink or a
 	// metrics registry), receives hierarchical spans covering the whole
 	// solve: preprocessing steps, per-component dispatch, every set-cover

@@ -26,7 +26,8 @@ const (
 	// SpanCandidate wraps one Portfolio candidate run. Attrs: "candidate".
 	SpanCandidate = "candidate"
 	// SpanComponent wraps one residual component's cover computation.
-	// Attrs: "index", "queries".
+	// Attrs: "index", "queries"; with a component cache attached also
+	// "cache" ("hit" | "miss").
 	SpanComponent = "component"
 	// SpanWSC wraps Algorithm 3's set-cover engine race on one component.
 	// Attrs: "engine" (the winner), "cost", "sets", "elements".

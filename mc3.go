@@ -43,6 +43,7 @@ import (
 	"io"
 	"log/slog"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/prep"
@@ -147,6 +148,27 @@ func NewSlogTraceSink(l *slog.Logger) TraceSink { return obs.NewSlogSink(l) }
 // NewMetricsRegistry returns an empty metrics registry; attach it with
 // Tracer.WithMetrics to record per-span counters and duration histograms.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Component-solution caching (see internal/cache and docs/SERVING.md).
+// Attach a Cache via SolveOptions.Cache to memoize residual-component
+// solutions across solves: repeated components — the common case when the
+// same query log, or structurally overlapping logs, are solved again and
+// again by a long-lived process — are answered from the cache in
+// O(signature) instead of re-running the set-cover or max-flow machinery.
+type (
+	// Cache is a concurrency-safe, bounded LRU memoization of component
+	// solutions, keyed by a canonical (renaming-invariant) signature.
+	Cache = cache.Cache
+	// CacheConfig configures a Cache (entry bound, cost quantization,
+	// optional metrics registry).
+	CacheConfig = cache.Config
+	// CacheStats is a snapshot of a Cache's hit/miss/eviction counters.
+	CacheStats = cache.Stats
+)
+
+// NewCache returns an empty component-solution cache. The zero CacheConfig
+// is valid: a 4096-entry LRU keyed on exact costs, no metrics.
+func NewCache(cfg CacheConfig) *Cache { return cache.New(cfg) }
 
 // Set-cover engine choices for SolveOptions.WSC.
 const (
