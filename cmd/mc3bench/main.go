@@ -71,9 +71,9 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 		fmt.Fprintf(errw, "mc3bench: debug server on http://%s\n", obsCLI.DebugAddr)
 	}
 
-	var rep *report
+	var rep *bench.Report
 	if *asJSON {
-		rep = &report{
+		rep = &bench.Report{
 			Tool: "mc3bench", Generated: time.Now().UTC(),
 			Quick: *quick, Seed: *seed, Seeds: *seeds, Repeats: *repeats,
 			TimeoutSecs: timeout.Seconds(),
@@ -81,7 +81,7 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 	}
 	render := func(tab *bench.Table, elapsed time.Duration) error {
 		if rep != nil {
-			rep.addTable(tab, elapsed)
+			rep.AddTable(tab, elapsed)
 			return nil
 		}
 		switch *format {
@@ -192,7 +192,7 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 			st := cfg.Cache.Stats()
 			rep.Cache = &st
 		}
-		if err := rep.write(out); err != nil {
+		if err := rep.Write(out); err != nil {
 			return err
 		}
 	} else {

@@ -6,15 +6,22 @@
 //	mc3gen -dataset synthetic -n 10000 -seed 1 -out instance.json
 //	mc3gen -dataset bestbuy -out bb.json
 //	mc3gen -dataset private [-category fashion] [-short] -out p.json
+//	mc3gen -dataset synthetic -n 200 -deltas -delta-events 500 -out stream.txt
+//
+// With -deltas the tool emits a timestamped add/remove/update-cost stream
+// (the mc3replay input format, see docs/INCREMENTAL.md) drawn from the
+// dataset's queries instead of an instance file.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/incr"
 	"repro/internal/textio"
 	"repro/internal/workload"
 )
@@ -40,6 +47,10 @@ func run(args []string, out, errw io.Writer) error {
 		short    = fs.Bool("short", false, "restrict to queries of length ≤ 2")
 		subset   = fs.Int("subset", 0, "randomly subsample to this many queries (0 = all)")
 		outPath  = fs.String("out", "", "output file (default stdout)")
+
+		deltas      = fs.Bool("deltas", false, "emit a timestamped delta stream (mc3replay input) instead of an instance")
+		deltaEvents = fs.Int("delta-events", 200, "number of events in the -deltas stream")
+		deltaRate   = fs.Float64("delta-rate", 10, "events per second of stream time in the -deltas stream")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,7 +94,81 @@ func run(args []string, out, errw io.Writer) error {
 		d = d.ShortSlice()
 	}
 
+	if *deltas {
+		return emitDeltas(d, *deltaEvents, *deltaRate, *seed, *outPath, out, errw)
+	}
 	return emit(d, *subset, *seed, *outPath, out, errw)
+}
+
+// emitDeltas writes a deterministic timestamped delta stream drawn from the
+// dataset's query pool: mostly adds (walking the pool, then duplicating),
+// mixed with removals of live queries and cost re-pricings of their
+// sub-classifiers.
+func emitDeltas(d *workload.Dataset, events int, rate float64, seed int64, outPath string, out, errw io.Writer) error {
+	if events <= 0 {
+		return fmt.Errorf("-delta-events must be positive, got %d", events)
+	}
+	if rate <= 0 {
+		return fmt.Errorf("-delta-rate must be positive, got %v", rate)
+	}
+	if len(d.Queries) == 0 {
+		return fmt.Errorf("dataset %q has no queries", d.Name)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	names := func(s core.PropSet) []string { return d.Universe.SetNames(s) }
+
+	var (
+		stream   []incr.Delta
+		live     []core.PropSet
+		next     int
+		adds     int
+		removes  int
+		reprices int
+	)
+	for i := 0; i < events; i++ {
+		t := float64(i) / rate
+		switch r := rng.Float64(); {
+		case r < 0.70 || len(live) == 0:
+			q := d.Queries[rng.Intn(len(d.Queries))]
+			if next < len(d.Queries) {
+				q = d.Queries[next]
+				next++
+			}
+			live = append(live, q)
+			stream = append(stream, incr.Delta{Time: t, Op: incr.OpAdd, Props: names(q)})
+			adds++
+		case r < 0.90:
+			j := rng.Intn(len(live))
+			stream = append(stream, incr.Delta{Time: t, Op: incr.OpRemove, Props: names(live[j])})
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			removes++
+		default:
+			q := live[rng.Intn(len(live))]
+			k := rng.Intn(q.Len()) + 1
+			sub := make([]string, 0, k)
+			for _, j := range rng.Perm(q.Len())[:k] {
+				sub = append(sub, d.Universe.Name(q[j]))
+			}
+			stream = append(stream, incr.Delta{Time: t, Op: incr.OpUpdateCost, Props: sub, Cost: float64(rng.Intn(50) + 1)})
+			reprices++
+		}
+	}
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := incr.WriteDeltaStream(out, stream); err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "mc3gen: %s — %d delta events over %.1fs (%d adds, %d removes, %d re-pricings)\n",
+		d.Name, len(stream), float64(events-1)/rate, adds, removes, reprices)
+	return nil
 }
 
 // emit materializes the dataset (optionally subsampled) and writes the

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/incr"
 	"repro/internal/textio"
 )
 
@@ -82,6 +83,66 @@ func TestGenErrors(t *testing.T) {
 		{"-dataset", "nope"},
 		{"-dataset", "synthetic", "-category", "fashion"},
 		{"-dataset", "private", "-category", "nope"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out, io.Discard); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestGenDeltasRoundTrip(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "synthetic-k2", "-n", "40", "-seed", "7",
+		"-deltas", "-delta-events", "60"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := incr.ReadDeltaStream(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("generated stream does not parse back: %v", err)
+	}
+	if len(stream) != 60 {
+		t.Fatalf("parsed %d events, want 60", len(stream))
+	}
+	var adds, removes, reprices int
+	for i, d := range stream {
+		if i > 0 && d.Time < stream[i-1].Time {
+			t.Fatalf("event %d: time %g before predecessor %g", i, d.Time, stream[i-1].Time)
+		}
+		switch d.Op {
+		case incr.OpAdd:
+			adds++
+		case incr.OpRemove:
+			removes++
+		case incr.OpUpdateCost:
+			reprices++
+			if d.Cost <= 0 {
+				t.Fatalf("event %d: re-pricing with cost %g", i, d.Cost)
+			}
+		}
+	}
+	if adds == 0 {
+		t.Error("stream has no adds")
+	}
+	if removes+reprices == 0 {
+		t.Error("stream has neither removes nor re-pricings")
+	}
+
+	// Same seed, same stream: generation must be deterministic.
+	var again bytes.Buffer
+	if err := run([]string{"-dataset", "synthetic-k2", "-n", "40", "-seed", "7",
+		"-deltas", "-delta-events", "60"}, &again, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Error("same seed produced a different stream")
+	}
+}
+
+func TestGenDeltasErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-dataset", "synthetic", "-n", "10", "-deltas", "-delta-events", "0"},
+		{"-dataset", "synthetic", "-n", "10", "-deltas", "-delta-rate", "-1"},
 	} {
 		var out bytes.Buffer
 		if err := run(args, &out, io.Discard); err == nil {

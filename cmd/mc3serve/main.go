@@ -9,15 +9,24 @@
 //	mc3serve [-addr :8080] [-algo auto] [-wsc auto] [-prep full]
 //	         [-engine dinic] [-parallel 0] [-cache-size 4096]
 //	         [-cache-quantum 0] [-request-timeout 30s] [-max-body 8388608]
+//	         [-max-sessions 64]
 //
-// API (see docs/SERVING.md):
+// API (see docs/SERVING.md and docs/INCREMENTAL.md):
 //
-//	POST /solve   — body: instance JSON (the mc3solve/textio format);
-//	                response: {"cost", "classifiers", "queries", "seconds",
-//	                "algorithm", "cache_hit_rate"}.
-//	GET  /healthz — liveness probe, "ok".
-//	GET  /stats   — JSON snapshot: uptime, request counters, cache stats.
-//	GET  /metrics — Prometheus text exposition of the process registry.
+//	POST   /solve      — body: instance JSON (the mc3solve/textio format);
+//	                     response: {"cost", "classifiers", "queries",
+//	                     "seconds", "algorithm", "cache_hit_rate"}.
+//	POST   /load       — create an incremental session from an instance.
+//	POST   /session/{id}/delta    — apply a delta batch to a session.
+//	GET    /session/{id}/solution — a session's current solution.
+//	DELETE /session/{id}          — drop a session.
+//	GET    /healthz    — liveness probe, "ok".
+//	GET    /stats      — JSON snapshot: uptime, request counters, cache and
+//	                     session stats.
+//	GET    /metrics    — Prometheus text exposition of the process registry.
+//
+// During shutdown drain, new requests are answered 503 with a Retry-After
+// header while in-flight requests complete.
 //
 // Each request is solved under its own deadline: the request context (client
 // disconnect cancels the solve) bounded by -request-timeout. Timeouts answer
@@ -73,6 +82,7 @@ type config struct {
 	reqTimeout   time.Duration
 	maxBody      int64
 	validate     bool
+	maxSessions  int
 }
 
 // run parses flags, builds the server, and serves until a termination signal
@@ -91,6 +101,7 @@ func run(args []string, logw io.Writer) (retErr error) {
 	fs.DurationVar(&cfg.reqTimeout, "request-timeout", 30*time.Second, "per-request solve deadline (0 = client-controlled only)")
 	fs.Int64Var(&cfg.maxBody, "max-body", 8<<20, "maximum request body bytes")
 	fs.BoolVar(&cfg.validate, "validate", true, "verify every solution before answering")
+	fs.IntVar(&cfg.maxSessions, "max-sessions", 64, "maximum live incremental sessions")
 	var obsCfg obs.CLIConfig
 	obsCfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -135,6 +146,7 @@ func run(args []string, logw io.Writer) (retErr error) {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(logw, "mc3serve: shutting down, draining in-flight requests")
+	srv.draining.Store(true)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil {
@@ -158,9 +170,11 @@ type server struct {
 	registry *obs.Registry
 	mux      *http.ServeMux
 	started  time.Time
+	sessions sessions
 
 	requests atomic.Int64
 	errored  atomic.Int64
+	draining atomic.Bool
 }
 
 // newServer validates cfg and assembles the handler.
@@ -179,6 +193,7 @@ func newServer(cfg config, tracer *obs.Tracer) (*server, error) {
 		opts:     opts,
 		registry: reg,
 		started:  time.Now(),
+		sessions: sessions{m: make(map[string]*session), max: cfg.maxSessions},
 	}
 	if cfg.cacheSize > 0 {
 		s.cache = cache.New(cache.Config{
@@ -198,10 +213,24 @@ func newServer(cfg config, tracer *obs.Tracer) (*server, error) {
 	})
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.Handle("GET /metrics", reg)
+	s.mux.HandleFunc("POST /load", s.handleLoad)
+	s.mux.HandleFunc("POST /session/{id}/delta", s.handleDelta)
+	s.mux.HandleFunc("GET /session/{id}/solution", s.handleSolution)
+	s.mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
 	return s, nil
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP dispatches requests; once the server is draining for shutdown
+// every request is answered 503 + Retry-After immediately instead of
+// racing the listener teardown.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // solveResponse is the /solve success document.
 type solveResponse struct {
@@ -282,11 +311,12 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the /stats document.
 type statsResponse struct {
-	UptimeSeconds float64     `json:"uptime_seconds"`
-	Requests      int64       `json:"requests"`
-	Errors        int64       `json:"errors"`
-	Cache         cache.Stats `json:"cache"`
-	CacheHitRate  float64     `json:"cache_hit_rate"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Requests      int64         `json:"requests"`
+	Errors        int64         `json:"errors"`
+	Cache         cache.Stats   `json:"cache"`
+	CacheHitRate  float64       `json:"cache_hit_rate"`
+	Sessions      sessionsStats `json:"sessions"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -297,6 +327,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Errors:        s.errored.Load(),
 		Cache:         st,
 		CacheHitRate:  st.HitRate(),
+		Sessions:      s.sessions.snapshot(),
 	})
 }
 

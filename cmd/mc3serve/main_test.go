@@ -14,15 +14,16 @@ import (
 func testServer(t *testing.T, fn func(*config)) *server {
 	t.Helper()
 	cfg := config{
-		addr:       ":0",
-		algo:       "auto",
-		wsc:        "auto",
-		prep:       "full",
-		engine:     "dinic",
-		cacheSize:  128,
-		reqTimeout: 5 * time.Second,
-		maxBody:    1 << 20,
-		validate:   true,
+		addr:        ":0",
+		algo:        "auto",
+		wsc:         "auto",
+		prep:        "full",
+		engine:      "dinic",
+		cacheSize:   128,
+		reqTimeout:  5 * time.Second,
+		maxBody:     1 << 20,
+		validate:    true,
+		maxSessions: 8,
 	}
 	if fn != nil {
 		fn(&cfg)

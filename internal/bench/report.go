@@ -1,4 +1,4 @@
-package main
+package bench
 
 import (
 	"encoding/json"
@@ -6,16 +6,16 @@ import (
 	"math"
 	"time"
 
-	"repro/internal/bench"
 	"repro/internal/cache"
 	"repro/internal/solver"
 )
 
-// report is the -json output document — the BENCH_*.json format the
-// repository uses to record performance trajectories across commits: run
-// parameters, per-experiment tables with wall times, and (with -stats) the
-// accumulated solver statistics.
-type report struct {
+// Report is the BENCH_*.json output document — the format the repository
+// uses to record performance trajectories across commits: run parameters,
+// per-experiment tables with wall times, and (when collected) the
+// accumulated solver statistics and cache counters. mc3bench and mc3replay
+// both emit it.
+type Report struct {
 	Tool         string             `json:"tool"`
 	Generated    time.Time          `json:"generated"`
 	Quick        bool               `json:"quick"`
@@ -23,38 +23,38 @@ type report struct {
 	Seeds        int                `json:"seeds"`
 	Repeats      int                `json:"repeats"`
 	TimeoutSecs  float64            `json:"timeout_seconds,omitempty"`
-	Experiments  []reportExperiment `json:"experiments"`
+	Experiments  []ReportExperiment `json:"experiments"`
 	TotalSeconds float64            `json:"total_seconds"`
 	Stats        *solver.SolveStats `json:"stats,omitempty"`
 	// Cache reports the shared component-solution cache's counters when the
-	// run was invoked with -cache: the amortization record for BENCH_*.json.
+	// run used one: the amortization record for BENCH_*.json.
 	Cache *cache.Stats `json:"cache,omitempty"`
 }
 
-// reportExperiment is one experiment's table plus its wall time.
-type reportExperiment struct {
+// ReportExperiment is one experiment's table plus its wall time.
+type ReportExperiment struct {
 	ID      string         `json:"id"`
 	Title   string         `json:"title"`
 	XLabel  string         `json:"xlabel"`
 	X       []string       `json:"x"`
 	Unit    string         `json:"unit,omitempty"`
-	Series  []reportSeries `json:"series"`
+	Series  []ReportSeries `json:"series"`
 	Seconds float64        `json:"seconds"`
 	Notes   string         `json:"notes,omitempty"`
 }
 
-// reportSeries is one labelled column of values.
-type reportSeries struct {
+// ReportSeries is one labelled column of values.
+type ReportSeries struct {
 	Name   string      `json:"name"`
-	Values []jsonFloat `json:"values"`
+	Values []JSONFloat `json:"values"`
 }
 
-// jsonFloat marshals NaN and ±Inf (bench's "not applicable" markers) as
+// JSONFloat marshals NaN and ±Inf (bench's "not applicable" markers) as
 // null, which encoding/json rejects for plain float64.
-type jsonFloat float64
+type JSONFloat float64
 
 // MarshalJSON implements json.Marshaler.
-func (f jsonFloat) MarshalJSON() ([]byte, error) {
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
 	v := float64(f)
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return []byte("null"), nil
@@ -62,9 +62,9 @@ func (f jsonFloat) MarshalJSON() ([]byte, error) {
 	return json.Marshal(v)
 }
 
-// addTable appends tab to the report.
-func (r *report) addTable(tab *bench.Table, elapsed time.Duration) {
-	exp := reportExperiment{
+// AddTable appends tab to the report with its wall time.
+func (r *Report) AddTable(tab *Table, elapsed time.Duration) {
+	exp := ReportExperiment{
 		ID:      tab.ID,
 		Title:   tab.Title,
 		XLabel:  tab.XLabel,
@@ -74,17 +74,17 @@ func (r *report) addTable(tab *bench.Table, elapsed time.Duration) {
 		Notes:   tab.Notes,
 	}
 	for _, s := range tab.Series {
-		vals := make([]jsonFloat, len(s.Values))
+		vals := make([]JSONFloat, len(s.Values))
 		for i, v := range s.Values {
-			vals[i] = jsonFloat(v)
+			vals[i] = JSONFloat(v)
 		}
-		exp.Series = append(exp.Series, reportSeries{Name: s.Name, Values: vals})
+		exp.Series = append(exp.Series, ReportSeries{Name: s.Name, Values: vals})
 	}
 	r.Experiments = append(r.Experiments, exp)
 }
 
-// write renders the report as indented JSON.
-func (r *report) write(w io.Writer) error {
+// Write renders the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)

@@ -1,0 +1,176 @@
+package incr
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/solver"
+	"repro/internal/workload"
+)
+
+// checkDifferential asserts the engine's incremental solution cost equals a
+// from-scratch solve of the materialized load under the same solver options
+// (no cache, whole-load ambient), and that the incremental classifier
+// selection is a valid cover.
+func checkDifferential(t *testing.T, e *Engine, algo string, opts solver.Options) {
+	t.Helper()
+	got, err := e.Solution()
+	if err != nil {
+		t.Fatalf("Solution: %v", err)
+	}
+	qs := e.QuerySets()
+	if len(qs) == 0 {
+		if got.Cost != 0 || len(got.Classifiers) != 0 {
+			t.Fatalf("empty load has solution %+v", got)
+		}
+		return
+	}
+	inst, err := core.NewInstance(e.Universe(), qs, e.CostModel(), core.Options{})
+	if err != nil {
+		t.Fatalf("from-scratch instance: %v", err)
+	}
+	fn := solver.General
+	if algo == AlgoKTwo || (algo == AlgoAuto && inst.MaxQueryLen() <= 2) {
+		fn = solver.KTwo
+	}
+	opts.Cache = nil
+	opts.AmbientQueryLen = 0
+	want, err := fn(inst, opts)
+	if err != nil {
+		t.Fatalf("from-scratch solve: %v", err)
+	}
+	// Costs are integer-valued in every workload model, so float sums are
+	// exact and the incremental total must match bit for bit.
+	if got.Cost != want.Cost {
+		t.Fatalf("differential mismatch: incremental cost %v, from-scratch cost %v (%d queries, maxlen %d)",
+			got.Cost, want.Cost, inst.NumQueries(), inst.MaxQueryLen())
+	}
+	// The incremental selection must itself be a valid cover of the load.
+	ids := make([]core.ClassifierID, 0, len(got.Classifiers))
+	for _, names := range got.Classifiers {
+		id, ok := inst.ClassifierIDOf(e.Universe().Set(names...))
+		if !ok {
+			t.Fatalf("incremental pick %v is not a classifier of the load", names)
+		}
+		ids = append(ids, id)
+	}
+	if err := inst.Verify(core.NewSolution(inst, ids)); err != nil {
+		t.Fatalf("incremental selection invalid: %v", err)
+	}
+}
+
+// runDifferential drives an engine with a randomized delta sequence drawn
+// from the dataset's query pool, checking incremental-vs-from-scratch
+// equality after every Apply.
+func runDifferential(t *testing.T, ds *workload.Dataset, pool []core.PropSet, algo string, seed int64, steps int) {
+	t.Helper()
+	opts := solver.DefaultOptions()
+	e, err := New(Config{Costs: ds.Costs, Universe: ds.Universe, Algo: algo, Options: opts})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ctx := context.Background()
+
+	names := func(s core.PropSet) []string { return ds.Universe.SetNames(s) }
+	var live []core.PropSet
+
+	// Seed the load with the first half of the pool in one batch.
+	var init []Delta
+	for _, q := range pool[:len(pool)/2] {
+		init = append(init, Add(names(q)...))
+		live = append(live, q)
+	}
+	if _, err := e.Apply(ctx, init); err != nil {
+		t.Fatalf("initial load: %v", err)
+	}
+	checkDifferential(t, e, algo, opts)
+
+	next := len(pool) / 2
+	for step := 0; step < steps; step++ {
+		batch := make([]Delta, 0, 4)
+		for n := rng.Intn(4) + 1; n > 0; n-- {
+			switch r := rng.Float64(); {
+			case r < 0.45 && next < len(pool):
+				batch = append(batch, Add(names(pool[next])...))
+				live = append(live, pool[next])
+				next++
+			case r < 0.60 && len(live) > 0:
+				// Re-add an occurrence of a live query (duplicate).
+				q := live[rng.Intn(len(live))]
+				batch = append(batch, Add(names(q)...))
+				live = append(live, q)
+			case r < 0.85 && len(live) > 0:
+				i := rng.Intn(len(live))
+				batch = append(batch, Remove(names(live[i])...))
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			case len(live) > 0:
+				// Re-price a random sub-classifier of a live query.
+				q := live[rng.Intn(len(live))]
+				k := rng.Intn(q.Len()) + 1
+				sub := make([]string, 0, k)
+				for _, j := range rng.Perm(q.Len())[:k] {
+					sub = append(sub, ds.Universe.Name(q[j]))
+				}
+				batch = append(batch, UpdateCost(float64(rng.Intn(60)+1), sub...))
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		if _, err := e.Apply(ctx, batch); err != nil {
+			t.Fatalf("step %d Apply(%v): %v", step, batch, err)
+		}
+		checkDifferential(t, e, algo, opts)
+	}
+
+	// Drain the load completely, checking the whole way down.
+	for len(live) > 0 {
+		batch := make([]Delta, 0, 8)
+		for n := 8; n > 0 && len(live) > 0; n-- {
+			i := rng.Intn(len(live))
+			batch = append(batch, Remove(names(live[i])...))
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if _, err := e.Apply(ctx, batch); err != nil {
+			t.Fatalf("drain Apply: %v", err)
+		}
+		checkDifferential(t, e, algo, opts)
+	}
+}
+
+func subsetPool(t *testing.T, ds *workload.Dataset, m int, seed int64) []core.PropSet {
+	t.Helper()
+	qs, err := ds.SubsetQueries(m, seed)
+	if err != nil {
+		t.Fatalf("SubsetQueries: %v", err)
+	}
+	return qs
+}
+
+func TestDifferentialSynthetic(t *testing.T) {
+	ds := workload.Synthetic(60, 7)
+	runDifferential(t, ds, ds.Queries, AlgoAuto, 101, 25)
+}
+
+func TestDifferentialSyntheticShort(t *testing.T) {
+	ds := workload.SyntheticShort(80, 11)
+	// Auto dispatches to Algorithm 2 here; also force Algorithm 3 so the
+	// general path is exercised on a k ≤ 2 load.
+	runDifferential(t, ds, ds.Queries, AlgoAuto, 103, 25)
+	runDifferential(t, ds, ds.Queries, AlgoGeneral, 107, 15)
+}
+
+func TestDifferentialBestBuy(t *testing.T) {
+	ds := workload.BestBuy(3)
+	runDifferential(t, ds, subsetPool(t, ds, 80, 9), AlgoAuto, 109, 25)
+}
+
+func TestDifferentialPrivate(t *testing.T) {
+	ds := workload.Private(5)
+	runDifferential(t, ds, subsetPool(t, ds, 80, 13), AlgoAuto, 113, 25)
+}

@@ -1,0 +1,63 @@
+package incr
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestEngineConcurrency hammers one engine from concurrent writers and
+// readers; run with -race. Each writer owns a disjoint property namespace so
+// every interleaving of the serialized Apply batches is valid.
+func TestEngineConcurrency(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	ctx := context.Background()
+	const writers, readers, rounds = 4, 3, 20
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := func(i int) string { return fmt.Sprintf("w%d_p%d", w, i) }
+			for r := 0; r < rounds; r++ {
+				if _, err := e.Apply(ctx, []Delta{
+					Add(p(r), p(r+1)),
+					UpdateCost(float64(r%7+1), p(r)),
+				}); err != nil {
+					errs <- err
+					return
+				}
+				if r%3 == 2 {
+					if _, err := e.Apply(ctx, []Delta{Remove(p(r), p(r+1))}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := e.Solution(); err != nil {
+					errs <- err
+					return
+				}
+				e.Stats()
+				e.QuerySets()
+				e.MaxQueryLen()
+				e.CacheStats()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package incr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Delta stream text format, one event per line:
+//
+//	<time> add  <p1,p2,...>
+//	<time> rm   <p1,p2,...>
+//	<time> cost <p1,p2,...> <cost>
+//
+// Fields are whitespace-separated (property names contain neither spaces
+// nor commas); times are seconds from stream start, non-decreasing by
+// convention but not enforced. Blank lines and lines starting with '#' are
+// ignored. mc3gen -deltas writes this format and mc3replay consumes it.
+
+// ReadDeltaStream parses a delta stream. Errors carry the 1-based line
+// number.
+func ReadDeltaStream(r io.Reader) ([]Delta, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Delta
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("incr: line %d: want \"<time> <op> <props> [cost]\", got %d field(s)", line, len(fields))
+		}
+		t, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+			return nil, fmt.Errorf("incr: line %d: bad time %q", line, fields[0])
+		}
+		op, err := ParseOp(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("incr: line %d: %v", line, err)
+		}
+		props, err := splitProps(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("incr: line %d: %v", line, err)
+		}
+		d := Delta{Time: t, Op: op, Props: props}
+		switch op {
+		case OpUpdateCost:
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("incr: line %d: cost op wants 4 fields, got %d", line, len(fields))
+			}
+			c, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil || math.IsNaN(c) || c < 0 {
+				return nil, fmt.Errorf("incr: line %d: bad cost %q", line, fields[3])
+			}
+			d.Cost = c
+		default:
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("incr: line %d: %s op wants 3 fields, got %d", line, op, len(fields))
+			}
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("incr: reading delta stream: %w", err)
+	}
+	return out, nil
+}
+
+// splitProps parses a comma-separated property list, rejecting empties.
+func splitProps(s string) ([]string, error) {
+	parts := strings.Split(s, ",")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("empty property in %q", s)
+		}
+	}
+	return parts, nil
+}
+
+// WriteDeltaStream writes deltas in the stream text format ReadDeltaStream
+// parses.
+func WriteDeltaStream(w io.Writer, deltas []Delta) error {
+	bw := bufio.NewWriter(w)
+	for i, d := range deltas {
+		if len(d.Props) == 0 {
+			return fmt.Errorf("incr: delta %d: no properties", i)
+		}
+		for _, p := range d.Props {
+			if p == "" || strings.ContainsAny(p, ", \t\n") {
+				return fmt.Errorf("incr: delta %d: property %q not representable in the stream format", i, p)
+			}
+		}
+		var err error
+		switch d.Op {
+		case OpUpdateCost:
+			_, err = fmt.Fprintf(bw, "%g %s %s %g\n", d.Time, d.Op, strings.Join(d.Props, ","), d.Cost)
+		case OpAdd, OpRemove:
+			_, err = fmt.Fprintf(bw, "%g %s %s\n", d.Time, d.Op, strings.Join(d.Props, ","))
+		default:
+			err = fmt.Errorf("incr: delta %d: unknown op %d", i, d.Op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -189,10 +189,24 @@ func Run(inst *core.Instance, level Level) (*Result, error) {
 // preprocessing result. When ctx carries a span (see internal/obs) the run
 // is traced as a "prep" span with one "prep.step" child per step executed.
 func RunCtx(ctx context.Context, inst *core.Instance, level Level) (*Result, error) {
+	return RunCtxAmbient(ctx, inst, level, 0)
+}
+
+// RunCtxAmbient is RunCtx for an instance embedded in a larger load:
+// ambientLen, when positive, is the maximal query length of the whole load
+// the instance is a component of. Step 4 — the paper's k = 2 rule — applies
+// only when the *load* is a k ≤ 2 instance, so a short component carved out
+// of a long load must skip it to preprocess exactly as it would in place.
+// ambientLen ≤ 0 means the instance is the whole load. Used by internal/incr
+// to keep per-component re-solves identical to whole-load solves.
+func RunCtxAmbient(ctx context.Context, inst *core.Instance, level Level, ambientLen int) (*Result, error) {
+	if ambientLen <= 0 {
+		ambientLen = inst.MaxQueryLen()
+	}
 	sp, ctx := obs.StartChild(ctx, SpanPrep,
 		obs.Str("level", level.String()),
 		obs.Int("queries", inst.NumQueries()), obs.Int("classifiers", inst.NumClassifiers()))
-	r, err := runCtx(ctx, inst, level)
+	r, err := runCtx(ctx, inst, level, ambientLen)
 	if err == nil {
 		sp.SetAttr(obs.Any("stats", r.Stats),
 			obs.Int("components", len(r.Components)), obs.Int("selected", len(r.Selected)))
@@ -203,7 +217,7 @@ func RunCtx(ctx context.Context, inst *core.Instance, level Level) (*Result, err
 
 // runCtx is RunCtx's body, split out so the prep span observes the final
 // error uniformly.
-func runCtx(ctx context.Context, inst *core.Instance, level Level) (*Result, error) {
+func runCtx(ctx context.Context, inst *core.Instance, level Level, ambientLen int) (*Result, error) {
 	// Fail fast on an already-dead context: small instances can otherwise
 	// finish before the first batched checkpoint fires.
 	if err := ctx.Err(); err != nil {
@@ -280,7 +294,7 @@ func runCtx(ctx context.Context, inst *core.Instance, level Level) (*Result, err
 		st.step3()
 		s3.SetAttr(obs.Int("removed", r.Stats.Step3Removed), obs.Int("selected", r.Stats.Step3Selected))
 		s3.EndErr(st.err)
-		if st.err == nil && inst.MaxQueryLen() <= 2 {
+		if st.err == nil && inst.MaxQueryLen() <= 2 && ambientLen <= 2 {
 			s4, _ := obs.StartChild(ctx, SpanStep, obs.Str("step", "step4"))
 			st.step4()
 			s4.SetAttr(obs.Int("removed", r.Stats.Step4Removed), obs.Int("selected", r.Stats.Step4Selected))

@@ -32,7 +32,7 @@ func General(inst *core.Instance, opts Options) (*core.Solution, error) {
 // generalWithCtx is General's body, split out so the solve span observes the
 // final error uniformly.
 func generalWithCtx(ctx context.Context, inst *core.Instance, opts Options) (*core.Solution, error) {
-	r, err := prep.RunCtx(ctx, inst, opts.Prep)
+	r, err := prep.RunCtxAmbient(ctx, inst, opts.Prep, opts.AmbientQueryLen)
 	if err != nil {
 		return nil, err
 	}

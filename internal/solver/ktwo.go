@@ -38,7 +38,7 @@ func KTwo(inst *core.Instance, opts Options) (*core.Solution, error) {
 // ktwoWithCtx is KTwo's body, split out so the solve span observes the final
 // error uniformly.
 func ktwoWithCtx(ctx context.Context, inst *core.Instance, opts Options) (*core.Solution, error) {
-	r, err := prep.RunCtx(ctx, inst, opts.Prep)
+	r, err := prep.RunCtxAmbient(ctx, inst, opts.Prep, opts.AmbientQueryLen)
 	if err != nil {
 		return nil, err
 	}

@@ -114,6 +114,14 @@ type Options struct {
 	// stats-collecting sink is attached internally), so the two views can
 	// never disagree.
 	Stats *SolveStats
+	// AmbientQueryLen, when positive, tells the solver the instance is a
+	// property-disjoint component of a larger load whose maximal query
+	// length is this value. Preprocessing then gates the paper's k = 2
+	// Step 4 on the ambient length instead of the instance's own, so the
+	// component solves exactly as it would inside the whole load. Zero (the
+	// default) means the instance is the whole load. Honored by General and
+	// KTwo; used by internal/incr for delta-driven per-component re-solves.
+	AmbientQueryLen int
 	// Cache, when non-nil, memoizes residual-component solutions across
 	// solves: components whose canonical signature (query bitmasks,
 	// classifier structure, effective costs) matches a previously solved

@@ -150,28 +150,31 @@ func (f *File) Build(opts core.Options) (*core.Universe, *core.Instance, error) 
 		queries[i] = u.Set(q...)
 	}
 
-	var cm core.CostModel
-	switch {
-	case f.UniformCost != nil:
-		cm = core.UniformCost(*f.UniformCost)
-	default:
-		def := math.Inf(1)
-		if f.DefaultCost != nil {
-			def = *f.DefaultCost
-		}
-		table := core.NewCostTable(def)
-		for key, c := range f.Costs {
-			names := strings.Split(key, KeySep)
-			table.Set(u.Set(names...), c)
-		}
-		cm = table
-	}
-
-	inst, err := core.NewInstance(u, queries, cm, opts)
+	inst, err := core.NewInstance(u, queries, f.CostModelFor(u), opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	return u, inst, nil
+}
+
+// CostModelFor builds the file's cost model bound to u, interning every
+// priced classifier's properties. Cost tables key on property IDs, so a
+// model must be built against the universe it will be evaluated in —
+// mc3serve's incremental sessions use this to price classifiers in a
+// session-owned universe.
+func (f *File) CostModelFor(u *core.Universe) core.CostModel {
+	if f.UniformCost != nil {
+		return core.UniformCost(*f.UniformCost)
+	}
+	def := math.Inf(1)
+	if f.DefaultCost != nil {
+		def = *f.DefaultCost
+	}
+	table := core.NewCostTable(def)
+	for key, c := range f.Costs {
+		table.Set(u.Set(strings.Split(key, KeySep)...), c)
+	}
+	return table
 }
 
 // FromInstance captures an instance back into the file format, with every

@@ -53,6 +53,40 @@ func TestReadBuildSolve(t *testing.T) {
 	}
 }
 
+func TestCostModelFor(t *testing.T) {
+	f, err := Read(strings.NewReader(exampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := core.NewUniverse()
+	cm := f.CostModelFor(u)
+	if got := cm.Cost(u.Set("brand:adidas", "team:chelsea")); got != 3 {
+		t.Errorf("pair cost = %v, want 3", got)
+	}
+	if got := cm.Cost(u.Set("color:white")); got != 1 {
+		t.Errorf("singleton cost = %v, want 1", got)
+	}
+	// Unpriced classifiers fall back to the default: +Inf when absent.
+	if got := cm.Cost(u.Set("team:chelsea", "color:white")); !math.IsInf(got, 1) {
+		t.Errorf("unpriced cost = %v, want +Inf", got)
+	}
+
+	// uniform_cost short-circuits the table entirely.
+	uc := 2.5
+	uf := &File{Queries: [][]string{{"a"}}, UniformCost: &uc}
+	if got := uf.CostModelFor(core.NewUniverse()).Cost(core.NewPropSet(0, 1)); got != 2.5 {
+		t.Errorf("uniform cost = %v, want 2.5", got)
+	}
+
+	// default_cost prices everything the table does not.
+	dc := 7.0
+	df := &File{Queries: [][]string{{"a"}}, DefaultCost: &dc}
+	du := core.NewUniverse()
+	if got := df.CostModelFor(du).Cost(du.Set("a")); got != 7 {
+		t.Errorf("default cost = %v, want 7", got)
+	}
+}
+
 func TestRoundTrip(t *testing.T) {
 	f, err := Read(strings.NewReader(exampleJSON))
 	if err != nil {

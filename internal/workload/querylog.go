@@ -15,6 +15,14 @@ import (
 // dataset was built from (it "consists of 10,000 popular queries" derived
 // from user sessions).
 //
+// Logs exported from other systems arrive messy, so parsing is tolerant
+// where tolerance is safe and strict where it is not: CRLF line endings and
+// whitespace padding around property names are accepted, a property repeated
+// within one line collapses to a single occurrence, but an empty property
+// name or a query whose distinct properties exceed core.MaxEnumQueryLen
+// (the classifier universe would have 2^L−1 members) is rejected with the
+// offending line number.
+//
 // Properties are interned into u; queries are returned in file order,
 // duplicates included (instance construction merges them).
 func ParseQueryLog(r io.Reader, u *core.Universe) ([]core.PropSet, error) {
@@ -27,7 +35,7 @@ func ParseQueryLog(r io.Reader, u *core.Universe) ([]core.PropSet, error) {
 	lineNo := 0
 	for scanner.Scan() {
 		lineNo++
-		line := scanner.Text()
+		line := strings.TrimSuffix(scanner.Text(), "\r")
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
 		}
@@ -44,7 +52,12 @@ func ParseQueryLog(r io.Reader, u *core.Universe) ([]core.PropSet, error) {
 			}
 			ids = append(ids, u.Intern(p))
 		}
-		queries = append(queries, core.NewPropSet(ids...))
+		q := core.NewPropSet(ids...) // sorts and drops in-line duplicates
+		if q.Len() > core.MaxEnumQueryLen {
+			return nil, fmt.Errorf("workload: line %d: query has %d distinct properties, enumeration limit is %d",
+				lineNo, q.Len(), core.MaxEnumQueryLen)
+		}
+		queries = append(queries, q)
 	}
 	if err := scanner.Err(); err != nil {
 		return nil, fmt.Errorf("workload: reading query log: %w", err)

@@ -37,19 +37,85 @@ func TestParseQueryLog(t *testing.T) {
 	}
 }
 
+func TestParseQueryLogTolerance(t *testing.T) {
+	cases := []struct {
+		name, log string
+		queries   int
+		lens      []int
+	}{
+		{"crlf line endings", "a,b\r\nc\r\n", 2, []int{2, 1}},
+		{"crlf with trailing blank", "a,b\r\n\r\n", 1, []int{2}},
+		{"whitespace-padded properties", "  a , b\t,  c  \n", 1, []int{3}},
+		{"duplicate property in one line", "a,b,a\n", 1, []int{2}},
+		{"padded duplicate collapses", "a, a ,b\n", 1, []int{2}},
+		{"comment after crlf query", "a,b # padded\r\n", 1, []int{2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := core.NewUniverse()
+			queries, err := ParseQueryLog(strings.NewReader(tc.log), u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(queries) != tc.queries {
+				t.Fatalf("queries = %d, want %d", len(queries), tc.queries)
+			}
+			for i, want := range tc.lens {
+				if queries[i].Len() != want {
+					t.Errorf("query %d length = %d, want %d", i, queries[i].Len(), want)
+				}
+			}
+		})
+	}
+}
+
 func TestParseQueryLogErrors(t *testing.T) {
-	u := core.NewUniverse()
-	if _, err := ParseQueryLog(strings.NewReader(""), u); err == nil {
-		t.Error("empty log must error")
+	overlong := make([]string, core.MaxEnumQueryLen+1)
+	for i := range overlong {
+		overlong[i] = "p" + strings.Repeat("x", i+1)
 	}
-	if _, err := ParseQueryLog(strings.NewReader("# only comments\n"), u); err == nil {
-		t.Error("comment-only log must error")
+	cases := []struct {
+		name, log, wantLine string
+	}{
+		{"empty log", "", ""},
+		{"comment-only log", "# only comments\n", ""},
+		{"empty property", "a,,b\n", "line 1"},
+		{"empty property with padding", "a, ,b\n", "line 1"},
+		{"trailing comma", "ok\na,b,\n", "line 2"},
+		{"overlong query", "ok\nok2\n" + strings.Join(overlong, ",") + "\n", "line 3"},
 	}
-	if _, err := ParseQueryLog(strings.NewReader("a,,b\n"), u); err == nil {
-		t.Error("empty property must error")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := core.NewUniverse()
+			_, err := ParseQueryLog(strings.NewReader(tc.log), u)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if tc.wantLine != "" && !strings.Contains(err.Error(), tc.wantLine) {
+				t.Errorf("error %q does not name %s", err, tc.wantLine)
+			}
+		})
 	}
 	if _, err := ParseQueryLog(strings.NewReader("a\n"), nil); err == nil {
 		t.Error("nil universe must error")
+	}
+}
+
+func TestParseQueryLogDuplicateAtLimit(t *testing.T) {
+	// Exactly MaxEnumQueryLen distinct properties is legal, even when the
+	// raw line lists one of them twice.
+	props := make([]string, core.MaxEnumQueryLen)
+	for i := range props {
+		props[i] = "q" + strings.Repeat("y", i+1)
+	}
+	line := strings.Join(props, ",") + "," + props[0] + "\n"
+	u := core.NewUniverse()
+	queries, err := ParseQueryLog(strings.NewReader(line), u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queries[0].Len() != core.MaxEnumQueryLen {
+		t.Errorf("length = %d, want %d", queries[0].Len(), core.MaxEnumQueryLen)
 	}
 }
 

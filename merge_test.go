@@ -1,0 +1,93 @@
+package mc3
+
+import (
+	"testing"
+)
+
+func TestAttrPrefixEdgeCases(t *testing.T) {
+	attrOf := AttrPrefix(":")
+	cases := []struct{ name, want string }{
+		{"color:white", "color"},
+		{"team:juventus", "team"},
+		{"brand:adidas:retro", "brand"}, // first separator wins
+		{"plain", "plain"},              // no separator: name maps to itself
+		{":leading", ""},
+	}
+	for _, tc := range cases {
+		if got := attrOf(tc.name); got != tc.want {
+			t.Errorf("AttrPrefix(\":\")(%q) = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMergeAttributesCollisions(t *testing.T) {
+	u := NewUniverse()
+	queries := []PropSet{
+		// Two properties of the same attribute in one query: they must
+		// collapse to a single attribute-level property.
+		u.Set("color:white", "color:black", "brand:adidas"),
+		u.Set("team:chelsea", "brand:adidas"),
+		// A name without the separator passes through unchanged.
+		u.Set("vintage"),
+	}
+	mu, merged := MergeAttributes(u, queries, AttrPrefix(":"))
+
+	if len(merged) != len(queries) {
+		t.Fatalf("merged %d queries, want %d", len(merged), len(queries))
+	}
+	if got := merged[0]; got.Len() != 2 {
+		t.Errorf("query 0 merged to %d attributes, want 2 (color, brand): %v", got.Len(), mu.SetNames(got))
+	}
+	if !merged[0].Equal(mu.Set("color", "brand")) {
+		t.Errorf("query 0 = %v, want {brand, color}", mu.SetNames(merged[0]))
+	}
+	if !merged[1].Equal(mu.Set("team", "brand")) {
+		t.Errorf("query 1 = %v, want {brand, team}", mu.SetNames(merged[1]))
+	}
+	if !merged[2].Equal(mu.Set("vintage")) {
+		t.Errorf("query 2 = %v, want {vintage}", mu.SetNames(merged[2]))
+	}
+	// The attribute universe holds only the four attribute names.
+	if mu.Size() != 4 {
+		t.Errorf("attribute universe size = %d, want 4 (brand, color, team, vintage)", mu.Size())
+	}
+	// The original universe is untouched.
+	if u.Size() != 5 {
+		t.Errorf("original universe size changed: %d, want 5", u.Size())
+	}
+}
+
+func TestMergeAttributesSolvesAsOrdinaryInstance(t *testing.T) {
+	// Section 5.3: after the pure multi-valued transformation the merged
+	// load is an ordinary MC³ instance over attributes. Every query shrinks
+	// to length ≤ 2, so the k=2 algorithm applies.
+	u := NewUniverse()
+	queries := []PropSet{
+		u.Set("color:white", "brand:adidas"),
+		u.Set("color:black", "brand:nike"),
+		u.Set("color:red", "team:milan"),
+	}
+	mu, merged := MergeAttributes(u, queries, AttrPrefix(":"))
+	costs := NewCostTable(10)
+	costs.Set(mu.Set("color"), 2)
+	costs.Set(mu.Set("brand"), 3)
+	costs.Set(mu.Set("team"), 4)
+	inst, err := NewInstance(mu, merged, costs, InstanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumQueries() != 2 {
+		t.Fatalf("instance queries = %d, want 2 (the two {brand,color} queries merge)", inst.NumQueries())
+	}
+	sol, err := Solve(inst, DefaultSolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(sol); err != nil {
+		t.Fatal(err)
+	}
+	// Optimum: attribute classifiers color (2) + brand (3) + team (4).
+	if sol.Cost != 9 {
+		t.Errorf("merged solve cost = %v, want 9", sol.Cost)
+	}
+}
