@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race check bench bench-full experiments experiments-quick serve fuzz clean
+.PHONY: all build vet test test-race race check bench bench-full bench-baseline bench-compare experiments experiments-quick serve fuzz clean
 
 all: build vet test
 
@@ -32,6 +32,26 @@ bench:
 
 bench-full:
 	$(GO) test -bench=. -benchmem -run xxx ./...
+
+# Before/after comparison flow (see docs/PERFORMANCE.md):
+#   git stash / git checkout <old>; make bench-baseline   # writes bench-old.txt
+#   git checkout <new>;            make bench-compare     # writes bench-new.txt, diffs
+# benchstat (golang.org/x/perf) sharpens the diff when installed; without it
+# the two files are kept for manual comparison.
+BENCH_COUNT ?= 5
+BENCH_PKGS  ?= .
+
+bench-baseline:
+	$(GO) test -bench=. -benchmem -count=$(BENCH_COUNT) -run xxx $(BENCH_PKGS) | tee bench-old.txt
+
+bench-compare:
+	$(GO) test -bench=. -benchmem -count=$(BENCH_COUNT) -run xxx $(BENCH_PKGS) | tee bench-new.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench-old.txt bench-new.txt; \
+	else \
+		echo "benchstat not installed; compare bench-old.txt and bench-new.txt by hand"; \
+		echo "  (go install golang.org/x/perf/cmd/benchstat@latest)"; \
+	fi
 
 # Regenerate the paper's experimental study at full scale (≈ half a minute).
 experiments:

@@ -147,6 +147,10 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 
 	seen := map[string]bool{}
 	start := time.Now()
+	var mem *bench.MemCapture
+	if rep != nil {
+		mem = bench.StartMemCapture()
+	}
 	for _, name := range selected {
 		if seen[name] {
 			continue
@@ -188,6 +192,7 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 	if rep != nil {
 		rep.TotalSeconds = time.Since(start).Seconds()
 		rep.Stats = cfg.Stats
+		rep.Mem = mem.Report()
 		if cfg.Cache != nil {
 			st := cfg.Cache.Stats()
 			rep.Cache = &st

@@ -39,6 +39,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -49,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -251,20 +253,53 @@ type errorResponse struct {
 // client went away before the answer was ready.
 const statusClientClosedRequest = 499
 
+// bodyBufPool recycles the request-body staging buffers of /solve and /load.
+// Decoding straight off the wire made every request pay the JSON decoder's
+// internal read-buffer churn; staging through a pooled buffer makes the
+// steady-state serving path allocation-free on the transport side.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// bodyBufKeep caps the capacity of buffers returned to the pool, so one
+// max-body-sized request doesn't pin megabytes for the daemon's lifetime.
+const bodyBufKeep = 1 << 20
+
+// readInstance reads and parses a request body holding an instance file,
+// staging it through a pooled buffer. The returned File does not alias the
+// buffer (textio.Read copies what it keeps).
+func (s *server) readInstance(w http.ResponseWriter, r *http.Request) (*textio.File, error) {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= bodyBufKeep {
+			buf.Reset()
+			bodyBufPool.Put(buf)
+		}
+	}()
+	buf.Reset()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.cfg.maxBody)); err != nil {
+		return nil, err
+	}
+	return textio.Read(bytes.NewReader(buf.Bytes()))
+}
+
+// failParse maps an instance-parse error to its HTTP status and answers it.
+func (s *server) failParse(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		code = http.StatusRequestEntityTooLarge
+	}
+	s.fail(w, code, fmt.Errorf("parse instance: %w", err))
+}
+
 // handleSolve answers POST /solve: parse the instance, solve it under the
 // request's deadline with the shared cache, answer JSON.
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	s.registry.Counter("mc3serve_requests_total").Inc()
 
-	file, err := textio.Read(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+	file, err := s.readInstance(w, r)
 	if err != nil {
-		code := http.StatusBadRequest
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			code = http.StatusRequestEntityTooLarge
-		}
-		s.fail(w, code, fmt.Errorf("parse instance: %w", err))
+		s.failParse(w, err)
 		return
 	}
 	_, inst, err := file.Build(core.Options{})

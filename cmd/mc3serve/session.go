@@ -11,7 +11,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/incr"
-	"repro/internal/textio"
 )
 
 // The stateful session API, backed by internal/incr: a session owns a live
@@ -155,14 +154,9 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	file, err := textio.Read(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+	file, err := s.readInstance(w, r)
 	if err != nil {
-		code := http.StatusBadRequest
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			code = http.StatusRequestEntityTooLarge
-		}
-		s.fail(w, code, fmt.Errorf("parse instance: %w", err))
+		s.failParse(w, err)
 		return
 	}
 

@@ -1,0 +1,199 @@
+package mc3
+
+// Differential testing for the allocation-free classifier-universe
+// enumeration: NewInstance's scratch-buffer/byte-key/shape-memoized hot path
+// must materialize exactly the instance the straightforward per-mask
+// enumeration produces. The reference below is the pre-optimization
+// algorithm, kept verbatim in test form; the comparison runs over all three
+// workload generators plus the duplicate-heavy shapes the memoization
+// targets.
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// refInstance is the reference enumeration: every non-empty subset of every
+// query, priced through the cost model, deduplicated by canonical string
+// key — the straightforward algorithm NewInstance's hot path optimizes.
+type refInstance struct {
+	classifiers []PropSet
+	costs       []float64
+	queryCls    [][]core.QueryClassifier
+	clsQueries  [][]int32
+}
+
+func refEnumerate(t *testing.T, queries []PropSet, cm CostModel, keepDups bool) *refInstance {
+	t.Helper()
+	var kept []PropSet
+	seen := map[string]bool{}
+	for _, q := range queries {
+		if !keepDups {
+			k := q.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		kept = append(kept, q)
+	}
+	ref := &refInstance{queryCls: make([][]core.QueryClassifier, len(kept))}
+	byKey := map[string]ClassifierID{}
+	for qi, q := range kept {
+		full := uint64(1)<<uint(q.Len()) - 1
+		for mask := uint64(1); mask <= full; mask++ {
+			sub := q.SubsetByMask(mask)
+			key := sub.Key()
+			id, ok := byKey[key]
+			if !ok {
+				c := cm.Cost(sub)
+				if math.IsInf(c, 1) {
+					byKey[key] = NoClassifier
+					continue
+				}
+				id = ClassifierID(len(ref.classifiers))
+				ref.classifiers = append(ref.classifiers, sub)
+				ref.costs = append(ref.costs, c)
+				ref.clsQueries = append(ref.clsQueries, nil)
+				byKey[key] = id
+			} else if id == NoClassifier {
+				continue
+			}
+			ref.queryCls[qi] = append(ref.queryCls[qi], core.QueryClassifier{ID: id, Mask: mask})
+			ref.clsQueries[id] = append(ref.clsQueries[id], int32(qi))
+		}
+	}
+	return ref
+}
+
+// compareInstance checks inst against the reference field by field: same
+// classifier numbering, costs, per-query classifier lists with masks, and
+// per-classifier incidence lists.
+func compareInstance(t *testing.T, name string, inst *Instance, ref *refInstance) {
+	t.Helper()
+	if inst.NumClassifiers() != len(ref.classifiers) {
+		t.Fatalf("%s: %d classifiers, reference has %d", name, inst.NumClassifiers(), len(ref.classifiers))
+	}
+	for id := 0; id < inst.NumClassifiers(); id++ {
+		cid := ClassifierID(id)
+		if !inst.Classifier(cid).Equal(ref.classifiers[id]) {
+			t.Fatalf("%s: classifier %d = %v, reference %v", name, id, inst.Classifier(cid), ref.classifiers[id])
+		}
+		if inst.Cost(cid) != ref.costs[id] {
+			t.Fatalf("%s: cost(%d) = %v, reference %v", name, id, inst.Cost(cid), ref.costs[id])
+		}
+		got, want := inst.ClassifierQueries(cid), ref.clsQueries[id]
+		if len(got) != len(want) {
+			t.Fatalf("%s: classifier %d lists %d queries, reference %d", name, id, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: classifier %d query[%d] = %d, reference %d", name, id, i, got[i], want[i])
+			}
+		}
+	}
+	if inst.NumQueries() != len(ref.queryCls) {
+		t.Fatalf("%s: %d queries, reference has %d", name, inst.NumQueries(), len(ref.queryCls))
+	}
+	var maxLen, sumLen int
+	for qi := 0; qi < inst.NumQueries(); qi++ {
+		got, want := inst.QueryClassifiers(qi), ref.queryCls[qi]
+		if len(got) != len(want) {
+			t.Fatalf("%s: query %d has %d classifiers, reference %d", name, qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: query %d classifier[%d] = %+v, reference %+v", name, qi, i, got[i], want[i])
+			}
+		}
+		if l := inst.Query(qi).Len(); l > maxLen {
+			maxLen = l
+		}
+		sumLen += inst.Query(qi).Len()
+	}
+	if inst.MaxQueryLen() != maxLen {
+		t.Errorf("%s: MaxQueryLen = %d, recomputed %d", name, inst.MaxQueryLen(), maxLen)
+	}
+	if inst.SumQueryLen() != sumLen {
+		t.Errorf("%s: SumQueryLen = %d, recomputed %d", name, inst.SumQueryLen(), sumLen)
+	}
+}
+
+// TestEnumerationDifferentialWorkloads compares the optimized enumeration
+// against the reference on all three workload generators.
+func TestEnumerationDifferentialWorkloads(t *testing.T) {
+	datasets := map[string]*workload.Dataset{
+		"synthetic": workload.Synthetic(400, 11),
+		"bestbuy":   workload.BestBuy(11),
+		"private":   workload.Private(11),
+	}
+	for name, d := range datasets {
+		queries := d.Queries
+		if len(queries) > 600 {
+			queries = queries[:600]
+		}
+		for _, keepDups := range []bool{false, true} {
+			inst, err := NewInstance(d.Universe, queries, d.Costs, InstanceOptions{KeepDuplicateQueries: keepDups})
+			if err != nil {
+				t.Fatalf("%s: NewInstance: %v", name, err)
+			}
+			ref := refEnumerate(t, queries, d.Costs, keepDups)
+			label := name
+			if keepDups {
+				label += "/keep-dups"
+			}
+			compareInstance(t, label, inst, ref)
+		}
+	}
+}
+
+// TestEnumerationDifferentialDuplicates hammers the shape-memoized path:
+// many interleaved duplicates of a few shapes, with some subsets priced
+// unavailable so the negative cache is shared across shapes too.
+func TestEnumerationDifferentialDuplicates(t *testing.T) {
+	u := NewUniverse()
+	a, b, c, d, e := u.Intern("a"), u.Intern("b"), u.Intern("c"), u.Intern("d"), u.Intern("e")
+	shapes := []PropSet{
+		core.NewPropSet(a, b, c),
+		core.NewPropSet(b, c),
+		core.NewPropSet(c, d, e),
+		core.NewPropSet(a),
+	}
+	var queries []PropSet
+	for i := 0; i < 40; i++ {
+		queries = append(queries, shapes[i%len(shapes)])
+	}
+	cm := CostFunc(func(s PropSet) float64 {
+		h := int64(17)
+		for _, id := range s {
+			h = h*31 + int64(id)
+		}
+		if s.Len() == 2 && h%3 == 0 {
+			return math.Inf(1)
+		}
+		return float64(1 + h%9)
+	})
+	inst, err := NewInstance(u, queries, cm, InstanceOptions{KeepDuplicateQueries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareInstance(t, "duplicates", inst, refEnumerate(t, queries, cm, true))
+
+	// And the bounded-classifier variant still matches a mask-filtered
+	// reference.
+	instBounded, err := NewInstance(u, queries, cm, InstanceOptions{MaxClassifierLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < instBounded.NumQueries(); qi++ {
+		for _, qc := range instBounded.QueryClassifiers(qi) {
+			if got := bits.OnesCount64(qc.Mask); got > 2 {
+				t.Fatalf("bounded instance kept a length-%d classifier", got)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/cache"
@@ -29,6 +30,58 @@ type Report struct {
 	// Cache reports the shared component-solution cache's counters when the
 	// run used one: the amortization record for BENCH_*.json.
 	Cache *cache.Stats `json:"cache,omitempty"`
+	// Mem reports the run's allocation behaviour (runtime.MemStats deltas),
+	// so the committed BENCH_*.json files track allocation regressions
+	// alongside wall times.
+	Mem *ReportMem `json:"mem,omitempty"`
+}
+
+// ReportMem is the "mem" block of BENCH_*.json: runtime.MemStats deltas
+// accumulated across the run plus the end-of-run heap footprint.
+type ReportMem struct {
+	// AllocObjects is the number of heap objects allocated during the run
+	// (Mallocs delta).
+	AllocObjects uint64 `json:"alloc_objects"`
+	// AllocBytes is the cumulative bytes allocated during the run
+	// (TotalAlloc delta).
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// GCCycles is the number of completed GC cycles during the run.
+	GCCycles uint32 `json:"gc_cycles"`
+	// GCPauseMS is the total stop-the-world pause during the run, in
+	// milliseconds.
+	GCPauseMS float64 `json:"gc_pause_ms"`
+	// HeapAllocBytes is the live heap at the end of the run.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// HeapSysBytes is the memory obtained from the OS for the heap at the
+	// end of the run.
+	HeapSysBytes uint64 `json:"heap_sys_bytes"`
+}
+
+// MemCapture snapshots runtime.MemStats so a run's allocation deltas can be
+// reported. Use StartMemCapture before the measured work and Report after.
+type MemCapture struct {
+	start runtime.MemStats
+}
+
+// StartMemCapture records the current memory statistics as the baseline.
+func StartMemCapture() *MemCapture {
+	c := &MemCapture{}
+	runtime.ReadMemStats(&c.start)
+	return c
+}
+
+// Report returns the deltas accumulated since StartMemCapture.
+func (c *MemCapture) Report() *ReportMem {
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	return &ReportMem{
+		AllocObjects:   end.Mallocs - c.start.Mallocs,
+		AllocBytes:     end.TotalAlloc - c.start.TotalAlloc,
+		GCCycles:       end.NumGC - c.start.NumGC,
+		GCPauseMS:      float64(end.PauseTotalNs-c.start.PauseTotalNs) / 1e6,
+		HeapAllocBytes: end.HeapAlloc,
+		HeapSysBytes:   end.HeapSys,
+	}
 }
 
 // ReportExperiment is one experiment's table plus its wall time.

@@ -1,0 +1,245 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	b := New(130)
+	if got := len(b); got != 3 {
+		t.Fatalf("New(130) has %d words, want 3", got)
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Errorf("fresh bitset has bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Errorf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+	if !b.Any() {
+		t.Error("Any = false with bits set")
+	}
+	b.ClearAll()
+	if b.Any() {
+		t.Error("Any = true after ClearAll")
+	}
+	if got := b.Count(); got != 0 {
+		t.Errorf("Count = %d after ClearAll", got)
+	}
+}
+
+func TestTestAndSet(t *testing.T) {
+	b := New(100)
+	if b.TestAndSet(70) {
+		t.Error("TestAndSet on clear bit returned true")
+	}
+	if !b.TestAndSet(70) {
+		t.Error("TestAndSet on set bit returned false")
+	}
+	if !b.Test(70) {
+		t.Error("bit not set after TestAndSet")
+	}
+}
+
+func TestGrowReuses(t *testing.T) {
+	b := New(256)
+	b.Set(255)
+	got := b.Grow(100)
+	if len(got) != 2 {
+		t.Fatalf("Grow(100) has %d words, want 2", len(got))
+	}
+	if got.Any() {
+		t.Error("Grow did not clear reused words")
+	}
+	// Growing beyond capacity allocates fresh (and therefore cleared) words.
+	big := got.Grow(10_000)
+	if big.Any() || len(big) != 157 {
+		t.Errorf("Grow(10000): %d words, any=%v", len(big), big.Any())
+	}
+	// The zero value grows too.
+	var z Bitset
+	z = z.Grow(65)
+	z.Set(64)
+	if !z.Test(64) {
+		t.Error("zero-value Grow unusable")
+	}
+}
+
+// TestDifferentialVsBoolSlice drives a Bitset and a []bool through the same
+// random operation stream and checks every observable agrees — the bitset
+// must be a drop-in replacement for the scratch slices it replaces.
+func TestDifferentialVsBoolSlice(t *testing.T) {
+	const n = 500
+	rng := rand.New(rand.NewSource(7))
+	b := New(n)
+	ref := make([]bool, n)
+	refCount := func() int {
+		c := 0
+		for _, v := range ref {
+			if v {
+				c++
+			}
+		}
+		return c
+	}
+	for step := 0; step < 20_000; step++ {
+		i := rng.Intn(n)
+		switch rng.Intn(6) {
+		case 0:
+			b.Set(i)
+			ref[i] = true
+		case 1:
+			b.Clear(i)
+			ref[i] = false
+		case 2:
+			if b.Test(i) != ref[i] {
+				t.Fatalf("step %d: Test(%d) = %v, ref %v", step, i, b.Test(i), ref[i])
+			}
+		case 3:
+			if b.TestAndSet(i) != ref[i] {
+				t.Fatalf("step %d: TestAndSet(%d) disagrees", step, i)
+			}
+			ref[i] = true
+		case 4:
+			if b.Count() != refCount() {
+				t.Fatalf("step %d: Count = %d, ref %d", step, b.Count(), refCount())
+			}
+		case 5:
+			var got []int
+			b.Range(func(j int) { got = append(got, j) })
+			var want []int
+			for j, v := range ref {
+				if v {
+					want = append(want, j)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("step %d: Range yields %d bits, ref %d", step, len(got), len(want))
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("step %d: Range[%d] = %d, ref %d", step, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func TestRangeAndNot(t *testing.T) {
+	a := New(200)
+	b := New(200)
+	for i := 0; i < 200; i += 3 {
+		a.Set(i)
+	}
+	for i := 0; i < 200; i += 6 {
+		b.Set(i)
+	}
+	var got []int
+	a.RangeAndNot(b, func(i int) { got = append(got, i) })
+	var want []int
+	for i := 0; i < 200; i += 3 {
+		if i%6 != 0 {
+			want = append(want, i)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("RangeAndNot yields %d bits, want %d", len(got), len(want))
+	}
+	for k := range got {
+		if got[k] != want[k] {
+			t.Fatalf("RangeAndNot[%d] = %d, want %d", k, got[k], want[k])
+		}
+	}
+	if n := a.CountAndNot(b); n != len(want) {
+		t.Errorf("CountAndNot = %d, want %d", n, len(want))
+	}
+	// A shorter "other" is treated as zero-extended.
+	short := New(64)
+	short.Set(0)
+	var cnt int
+	a.RangeAndNot(short, func(int) { cnt++ })
+	if cnt != a.Count()-1 {
+		t.Errorf("RangeAndNot with short other visited %d bits, want %d", cnt, a.Count()-1)
+	}
+	if n := a.CountAndNot(short); n != a.Count()-1 {
+		t.Errorf("CountAndNot with short other = %d, want %d", n, a.Count()-1)
+	}
+}
+
+// TestZeroAllocSteadyState is the allocation-regression gate for the kernel:
+// every operation on a sized bitset, including Grow within capacity, must not
+// allocate. The set-cover and max-flow hot loops rely on this.
+func TestZeroAllocSteadyState(t *testing.T) {
+	b := New(4096)
+	var sink int
+	if avg := testing.AllocsPerRun(100, func() {
+		b = b.Grow(4000)
+		for i := 0; i < 4000; i += 7 {
+			b.Set(i)
+		}
+		for i := 0; i < 4000; i += 13 {
+			if b.Test(i) {
+				b.Clear(i)
+			}
+		}
+		for i := 0; i < 4000; i += 11 {
+			b.TestAndSet(i)
+		}
+		sink += b.Count()
+		b.Range(func(i int) { sink += i })
+		b.RangeAndNot(b[:8], func(i int) { sink += i })
+		sink += b.CountAndNot(b[:8])
+		b.ClearAll()
+	}); avg != 0 {
+		t.Errorf("steady-state bitset ops allocate %.1f times per run, want 0", avg)
+	}
+	_ = sink
+}
+
+func BenchmarkSetTestClearAll(b *testing.B) {
+	bs := New(4096)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4096; j += 3 {
+			bs.Set(j)
+		}
+		n := 0
+		for j := 0; j < 4096; j += 3 {
+			if bs.Test(j) {
+				n++
+			}
+		}
+		bs.ClearAll()
+	}
+}
+
+func BenchmarkBoolSliceBaseline(b *testing.B) {
+	// The idiom the bitset replaces, for benchstat comparison.
+	bs := make([]bool, 4096)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4096; j += 3 {
+			bs[j] = true
+		}
+		n := 0
+		for j := 0; j < 4096; j += 3 {
+			if bs[j] {
+				n++
+			}
+		}
+		for j := range bs {
+			bs[j] = false
+		}
+	}
+}

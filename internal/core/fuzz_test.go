@@ -57,3 +57,40 @@ func FuzzPropSetAlgebra(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAppendKeyCanonical pins the byte-encoded canonical classifier key the
+// enumeration hot path builds (AppendKey into a reused buffer) to the string
+// key it replaced: identical bytes, lossless round trip, and collision-free —
+// keys compare equal iff the sets are equal, including across sets encoded
+// into the same reused buffer.
+func FuzzAppendKeyCanonical(f *testing.F) {
+	f.Add(int32(0), int32(1), int32(2), int32(3))
+	f.Add(int32(7), int32(7), int32(7), int32(7))
+	f.Add(int32(1<<30), int32(255), int32(256), int32(65536))
+	f.Add(int32(0), int32(0), int32(0), int32(0))
+
+	f.Fuzz(func(t *testing.T, p0, p1, p2, p3 int32) {
+		if p0 < 0 || p1 < 0 || p2 < 0 || p3 < 0 {
+			t.Skip("PropIDs are non-negative")
+		}
+		sa := NewPropSet(PropID(p0), PropID(p1))
+		sb := NewPropSet(PropID(p2), PropID(p3))
+
+		buf := make([]byte, 0, 16)
+		ka := string(sa.AppendKey(buf[:0]))
+		kb := string(sb.AppendKey(buf[:0])) // same buffer, reused
+
+		if ka != sa.Key() {
+			t.Fatalf("AppendKey %q differs from Key %q", ka, sa.Key())
+		}
+		if kb != sb.Key() {
+			t.Fatalf("AppendKey %q differs from Key %q after buffer reuse", kb, sb.Key())
+		}
+		if (ka == kb) != sa.Equal(sb) {
+			t.Fatalf("key collision: %v vs %v encode to %q vs %q", sa, sb, ka, kb)
+		}
+		if !KeyToPropSet(ka).Equal(sa) {
+			t.Fatalf("byte key round trip failed for %v", sa)
+		}
+	})
+}

@@ -11,6 +11,11 @@ import (
 // Returning math.Inf(1) means the classifier is unavailable (the paper models
 // classifiers that are omitted from the input as having infinite weight).
 // Costs must be non-negative.
+//
+// The PropSet passed to Cost may be a buffer the caller reuses after Cost
+// returns (instance construction enumerates the classifier universe through
+// one scratch set): implementations must not retain it — copy it with
+// NewPropSet(s...) if a reference must outlive the call.
 type CostModel interface {
 	Cost(s PropSet) float64
 }
@@ -47,7 +52,11 @@ func (t *CostTable) Set(s PropSet, c float64) { t.Costs[s.Key()] = c }
 
 // Cost implements CostModel.
 func (t *CostTable) Cost(s PropSet) float64 {
-	if c, ok := t.Costs[s.Key()]; ok {
+	var buf [4 * MaxEnumQueryLen]byte
+	// Indexing a map by string(bytes) does not allocate; sets longer than the
+	// stack buffer (impossible for enumerated classifiers) fall back to an
+	// appended key.
+	if c, ok := t.Costs[string(s.AppendKey(buf[:0]))]; ok {
 		return c
 	}
 	return t.Default
@@ -133,6 +142,12 @@ func NewInstance(u *Universe, queries []PropSet, cm CostModel, opts Options) (*I
 		byKey:    make(map[string]ClassifierID),
 	}
 
+	// keyBuf is the one scratch buffer every canonical key of the
+	// construction is byte-encoded into; map lookups go through
+	// m[string(keyBuf)], which the compiler compiles without allocating, so
+	// a key string is only materialized when a new entry is stored.
+	keyBuf := make([]byte, 0, 4*MaxEnumQueryLen)
+
 	seen := make(map[string]bool, len(queries))
 	for qi, q := range queries {
 		if q.Empty() {
@@ -142,11 +157,11 @@ func NewInstance(u *Universe, queries []PropSet, cm CostModel, opts Options) (*I
 			return nil, fmt.Errorf("core: query %d has length %d, exceeding the limit %d", qi, q.Len(), maxQ)
 		}
 		if !opts.KeepDuplicateQueries {
-			k := q.Key()
-			if seen[k] {
+			keyBuf = q.AppendKey(keyBuf[:0])
+			if seen[string(keyBuf)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(keyBuf)] = true
 		}
 		inst.queries = append(inst.queries, q)
 		if q.Len() > inst.maxQueryLen {
@@ -163,33 +178,73 @@ func NewInstance(u *Universe, queries []PropSet, cm CostModel, opts Options) (*I
 		kPrime = inst.maxQueryLen
 	}
 
+	// shapeOf memoizes enumeration per unique query shape: with
+	// KeepDuplicateQueries set, a repeated query shares the first
+	// occurrence's classifier list instead of re-walking its 2^|q|−1 subsets
+	// (without the option duplicates were merged above and every shape is
+	// seen once, so the map stays cold).
+	var shapeOf map[string]int32
+	if opts.KeepDuplicateQueries {
+		shapeOf = make(map[string]int32, len(inst.queries))
+	}
+	// scratch is the reusable subset buffer handed to the cost model; a
+	// durable PropSet is materialized only for classifiers that join the
+	// universe (CostModel documents that Cost must not retain its argument).
+	scratch := make(PropSet, 0, inst.maxQueryLen)
+
 	inst.queryCls = make([][]QueryClassifier, len(inst.queries))
 	for qi, q := range inst.queries {
+		if shapeOf != nil {
+			keyBuf = q.AppendKey(keyBuf[:0])
+			if prev, ok := shapeOf[string(keyBuf)]; ok {
+				// Identical query: same subsets, same verdicts, same masks.
+				// queryCls rows are immutable after construction, so sharing
+				// the backing array is safe.
+				inst.queryCls[qi] = inst.queryCls[prev]
+				for _, qc := range inst.queryCls[qi] {
+					inst.clsQueries[qc.ID] = append(inst.clsQueries[qc.ID], int32(qi))
+				}
+				continue
+			}
+			shapeOf[string(keyBuf)] = int32(qi)
+		}
 		L := q.Len()
 		full := uint64(1)<<uint(L) - 1
 		for mask := uint64(1); mask <= full; mask++ {
 			if bits.OnesCount64(mask) > kPrime {
 				continue
 			}
-			sub := q.SubsetByMask(mask)
-			key := sub.Key()
-			id, ok := inst.byKey[key]
+			// Byte-encode the subset's canonical key straight from the mask:
+			// q is sorted, so visiting set bits low-to-high yields the
+			// canonical order with no intermediate PropSet.
+			keyBuf = keyBuf[:0]
+			for m := mask; m != 0; m &= m - 1 {
+				id := q[bits.TrailingZeros64(m)]
+				keyBuf = append(keyBuf, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+			}
+			id, ok := inst.byKey[string(keyBuf)]
 			if !ok {
-				c := cm.Cost(sub)
+				scratch = scratch[:0]
+				for m := mask; m != 0; m &= m - 1 {
+					scratch = append(scratch, q[bits.TrailingZeros64(m)])
+				}
+				c := cm.Cost(scratch)
 				if c < 0 || math.IsNaN(c) {
-					return nil, fmt.Errorf("core: cost model returned invalid cost %v for classifier %v", c, sub)
+					return nil, fmt.Errorf("core: cost model returned invalid cost %v for classifier %v", c, scratch)
 				}
 				if math.IsInf(c, 1) {
 					// Unavailable classifiers are omitted from the input
 					// entirely; remember the verdict to avoid re-pricing.
-					inst.byKey[key] = NoClassifier
+					inst.byKey[string(keyBuf)] = NoClassifier
 					continue
 				}
+				sub := make(PropSet, len(scratch))
+				copy(sub, scratch)
 				id = ClassifierID(len(inst.classifiers))
 				inst.classifiers = append(inst.classifiers, sub)
 				inst.costs = append(inst.costs, c)
 				inst.clsQueries = append(inst.clsQueries, nil)
-				inst.byKey[key] = id
+				inst.byKey[string(keyBuf)] = id
 				inst.totalFiniteCost += c
 				if sub.Len() > inst.maxClassifierLen {
 					inst.maxClassifierLen = sub.Len()

@@ -47,10 +47,18 @@ func (s PropSet) Key() string {
 		return ""
 	}
 	b := make([]byte, 0, len(s)*4)
+	return string(s.AppendKey(b))
+}
+
+// AppendKey appends the byte encoding underlying Key to dst and returns the
+// extended slice. Hot paths use it with a reusable buffer and look maps up
+// via m[string(buf)] — a pattern the compiler compiles without allocating —
+// so a key string is only ever materialized when a new map entry is stored.
+func (s PropSet) AppendKey(dst []byte) []byte {
 	for _, id := range s {
-		b = append(b, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+		dst = append(dst, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
 	}
-	return string(b)
+	return dst
 }
 
 // KeyToPropSet inverts Key. It returns nil if key is not a valid encoding.

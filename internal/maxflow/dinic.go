@@ -36,9 +36,14 @@ func dinicCtx(ctx context.Context, g *Graph, s, t int, st *Stats) (float64, erro
 		return 0, nil
 	}
 	done := ctx.Done()
-	level := make([]int32, g.n)
-	iter := make([]int32, g.n)
-	queue := make([]int32, 0, g.n)
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	level := growI32(sc.a, g.n)
+	iter := growI32(sc.b, g.n)
+	queue := growI32(sc.c, 0)
+	// The BFS grows queue by append; hand the final capacity back to the
+	// pool (runs before the Put above — defers are LIFO).
+	defer func() { sc.a, sc.b, sc.c = level, iter, queue }()
 
 	bfs := func() bool {
 		for i := range level {

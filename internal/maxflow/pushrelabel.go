@@ -47,21 +47,33 @@ func pushRelabelCtx(ctx context.Context, g *Graph, s, t int, st *Stats) (float64
 	}
 	bigM := finiteSum + 1
 
-	height := make([]int32, n)
-	excess := make([]float64, n)
-	current := make([]int32, n)
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	height := growI32(sc.a, n)
+	current := growI32(sc.b, n)
 	// heightCount[h] = number of nodes at height h (for the gap heuristic).
-	heightCount := make([]int32, 2*n+1)
+	heightCount := growI32(sc.c, 2*n+1)
+	excess := growF64(sc.f, n)
+	active := growI32(sc.d, 0)[:0]
+	for i := range height {
+		height[i], current[i], excess[i] = 0, 0, 0
+	}
+	for i := range heightCount {
+		heightCount[i] = 0
+	}
+	inQueue := sc.bits.Grow(n)
+	sc.bits = inQueue
+	// The active queue grows by append; hand the final capacity back to the
+	// pool (runs before the Put above — defers are LIFO).
+	defer func() { sc.d = active }()
 
 	height[s] = int32(n)
 	heightCount[0] = int32(n - 1)
 	heightCount[n]++
 
-	active := make([]int32, 0, n)
-	inQueue := make([]bool, n)
 	enqueue := func(v int32) {
-		if !inQueue[v] && v != int32(s) && v != int32(t) && excess[v] > Eps {
-			inQueue[v] = true
+		if !inQueue.Test(int(v)) && v != int32(s) && v != int32(t) && excess[v] > Eps {
+			inQueue.Set(int(v))
 			active = append(active, v)
 		}
 	}
@@ -151,7 +163,7 @@ func pushRelabelCtx(ctx context.Context, g *Graph, s, t int, st *Stats) (float64
 	}
 
 	rounds := 0
-	for len(active) > 0 {
+	for head := 0; head < len(active); {
 		if done != nil && rounds&255 == 0 {
 			select {
 			case <-done:
@@ -160,9 +172,9 @@ func pushRelabelCtx(ctx context.Context, g *Graph, s, t int, st *Stats) (float64
 			}
 		}
 		rounds++
-		u := active[0]
-		active = active[1:]
-		inQueue[u] = false
+		u := active[head]
+		head++
+		inQueue.Clear(int(u))
 		if st != nil {
 			st.Discharges++
 		}

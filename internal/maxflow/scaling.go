@@ -50,8 +50,13 @@ func capacityScalingCtx(ctx context.Context, g *Graph, s, t int, st *Stats) (flo
 		return 0, nil
 	}
 
-	parentEdge := make([]int32, g.n)
-	queue := make([]int32, 0, g.n)
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	parentEdge := growI32(sc.a, g.n) // fully re-initialized to -1 per BFS below
+	queue := growI32(sc.b, 0)
+	// The BFS grows queue by append; hand the final capacity back to the
+	// pool (runs before the Put above — defers are LIFO).
+	defer func() { sc.a, sc.b = parentEdge, queue }()
 
 	// augmentAll pushes flow along shortest paths with bottleneck ≥ delta
 	// until none remains, returning the flow added.

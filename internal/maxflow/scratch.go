@@ -1,0 +1,40 @@
+package maxflow
+
+import (
+	"sync"
+
+	"repro/internal/bitset"
+)
+
+// scratch is the per-run working memory of the engines, pooled so the
+// steady-state serving pattern — thousands of small component solves per
+// second through internal/solver and mc3serve — stops allocating level,
+// iterator, queue, and excess arrays on every run. Fields are named for
+// their widest user; engines reuse whichever they need via the grow helpers
+// (which return dirty memory — every engine fully initializes what it reads,
+// exactly as it already initialized the fresh make() results it used before).
+type scratch struct {
+	a, b, c, d []int32
+	f          []float64
+	bits       bitset.Bitset
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// growI32 returns a length-n int32 slice reusing buf's storage when it fits.
+// Contents are unspecified.
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int32, n)
+}
+
+// growF64 returns a length-n float64 slice reusing buf's storage when it
+// fits. Contents are unspecified.
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}

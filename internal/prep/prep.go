@@ -33,6 +33,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -157,7 +158,6 @@ type state struct {
 	// (avoids an allocation per examined classifier).
 	scratchEff []float64
 	scratchH   []float64
-	scratchBit []int
 }
 
 // maskTable returns (building if needed) query qi's mask → ID table.
@@ -449,15 +449,14 @@ func (st *state) step3() {
 	maxLen := inst.MaxQueryLen()
 	st.scratchEff = make([]float64, 1<<uint(maxLen))
 	st.scratchH = make([]float64, 1<<uint(maxLen))
-	st.scratchBit = make([]int, 0, maxLen)
-	inQueue := make([]bool, inst.NumClassifiers())
+	inQueue := bitset.New(inst.NumClassifiers())
 	buckets := make([][]core.ClassifierID, maxLen+1)
 	push := func(id core.ClassifierID) {
-		if inQueue[id] || r.Removed[id] || r.SelectedSet[id] || r.relCount[id] <= 0 {
+		if inQueue.Test(int(id)) || r.Removed[id] || r.SelectedSet[id] || r.relCount[id] <= 0 {
 			return
 		}
 		if l := inst.Classifier(id).Len(); l >= 2 {
-			inQueue[id] = true
+			inQueue.Set(int(id))
 			buckets[l] = append(buckets[l], id)
 		}
 	}
@@ -465,11 +464,11 @@ func (st *state) step3() {
 		push(core.ClassifierID(id))
 	}
 
-	queryCheck := make([]bool, inst.NumQueries())
+	queryCheck := bitset.New(inst.NumQueries())
 	var queryQueue []int
 	pushQuery := func(qi int) {
-		if !queryCheck[qi] && !r.CoveredQuery[qi] {
-			queryCheck[qi] = true
+		if !queryCheck.Test(qi) && !r.CoveredQuery[qi] {
+			queryCheck.Set(qi)
 			queryQueue = append(queryQueue, qi)
 		}
 	}
@@ -518,29 +517,26 @@ func (st *state) step3() {
 		}
 
 		// Collect eff costs of all classifiers that are subsets of s, in
-		// s-local bit space, by enumerating submasks of sMask.
-		bitPos := st.scratchBit[:0] // query-local bit → s-local index
-		for m := sMask; m != 0; m &= m - 1 {
-			bitPos = append(bitPos, bits.TrailingZeros64(m))
-		}
-		toLocal := func(qMask uint64) uint64 {
-			var lm uint64
-			for i, b := range bitPos {
-				if qMask&(1<<uint(b)) != 0 {
-					lm |= 1 << uint(i)
-				}
-			}
-			return lm
-		}
+		// s-local bit space, by enumerating submasks of sMask. Bit
+		// compaction (query-local mask → s-local index) is an order
+		// isomorphism between the 2^L submasks of sMask and [0, 2^L), so
+		// walking submasks in decreasing order walks the local index down
+		// from full one step at a time — no per-submask bit extraction.
 		size := 1 << uint(L)
 		full := uint64(size - 1)
 		eff := st.scratchEff[:size]
 		for i := range eff {
 			eff[i] = math.Inf(1)
 		}
+		lm := full
 		for sub := (sMask - 1) & sMask; sub != 0; sub = (sub - 1) & sMask {
+			lm--
 			if cid := tbl[sub]; cid != core.NoClassifier {
-				eff[toLocal(sub)] = effVal(cid)
+				if r.Removed[cid] {
+					eff[lm] = repl[cid]
+				} else {
+					eff[lm] = r.EffCost[cid]
+				}
 			}
 		}
 
@@ -582,11 +578,11 @@ func (st *state) step3() {
 	}
 
 	// checkForced selects classifiers forced for query qi (strengthened
-	// line 10) and returns those selected.
+	// line 10) and returns those selected. The returned slice is reused by
+	// the next call — callers consume it before checking another query.
+	var forcedBuf []core.ClassifierID
 	checkForced := func(qi int) []core.ClassifierID {
-		full := inst.FullMask(qi)
-		L := bits.OnesCount64(full)
-		cnt := make([]int32, L)
+		var cnt [64]int32 // zeroed per call; query length is at most 64 bits
 		for _, qc := range inst.QueryClassifiers(qi) {
 			if r.Removed[qc.ID] {
 				continue
@@ -595,7 +591,7 @@ func (st *state) step3() {
 				cnt[bits.TrailingZeros64(m)]++
 			}
 		}
-		var forced []core.ClassifierID
+		forced := forcedBuf[:0]
 		for _, qc := range inst.QueryClassifiers(qi) {
 			if r.Removed[qc.ID] || r.SelectedSet[qc.ID] {
 				continue
@@ -607,6 +603,7 @@ func (st *state) step3() {
 				}
 			}
 		}
+		forcedBuf = forced
 		return forced
 	}
 
@@ -630,7 +627,7 @@ func (st *state) step3() {
 				}
 				id := buckets[l][len(buckets[l])-1]
 				buckets[l] = buckets[l][:len(buckets[l])-1]
-				inQueue[id] = false
+				inQueue.Clear(int(id))
 				if r.Removed[id] || r.SelectedSet[id] || r.relCount[id] <= 0 {
 					continue
 				}
@@ -645,7 +642,7 @@ func (st *state) step3() {
 			if !st.checkpoint() {
 				return
 			}
-			queryCheck[qi] = false
+			queryCheck.Clear(qi)
 			if r.CoveredQuery[qi] {
 				continue
 			}

@@ -13,8 +13,9 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
+	"repro/internal/bitset"
 	"repro/internal/lp"
 	"repro/internal/obs"
 )
@@ -59,7 +60,7 @@ func (in *Instance) AddSet(elements []int32, cost float64) int {
 	idx := len(in.sets)
 	es := make([]int32, len(elements))
 	copy(es, elements)
-	sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+	slices.Sort(es)
 	uniq := es[:0]
 	for i, e := range es {
 		if e < 0 || int(e) >= in.numElements {
@@ -69,6 +70,12 @@ func (in *Instance) AddSet(elements []int32, cost float64) int {
 			continue
 		}
 		uniq = append(uniq, e)
+		if cap(in.elemSets[e]) == 0 {
+			// First membership: reserve a few slots up front — element
+			// frequency f is ≥ 2 on all but degenerate instances, so this
+			// halves the append-regrowth churn on the construction path.
+			in.elemSets[e] = make([]int32, 0, 4)
+		}
 		in.elemSets[e] = append(in.elemSets[e], int32(idx))
 	}
 	in.sets = append(in.sets, uniq)
@@ -132,12 +139,11 @@ func (in *Instance) CoverCost(sets []int) float64 {
 
 // IsCover reports whether the given sets cover every element.
 func (in *Instance) IsCover(sets []int) bool {
-	covered := make([]bool, in.numElements)
+	covered := bitset.New(in.numElements)
 	cnt := 0
 	for _, s := range sets {
 		for _, e := range in.sets[s] {
-			if !covered[e] {
-				covered[e] = true
+			if !covered.TestAndSet(int(e)) {
 				cnt++
 			}
 		}
@@ -193,7 +199,7 @@ func (in *Instance) greedyCtx(ctx context.Context) ([]int, float64, int, error) 
 		return nil, 0, 0, err
 	}
 	done := ctx.Done()
-	covered := make([]bool, in.numElements)
+	covered := bitset.New(in.numElements)
 	h := make(greedyHeap, 0, len(in.sets))
 	for s, elems := range in.sets {
 		if len(elems) > 0 {
@@ -225,7 +231,7 @@ func (in *Instance) greedyCtx(ctx context.Context) ([]int, float64, int, error) 
 		// corrected entry.
 		cnt := int32(0)
 		for _, e := range in.sets[s] {
-			if !covered[e] {
+			if !covered.Test(int(e)) {
 				cnt++
 			}
 		}
@@ -240,8 +246,7 @@ func (in *Instance) greedyCtx(ctx context.Context) ([]int, float64, int, error) 
 		picked = append(picked, int(s))
 		total += in.costs[s]
 		for _, e := range in.sets[s] {
-			if !covered[e] {
-				covered[e] = true
+			if !covered.TestAndSet(int(e)) {
 				remaining--
 			}
 		}
@@ -277,8 +282,8 @@ func (in *Instance) primalDualCtx(ctx context.Context) ([]int, float64, int, err
 	}
 	done := ctx.Done()
 	residual := append([]float64(nil), in.costs...)
-	tight := make([]bool, len(in.sets))
-	covered := make([]bool, in.numElements)
+	tight := bitset.New(len(in.sets))
+	covered := bitset.New(in.numElements)
 
 	var picked []int
 	for e := 0; e < in.numElements; e++ {
@@ -289,31 +294,31 @@ func (in *Instance) primalDualCtx(ctx context.Context) ([]int, float64, int, err
 			default:
 			}
 		}
-		if covered[e] {
+		if covered.Test(e) {
 			continue
 		}
 		// Raise y_e by the minimum residual among sets containing e.
 		delta := math.Inf(1)
 		for _, s := range in.elemSets[e] {
-			if !tight[s] && residual[s] < delta {
+			if !tight.Test(int(s)) && residual[s] < delta {
 				delta = residual[s]
 			}
 		}
 		if math.IsInf(delta, 1) {
 			// All containing sets already tight; e is covered by one of
-			// them — but covered[] would have said so. Unreachable.
+			// them — but covered would have said so. Unreachable.
 			return nil, 0, 0, fmt.Errorf("setcover: internal error at element %d", e)
 		}
 		for _, s := range in.elemSets[e] {
-			if tight[s] {
+			if tight.Test(int(s)) {
 				continue
 			}
 			residual[s] -= delta
 			if residual[s] <= 1e-12 {
-				tight[s] = true
+				tight.Set(int(s))
 				picked = append(picked, int(s))
 				for _, e2 := range in.sets[s] {
-					covered[e2] = true
+					covered.Set(int(e2))
 				}
 			}
 		}
@@ -334,7 +339,7 @@ func (in *Instance) reverseDelete(picked []int) []int {
 			coverCount[e]++
 		}
 	}
-	removed := make([]bool, len(picked))
+	removed := bitset.New(len(picked))
 	for i := len(picked) - 1; i >= 0; i-- {
 		s := picked[i]
 		redundant := true
@@ -345,7 +350,7 @@ func (in *Instance) reverseDelete(picked []int) []int {
 			}
 		}
 		if redundant {
-			removed[i] = true
+			removed.Set(i)
 			for _, e := range in.sets[s] {
 				coverCount[e]--
 			}
@@ -353,7 +358,7 @@ func (in *Instance) reverseDelete(picked []int) []int {
 	}
 	out := picked[:0]
 	for i, s := range picked {
-		if !removed[i] {
+		if !removed.Test(i) {
 			out = append(out, s)
 		}
 	}

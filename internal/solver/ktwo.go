@@ -88,15 +88,21 @@ func ktwoComponent(ctx context.Context, r *prep.Result, ci int, opts Options, pe
 	// Left: one node per property in the component (its singleton
 	// classifier, or a +Inf placeholder when that classifier is absent
 	// or pruned). Right: one node per residual query (its full pair
-	// classifier or a placeholder).
-	propNode := make(map[core.PropID]int)
-	var weightL []float64
-	var idL []core.ClassifierID
-	leftOf := func(p core.PropID) int {
+	// classifier or a placeholder). The construction buffers come from the
+	// component scratch pool — bipartite.New copies the weights, so nothing
+	// below escapes the call.
+	ws := compScratchPool.Get().(*compScratch)
+	defer func() {
+		clear(ws.propNode)
+		compScratchPool.Put(ws)
+	}()
+	propNode := ws.propNode
+	weightL, idL := ws.weightL[:0], ws.idL[:0]
+	leftOf := func(p core.PropID) int32 {
 		if i, ok := propNode[p]; ok {
 			return i
 		}
-		i := len(weightL)
+		i := int32(len(weightL))
 		propNode[p] = i
 		w := math.Inf(1)
 		id := core.NoClassifier
@@ -109,16 +115,14 @@ func ktwoComponent(ctx context.Context, r *prep.Result, ci int, opts Options, pe
 		return i
 	}
 
-	var weightR []float64
-	var idR []core.ClassifierID
-	type edge struct{ l, r int }
-	var edges []edge
+	weightR, idR := ws.weightR[:0], ws.idR[:0]
+	edges := ws.edges[:0]
 	for _, qi := range comp {
 		q := inst.Query(qi)
 		if q.Len() != 2 {
 			return fmt.Errorf("solver: residual query %v has length %d; preprocessing should leave only length-2 queries", q, q.Len())
 		}
-		ri := len(weightR)
+		ri := int32(len(weightR))
 		w := math.Inf(1)
 		id := core.NoClassifier
 		full := inst.FullMask(qi)
@@ -131,15 +135,16 @@ func ktwoComponent(ctx context.Context, r *prep.Result, ci int, opts Options, pe
 		}
 		weightR = append(weightR, w)
 		idR = append(idR, id)
-		edges = append(edges, edge{leftOf(q[0]), ri}, edge{leftOf(q[1]), ri})
+		edges = append(edges, wvcEdge{leftOf(q[0]), ri}, wvcEdge{leftOf(q[1]), ri})
 	}
+	ws.weightL, ws.idL, ws.weightR, ws.idR, ws.edges = weightL, idL, weightR, idR, edges
 
 	wvc, err := bipartite.New(weightL, weightR)
 	if err != nil {
 		return err
 	}
 	for _, e := range edges {
-		if err := wvc.AddEdge(e.l, e.r); err != nil {
+		if err := wvc.AddEdge(int(e.l), int(e.r)); err != nil {
 			return err
 		}
 	}

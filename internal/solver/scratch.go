@@ -1,0 +1,51 @@
+package solver
+
+import (
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+)
+
+// compScratch is the per-component working memory of the residual solvers:
+// buildWSC's element numbering and classifier dedup, and ktwoComponent's
+// bipartite construction buffers. A solve over a workload with thousands of
+// small components used to allocate fresh maps and slices for every one;
+// pooling the scratch makes the steady-state cost of a component solve the
+// reduction output alone (the setcover/bipartite instances, which outlive
+// the call), enforced by AllocsPerRun tests.
+//
+// Components may be solved concurrently (Options.Parallelism), so each
+// worker checks out its own scratch from the pool. The grow helpers return
+// dirty memory; users initialize every entry they later read, and the
+// bitsets come cleared out of Grow.
+type compScratch struct {
+	// buildWSC
+	elemBase []int32       // query index → first element index, valid where inComp
+	inComp   bitset.Bitset // query index ∈ component
+	seen     bitset.Bitset // classifier already emitted as a set
+	elems    []int32       // element buffer handed to AddSet (which copies)
+
+	// ktwoComponent
+	propNode map[core.PropID]int32
+	weightL  []float64
+	weightR  []float64
+	idL      []core.ClassifierID
+	idR      []core.ClassifierID
+	edges    []wvcEdge
+}
+
+type wvcEdge struct{ l, r int32 }
+
+var compScratchPool = sync.Pool{New: func() any {
+	return &compScratch{propNode: make(map[core.PropID]int32)}
+}}
+
+// growCompI32 returns a length-n int32 slice reusing buf's storage when it
+// fits. Contents are unspecified.
+func growCompI32(buf []int32, n int) []int32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int32, n)
+}

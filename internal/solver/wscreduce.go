@@ -20,28 +20,22 @@ import (
 // core.NewInstance already drops +Inf-cost classifiers at admission).
 func buildWSC(r *prep.Result, comp []int) (*setcover.Instance, []core.ClassifierID) {
 	inst := r.Inst
+	ws := compScratchPool.Get().(*compScratch)
+	defer compScratchPool.Put(ws)
 
-	// Number the elements: (query, uncovered bit) pairs.
-	elemBase := make(map[int]int, len(comp)) // query index → first element index
+	// Number the elements: (query, uncovered bit) pairs. Query qi's uncovered
+	// bits get consecutive element indices starting at elemBase[qi], in bit
+	// order, so bit b's offset within the query is the number of uncovered
+	// bits below it — computed from CoveredMask on the fly rather than stored
+	// per bit.
+	elemBase := growCompI32(ws.elemBase, inst.NumQueries())
+	inComp := ws.inComp.Grow(inst.NumQueries())
+	ws.elemBase, ws.inComp = elemBase, inComp
 	numElems := 0
-	// bitSlot[qi] maps a query-local bit position to its element offset
-	// within the query's range (-1 for already-covered bits).
-	bitSlot := make(map[int][]int, len(comp))
 	for _, qi := range comp {
-		L := inst.Query(qi).Len()
-		slots := make([]int, L)
-		elemBase[qi] = numElems
-		cnt := 0
-		for b := 0; b < L; b++ {
-			if r.CoveredMask[qi]&(1<<uint(b)) != 0 {
-				slots[b] = -1
-				continue
-			}
-			slots[b] = cnt
-			cnt++
-		}
-		bitSlot[qi] = slots
-		numElems += cnt
+		inComp.Set(qi)
+		elemBase[qi] = int32(numElems)
+		numElems += inst.Query(qi).Len() - bits.OnesCount64(r.CoveredMask[qi])
 	}
 
 	sc := setcover.New(numElems)
@@ -49,15 +43,17 @@ func buildWSC(r *prep.Result, comp []int) (*setcover.Instance, []core.Classifier
 
 	// Collect alive classifiers appearing in the component's queries,
 	// deduplicated, in deterministic ID order per query scan.
-	seen := make(map[core.ClassifierID]bool)
-	var elems []int32
+	seen := ws.seen.Grow(inst.NumClassifiers())
+	ws.seen = seen
+	elems := ws.elems[:0]
+	defer func() { ws.elems = elems }()
 	for _, qi := range comp {
 		for _, qc := range inst.QueryClassifiers(qi) {
 			id := qc.ID
-			if seen[id] || r.Removed[id] || r.SelectedSet[id] {
+			if seen.Test(int(id)) || r.Removed[id] || r.SelectedSet[id] {
 				continue
 			}
-			seen[id] = true
+			seen.Set(int(id))
 			if c := r.EffCost[id]; math.IsInf(c, 0) || math.IsNaN(c) {
 				// A non-finite cost would poison the greedy ratios and the LP
 				// objective; an unusable classifier simply contributes no set.
@@ -66,19 +62,15 @@ func buildWSC(r *prep.Result, comp []int) (*setcover.Instance, []core.Classifier
 			elems = elems[:0]
 			// Walk every residual query containing this classifier.
 			for _, q2 := range inst.ClassifierQueries(id) {
-				if r.CoveredQuery[q2] {
+				if r.CoveredQuery[q2] || !inComp.Test(int(q2)) {
+					// Covered, or a different component (cannot happen).
 					continue
 				}
-				slots, ok := bitSlot[int(q2)]
-				if !ok {
-					continue // different component (cannot happen) or filtered
-				}
-				mask := maskOf(inst, int(q2), id)
-				for m := mask; m != 0; m &= m - 1 {
+				covered := r.CoveredMask[q2]
+				for m := maskOf(inst, int(q2), id) &^ covered; m != 0; m &= m - 1 {
 					b := bits.TrailingZeros64(m)
-					if slots[b] >= 0 {
-						elems = append(elems, int32(elemBase[int(q2)]+slots[b]))
-					}
+					below := uint64(1)<<uint(b) - 1
+					elems = append(elems, elemBase[q2]+int32(b-bits.OnesCount64(covered&below)))
 				}
 			}
 			if len(elems) == 0 {
