@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race check bench bench-full bench-baseline bench-compare experiments experiments-quick serve fuzz clean
+.PHONY: all build vet test test-race race check bench bench-full bench-sched bench-baseline bench-compare experiments experiments-quick serve fuzz clean
 
 all: build vet test
 
@@ -32,6 +32,12 @@ bench:
 
 bench-full:
 	$(GO) test -bench=. -benchmem -run xxx ./...
+
+# Serial-vs-parallel scheduler comparison: the BenchmarkSched* pairs plus the
+# mc3bench parallelism sweep (which also verifies cost-identity per level).
+bench-sched:
+	$(GO) test -bench Sched -benchmem -count=$(BENCH_COUNT) -run xxx .
+	$(GO) run ./cmd/mc3bench -exp sched
 
 # Before/after comparison flow (see docs/PERFORMANCE.md):
 #   git stash / git checkout <old>; make bench-baseline   # writes bench-old.txt

@@ -6,11 +6,13 @@ package mc3
 // plus micro-benchmarks of the core pipeline stages.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/incr"
 	"repro/internal/prep"
 	"repro/internal/solver"
 	"repro/internal/workload"
@@ -149,6 +151,119 @@ func BenchmarkGeneralSolve(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := solver.General(inst, solver.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Scheduler benchmarks ----
+//
+// Multi-component loads dispatched serially vs through the work-stealing
+// scheduler at GOMAXPROCS workers. Compare within a machine:
+//
+//	go test -bench 'Sched' -count 5 . | tee bench-new.txt && benchstat bench-old.txt bench-new.txt
+
+// benchMultiCompInstance builds a load of `groups` property-disjoint
+// components, each a chain of 6 overlapping length-qlen queries — enough
+// independent work per solve for parallel dispatch to matter.
+func benchMultiCompInstance(tb testing.TB, groups, qlen int) *Instance {
+	tb.Helper()
+	u := NewUniverse()
+	var queries []PropSet
+	for g := 0; g < groups; g++ {
+		for q := 0; q < 6; q++ {
+			names := make([]string, 0, qlen)
+			for l := 0; l < qlen; l++ {
+				names = append(names, fmt.Sprintf("g%d_p%d", g, q+l))
+			}
+			queries = append(queries, u.Set(names...))
+		}
+	}
+	cm := CostFunc(func(s PropSet) float64 { return float64(1 + 2*s.Len()) })
+	inst, err := NewInstance(u, queries, cm, InstanceOptions{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return inst
+}
+
+// schedParallelisms are the dispatch settings the scheduler benchmarks
+// compare: serial and the GOMAXPROCS-wide worker pool.
+var schedParallelisms = []struct {
+	name string
+	par  int
+}{{"par=1", 1}, {"par=-1", -1}}
+
+// BenchmarkSchedGeneralSolve measures Algorithm 3 over 32 independent
+// components, serial vs work-stealing dispatch.
+func BenchmarkSchedGeneralSolve(b *testing.B) {
+	inst := benchMultiCompInstance(b, 32, 3)
+	for _, tc := range schedParallelisms {
+		b.Run(tc.name, func(b *testing.B) {
+			opts := solver.DefaultOptions()
+			opts.Parallelism = tc.par
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.General(inst, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedKTwoSolve measures Algorithm 2 over 32 independent
+// components, serial vs work-stealing dispatch.
+func BenchmarkSchedKTwoSolve(b *testing.B) {
+	inst := benchMultiCompInstance(b, 32, 2)
+	for _, tc := range schedParallelisms {
+		b.Run(tc.name, func(b *testing.B) {
+			opts := solver.DefaultOptions()
+			opts.Parallelism = tc.par
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.KTwo(inst, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedIncrApply measures the incremental engine re-solving every
+// component of a 32-component load per Apply (alternating cost updates,
+// uncached so each re-solve is real work), serial vs work-stealing dispatch.
+func BenchmarkSchedIncrApply(b *testing.B) {
+	const groups = 32
+	for _, tc := range schedParallelisms {
+		b.Run(tc.name, func(b *testing.B) {
+			opts := solver.DefaultOptions()
+			opts.Parallelism = tc.par
+			e, err := incr.New(incr.Config{Costs: CostFunc(func(s PropSet) float64 { return float64(1 + 2*s.Len()) }), Options: opts, NoCache: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var init []incr.Delta
+			for g := 0; g < groups; g++ {
+				for q := 0; q < 6; q++ {
+					init = append(init, incr.Add(fmt.Sprintf("g%d_p%d", g, q), fmt.Sprintf("g%d_p%d", g, q+1)))
+				}
+			}
+			ctx := context.Background()
+			if _, err := e.Apply(ctx, init); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Re-price one singleton in every component: the whole load
+				// goes dirty and every component re-solves.
+				batch := make([]incr.Delta, groups)
+				for g := 0; g < groups; g++ {
+					batch[g] = incr.UpdateCost(float64(3+i%2), fmt.Sprintf("g%d_p0", g))
+				}
+				if _, err := e.Apply(ctx, batch); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -124,8 +124,9 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 		"fig3d":  bench.Figure3d,
 		"fig3e":  bench.Figure3e,
 		"fig3f":  bench.Figure3f,
+		"sched":  bench.ParallelScaling,
 	}
-	order := []string{"table1", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f"}
+	order := []string{"table1", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "sched"}
 
 	var selected []string
 	wantAblation := false

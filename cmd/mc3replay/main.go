@@ -9,8 +9,8 @@
 // Usage:
 //
 //	mc3replay -stream deltas.txt [-load instance.json] [-algo auto]
-//	          [-window 1] [-uniform-cost 1] [-no-baseline] [-validate]
-//	          [-json] [-out report.json]
+//	          [-parallel -1] [-window 1] [-uniform-cost 1] [-no-baseline]
+//	          [-validate] [-json] [-out report.json]
 //
 // -load seeds the session with an instance file (its cost model prices all
 // classifiers); without it, classifiers cost -uniform-cost. Events within
@@ -66,6 +66,7 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 		window      = fs.Float64("window", 1, "batch events within this many seconds of stream time")
 		uniformCost = fs.Float64("uniform-cost", 1, "classifier cost when no -load file provides a cost model")
 		noBaseline  = fs.Bool("no-baseline", false, "skip the from-scratch solve per batch (faster, no differential check)")
+		parallel    = fs.Int("parallel", -1, "components solved concurrently per batch: 0 or 1 solves serially, n > 1 uses n workers, -1 (the default) uses GOMAXPROCS")
 		validate    = fs.Bool("validate", false, "verify every solution against the instance")
 		asJSON      = fs.Bool("json", false, "emit the BENCH_*.json report format")
 		outPath     = fs.String("out", "", "output file (default stdout)")
@@ -121,6 +122,7 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 	}
 	opts := solver.DefaultOptions()
 	opts.Validate = *validate
+	opts.Parallelism = *parallel
 	engine, err := incr.New(incr.Config{
 		Costs:    cm,
 		Universe: u,

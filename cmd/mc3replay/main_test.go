@@ -155,6 +155,19 @@ func TestReplayWithLoadFile(t *testing.T) {
 	}
 }
 
+func TestReplayParallelFlag(t *testing.T) {
+	// The replay's built-in differential check (incremental vs from-scratch
+	// per batch) runs under whatever -parallel selects, so a green run at
+	// each setting is itself a cost-identity proof for the stream.
+	for _, par := range []string{"1", "2", "-1"} {
+		var out bytes.Buffer
+		err := run([]string{"-stream", sparseStream(t), "-window", "1", "-parallel", par}, &out, io.Discard)
+		if err != nil {
+			t.Fatalf("-parallel %s: %v", par, err)
+		}
+	}
+}
+
 func TestReplayNoBaseline(t *testing.T) {
 	var out bytes.Buffer
 	err := run([]string{"-stream", sparseStream(t), "-no-baseline"}, &out, io.Discard)

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	mc3serve [-addr :8080] [-algo auto] [-wsc auto] [-prep full]
-//	         [-engine dinic] [-parallel 0] [-cache-size 4096]
+//	         [-engine dinic] [-parallel -1] [-cache-size 4096]
 //	         [-cache-quantum 0] [-request-timeout 30s] [-max-body 8388608]
 //	         [-max-sessions 64]
 //
@@ -97,7 +97,7 @@ func run(args []string, logw io.Writer) (retErr error) {
 	fs.StringVar(&cfg.wsc, "wsc", "auto", "Algorithm 3 set-cover engine: auto|greedy|primal-dual|lp-rounding|auto-lp")
 	fs.StringVar(&cfg.prep, "prep", "full", "preprocessing level: full|minimal")
 	fs.StringVar(&cfg.engine, "engine", "dinic", "Algorithm 2 max-flow engine: dinic|push-relabel|capacity-scaling")
-	fs.IntVar(&cfg.parallel, "parallel", 0, "components solved concurrently per request (0/1 serial, -1 = GOMAXPROCS)")
+	fs.IntVar(&cfg.parallel, "parallel", -1, "components solved concurrently per request: 0 or 1 solves serially, n > 1 uses n workers, -1 (the default) uses GOMAXPROCS")
 	fs.IntVar(&cfg.cacheSize, "cache-size", cache.DefaultMaxEntries, "component-solution cache entries (0 disables the cache)")
 	fs.Float64Var(&cfg.cacheQuantum, "cache-quantum", 0, "cost quantum for cache keys (0 = exact costs)")
 	fs.DurationVar(&cfg.reqTimeout, "request-timeout", 30*time.Second, "per-request solve deadline (0 = client-controlled only)")

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stressReq is a goroutine-safe request helper: unlike doJSON it never calls
+// t.Fatal (illegal off the test goroutine) and reports every problem as an
+// error value instead.
+func stressReq(s *server, method, path, body string, out any) (int, error) {
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if out != nil && rec.Code == http.StatusOK && rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			return rec.Code, fmt.Errorf("%s %s: bad JSON: %v\n%s", method, path, err, rec.Body)
+		}
+	}
+	if rec.Code != http.StatusOK && rec.Code != http.StatusNoContent {
+		return rec.Code, fmt.Errorf("%s %s: status %d: %s", method, path, rec.Code, rec.Body)
+	}
+	return rec.Code, nil
+}
+
+// TestServerParallelStress hammers one daemon — parallel component dispatch,
+// the shared process-wide solution cache, and concurrent incremental sessions
+// applying deltas — from many goroutines at once; run with -race. Each
+// session owns a disjoint property namespace so every interleaving is valid,
+// while the stateless /solve writers all submit the same multi-component
+// instance so the shared cache sees concurrent stores and hits for one key
+// population.
+func TestServerParallelStress(t *testing.T) {
+	s := testServer(t, func(c *config) { c.parallel = -1; c.maxSessions = 16 })
+
+	// A multi-component instance: disjoint pairs, so the scheduler has
+	// several components to dispatch per request.
+	multiComp := func(ns string) string {
+		return fmt.Sprintf(`{
+			"queries": [["%[1]s_a","%[1]s_b"], ["%[1]s_c","%[1]s_d"], ["%[1]s_e","%[1]s_f"], ["%[1]s_g","%[1]s_h"]],
+			"uniform_cost": 2
+		}`, ns)
+	}
+
+	const sessions, solvers, rounds = 4, 3, 12
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions+solvers)
+
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ns := fmt.Sprintf("s%d", g)
+			var load sessionResponse
+			if _, err := stressReq(s, http.MethodPost, "/load", multiComp(ns), &load); err != nil {
+				errs <- fmt.Errorf("session %d: %w", g, err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				// Dirty several disjoint components in one batch so the
+				// engine's parallel re-solve dispatch engages, then undo.
+				batch := fmt.Sprintf(`{"deltas":[
+					{"op":"add","props":["%[1]s_a","%[1]s_x%[2]d"]},
+					{"op":"add","props":["%[1]s_c","%[1]s_y%[2]d"]},
+					{"op":"cost","props":["%[1]s_e"],"cost":%[3]d}
+				]}`, ns, r, r%5+1)
+				if _, err := stressReq(s, http.MethodPost, "/session/"+load.Session+"/delta", batch, nil); err != nil {
+					errs <- fmt.Errorf("session %d round %d: %w", g, r, err)
+					return
+				}
+				undo := fmt.Sprintf(`{"deltas":[
+					{"op":"rm","props":["%[1]s_a","%[1]s_x%[2]d"]},
+					{"op":"rm","props":["%[1]s_c","%[1]s_y%[2]d"]}
+				]}`, ns, r)
+				if _, err := stressReq(s, http.MethodPost, "/session/"+load.Session+"/delta", undo, nil); err != nil {
+					errs <- fmt.Errorf("session %d round %d undo: %w", g, r, err)
+					return
+				}
+				if _, err := stressReq(s, http.MethodGet, "/session/"+load.Session+"/solution", "", nil); err != nil {
+					errs <- fmt.Errorf("session %d round %d solution: %w", g, r, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	for g := 0; g < solvers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var wantCost float64
+			for r := 0; r < rounds; r++ {
+				// All solver goroutines submit the same shared-namespace
+				// instance: its component solutions live in the shared
+				// process cache and are stored/hit concurrently.
+				var resp solveResponse
+				if _, err := stressReq(s, http.MethodPost, "/solve", multiComp("shared"), &resp); err != nil {
+					errs <- fmt.Errorf("solver %d round %d: %w", g, r, err)
+					return
+				}
+				if r == 0 {
+					wantCost = resp.Cost
+				} else if resp.Cost != wantCost {
+					errs <- fmt.Errorf("solver %d round %d: cost %v, want %v", g, r, resp.Cost, wantCost)
+					return
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -6,11 +6,15 @@ package mc3
 // isolation; this file verifies they agree with each other.
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/incr"
 	"repro/internal/solver"
+	"repro/internal/workload"
 )
 
 // randomInstanceForDiff builds a small random instance over ≤7 properties
@@ -174,5 +178,114 @@ func TestDifferentialParallelismInvariance(t *testing.T) {
 		if s1.Cost != s2.Cost || len(s1.Selected) != len(s2.Selected) {
 			t.Fatalf("trial %d: parallelism changed the solution (%v vs %v)", trial, s1.Cost, s2.Cost)
 		}
+	}
+}
+
+// TestDifferentialParallelismInvarianceIncremental drives a serial and a
+// parallel incremental engine with identical delta batches over each workload
+// generator and demands exact cost equality after every Apply — the
+// work-stealing re-solve dispatch must be invisible in the results. Costs are
+// integer-valued in all workload models, so float sums are exact and the
+// comparison is bit-for-bit.
+func TestDifferentialParallelismInvarianceIncremental(t *testing.T) {
+	pools := []struct {
+		name string
+		ds   *workload.Dataset
+		m    int
+	}{
+		{"synthetic", workload.Synthetic(60, 7), 0},
+		{"bestbuy", workload.BestBuy(3), 60},
+		{"private", workload.Private(5), 60},
+	}
+	for _, tc := range pools {
+		t.Run(tc.name, func(t *testing.T) {
+			pool := tc.ds.Queries
+			if tc.m > 0 {
+				var err error
+				pool, err = tc.ds.SubsetQueries(tc.m, 9)
+				if err != nil {
+					t.Fatalf("SubsetQueries: %v", err)
+				}
+			}
+			serialOpts := solver.DefaultOptions()
+			parOpts := solver.DefaultOptions()
+			parOpts.Parallelism = -1
+			newEngine := func(opts solver.Options) *incr.Engine {
+				e, err := incr.New(incr.Config{
+					Costs: tc.ds.Costs, Universe: tc.ds.Universe, Options: opts,
+				})
+				if err != nil {
+					t.Fatalf("incr.New: %v", err)
+				}
+				return e
+			}
+			eSerial, ePar := newEngine(serialOpts), newEngine(parOpts)
+
+			ctx := context.Background()
+			rng := rand.New(rand.NewSource(424242))
+			names := func(s core.PropSet) []string { return tc.ds.Universe.SetNames(s) }
+			var live []core.PropSet
+			next := 0
+			applyBoth := func(batch []incr.Delta) {
+				t.Helper()
+				r1, err1 := eSerial.Apply(ctx, batch)
+				r2, err2 := ePar.Apply(ctx, batch)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("Apply disagreement: serial err %v, parallel err %v", err1, err2)
+				}
+				if err1 != nil {
+					t.Fatalf("Apply: %v", err1)
+				}
+				if r1.Cost != r2.Cost {
+					t.Fatalf("parallelism changed the incremental cost: serial %v, parallel %v (batch %v)",
+						r1.Cost, r2.Cost, batch)
+				}
+				if r1.Dirty != r2.Dirty || r1.Components != r2.Components {
+					t.Fatalf("parallelism changed the component accounting: serial %d dirty/%d comps, parallel %d/%d",
+						r1.Dirty, r1.Components, r2.Dirty, r2.Components)
+				}
+			}
+
+			// Install half the pool, then mixed batches, comparing after each.
+			var init []incr.Delta
+			for ; next < len(pool)/2; next++ {
+				init = append(init, incr.Add(names(pool[next])...))
+				live = append(live, pool[next])
+			}
+			applyBoth(init)
+			for step := 0; step < 20; step++ {
+				var batch []incr.Delta
+				for n := rng.Intn(4) + 1; n > 0; n-- {
+					switch r := rng.Float64(); {
+					case r < 0.5 && next < len(pool):
+						batch = append(batch, incr.Add(names(pool[next])...))
+						live = append(live, pool[next])
+						next++
+					case r < 0.8 && len(live) > 0:
+						i := rng.Intn(len(live))
+						batch = append(batch, incr.Remove(names(live[i])...))
+						live[i] = live[len(live)-1]
+						live = live[:len(live)-1]
+					case len(live) > 0:
+						q := live[rng.Intn(len(live))]
+						batch = append(batch, incr.UpdateCost(float64(rng.Intn(40)+1), names(q)...))
+					}
+				}
+				if len(batch) == 0 {
+					continue
+				}
+				applyBoth(batch)
+			}
+
+			s1, err1 := eSerial.Solution()
+			s2, err2 := ePar.Solution()
+			if err1 != nil || err2 != nil {
+				t.Fatalf("Solution: serial %v, parallel %v", err1, err2)
+			}
+			if s1.Cost != s2.Cost || len(s1.Classifiers) != len(s2.Classifiers) {
+				t.Fatalf("final solutions diverge: serial cost %v (%d picks), parallel cost %v (%d picks)",
+					s1.Cost, len(s1.Classifiers), s2.Cost, len(s2.Classifiers))
+			}
+		})
 	}
 }

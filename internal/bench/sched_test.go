@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParallelScalingExperiment runs the sched experiment at quick scale:
+// the table must cover every parallelism level with finite timings for all
+// three arms. Cost-identity across levels is verified inside the experiment
+// itself — an error here means parallel dispatch changed a solution.
+func TestParallelScalingExperiment(t *testing.T) {
+	tab, err := ParallelScaling(Quick(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "sched" || len(tab.XValues) < 3 {
+		t.Fatalf("unexpected table shape: id %q, %d x-values", tab.ID, len(tab.XValues))
+	}
+	if len(tab.Series) != 3 {
+		t.Fatalf("want 3 series (general, ktwo, incr-apply), got %d", len(tab.Series))
+	}
+	for _, s := range tab.Series {
+		if len(s.Values) != len(tab.XValues) {
+			t.Fatalf("series %s: %d values for %d x-values", s.Name, len(s.Values), len(tab.XValues))
+		}
+		for i, v := range s.Values {
+			if math.IsNaN(v) || v < 0 {
+				t.Fatalf("series %s[%d]: bad timing %v", s.Name, i, v)
+			}
+		}
+	}
+}

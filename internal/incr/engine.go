@@ -47,6 +47,10 @@ type Config struct {
 	// Options is the solver configuration template (WSC method, max-flow
 	// engine, prep level, parallelism, validation). Context, Cache, Tracer,
 	// and AmbientQueryLen are managed by the engine per solve.
+	// Options.Parallelism additionally bounds how many dirty components an
+	// Apply re-solves concurrently (0/1 serial, negative = GOMAXPROCS):
+	// the engine dispatches its re-solve loop through the same
+	// work-stealing component scheduler the full solvers use.
 	Options solver.Options
 	// Cache, when non-nil, is the component-solution cache consulted on
 	// every component solve; share one cache across engines (and with
@@ -572,18 +576,33 @@ func (e *Engine) resolveLocked(ctx context.Context, res *Result, oldPicks *[]cor
 		e.haveGate = false
 	}
 
-	var newPicks []core.PropSet
-	var solveErr error
+	// Collect the dirty components (ascending id, so dispatch order and
+	// tracing are deterministic), retiring their old picks before the
+	// re-solves overwrite them.
+	var dirty []*component
 	for _, cid := range e.sortedCompIDs() {
 		comp := e.comps[cid]
 		if comp == nil || !comp.dirty {
 			continue
 		}
 		*oldPicks = append(*oldPicks, comp.picks...)
-		if solveErr == nil {
-			solveErr = e.solveComponentLocked(ctx, comp, maxLen)
-		}
-		if solveErr == nil {
+		dirty = append(dirty, comp)
+	}
+
+	// Re-solve through the work-stealing scheduler, honoring the engine's
+	// Parallelism option (0/1 serial, negative = GOMAXPROCS). Apply holds mu,
+	// so workers see stable engine state; each callback writes only its own
+	// component. The scheduler stops dispatch on the first failure and leaves
+	// the unrun components dirty for the next Apply to retry.
+	solveErr := solver.ForEachComponent(ctx, len(dirty), e.opts.Parallelism,
+		func(i int) int { return len(dirty[i].queries) },
+		func(_ *solver.Task, i int) error {
+			return e.solveComponent(ctx, dirty[i], maxLen)
+		})
+
+	var newPicks []core.PropSet
+	for _, comp := range dirty {
+		if !comp.dirty {
 			res.Dirty++
 			newPicks = append(newPicks, comp.picks...)
 		}
@@ -680,11 +699,14 @@ func (e *Engine) rebuildLocked(comp *component, res *Result, oldPicks *[]core.Pr
 	}
 }
 
-// solveComponentLocked re-solves one component: it materializes the
-// component's queries (insertion order) as a standalone instance over the
-// shared universe and runs the configured solver with the shared cache and
-// the load's ambient query length. Callers hold mu.
-func (e *Engine) solveComponentLocked(ctx context.Context, comp *component, maxLen int) error {
+// solveComponent re-solves one component: it materializes the component's
+// queries (insertion order) as a standalone instance over the shared
+// universe and runs the configured solver with the shared cache and the
+// load's ambient query length. Called from scheduler workers during Apply
+// (which holds mu): the engine state it reads (universe, cost model, cache,
+// options) is stable for the duration, and it writes only comp, which no
+// other in-flight solve touches.
+func (e *Engine) solveComponent(ctx context.Context, comp *component, maxLen int) error {
 	entries := make([]*qEntry, 0, len(comp.queries))
 	for _, qe := range comp.queries {
 		entries = append(entries, qe)

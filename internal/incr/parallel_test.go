@@ -1,0 +1,82 @@
+package incr
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/solver"
+)
+
+// gateCost prices like sqCost but rendezvouses callers: a Cost call blocks
+// briefly until a second caller is inside Cost concurrently, then the gate
+// opens for good. Since the engine prices classifiers inside its per-component
+// solve callback, the gate firing proves two component solves were in flight
+// at once. A single timeout (serial engine) releases all waiters so the test
+// fails fast instead of hanging.
+type gateCost struct {
+	inflight atomic.Int32
+	fired    atomic.Bool
+	dead     atomic.Bool
+	once     sync.Once
+	gate     chan struct{}
+}
+
+func newGateCost() *gateCost { return &gateCost{gate: make(chan struct{})} }
+
+func (g *gateCost) Cost(s core.PropSet) float64 {
+	if !g.fired.Load() && !g.dead.Load() {
+		if g.inflight.Add(1) >= 2 {
+			g.once.Do(func() {
+				g.fired.Store(true)
+				close(g.gate)
+			})
+		}
+		select {
+		case <-g.gate:
+		case <-time.After(250 * time.Millisecond):
+			g.dead.Store(true)
+		}
+		g.inflight.Add(-1)
+	}
+	return float64(s.Len() * s.Len())
+}
+
+// TestEngineSolvesDirtyComponentsConcurrently is the regression test for the
+// engine ignoring Config.Options.Parallelism: one Apply creating several
+// disjoint dirty components at Parallelism = -1 must run ≥ 2 component solve
+// callbacks concurrently.
+func TestEngineSolvesDirtyComponentsConcurrently(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs GOMAXPROCS ≥ 2 for concurrent component solves")
+	}
+	gc := newGateCost()
+	opts := solver.DefaultOptions()
+	opts.Parallelism = -1
+	e := newTestEngine(t, Config{Costs: gc, Options: opts})
+
+	res, err := e.Apply(context.Background(), []Delta{
+		Add("a1", "a2"), Add("a2", "a3"),
+		Add("b1", "b2"), Add("b2", "b3"),
+		Add("c1", "c2"), Add("c2", "c3"),
+		Add("d1", "d2"), Add("d2", "d3"),
+	})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if res.Dirty != 4 {
+		t.Fatalf("Dirty = %d, want 4", res.Dirty)
+	}
+	if !gc.fired.Load() {
+		t.Fatalf("no two component solves were ever in flight together at Parallelism=-1")
+	}
+	if sol, err := e.Solution(); err != nil {
+		t.Fatalf("Solution: %v", err)
+	} else if len(sol.Classifiers) == 0 {
+		t.Fatalf("empty solution after parallel Apply")
+	}
+}

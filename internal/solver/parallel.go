@@ -4,102 +4,25 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 )
 
-// forEachComponent runs fn(i) for every component index, either serially or
-// on a bounded worker pool, per the paper's remark that Step 2's
-// decomposition "allows us to solve all sub-instances in parallel"
-// (Section 3). Results must be written by fn into per-index slots so the
-// final concatenation is deterministic regardless of scheduling.
+// forEachComponent runs fn(i) for every component index on the
+// work-stealing scheduler (see sched.go), with unit size hints and no
+// pipeline staging — the convenience form for callers whose per-component
+// work is monolithic. Results must be written by fn into per-index slots so
+// the final concatenation is deterministic regardless of scheduling.
 //
-// The first error recorded (from fn, from a recovered fn panic, or from ctx
-// firing) stops dispatch: indices not yet handed to a worker are never run.
-// In-flight fn calls are not interrupted beyond their own ctx checkpoints.
+// The first failure recorded (from fn, from a recovered fn panic, or from
+// ctx firing) stops dispatch: indices not yet handed to a worker are never
+// run. In-flight fn calls are not interrupted beyond their own ctx
+// checkpoints, and every concurrent failure is aggregated via errors.Join.
 // Context errors are returned bare, so errors.Is(err, context.Canceled) and
 // errors.Is(err, context.DeadlineExceeded) hold for callers; fn errors are
 // wrapped with component context.
 func forEachComponent(ctx context.Context, n, parallelism int, fn func(i int) error) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	done := ctx.Done()
-	call := func(i int) (err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("solver: component %d panicked: %v", i, r)
-			}
-		}()
+	return ForEachComponent(ctx, n, parallelism, nil, func(_ *Task, i int) error {
 		return fn(i)
-	}
-
-	workers := parallelism
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			if done != nil {
-				select {
-				case <-done:
-					return ctx.Err()
-				default:
-				}
-			}
-			if err := call(i); err != nil {
-				return componentErr(err)
-			}
-		}
-		return nil
-	}
-	if workers > n {
-		workers = n
-	}
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	failed := make(chan struct{})
-	record := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-			close(failed)
-		}
-		mu.Unlock()
-	}
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := call(i); err != nil {
-					record(err)
-				}
-			}
-		}()
-	}
-dispatch:
-	for i := 0; i < n; i++ {
-		select {
-		case next <- i:
-		case <-failed:
-			break dispatch
-		case <-done:
-			record(ctx.Err())
-			break dispatch
-		}
-	}
-	close(next)
-	wg.Wait()
-	if firstErr != nil {
-		return componentErr(firstErr)
-	}
-	return nil
+	})
 }
 
 // componentErr wraps a component failure, except for bare context errors,

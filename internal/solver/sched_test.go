@@ -1,0 +1,223 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachComponentAggregatesConcurrentErrors is the regression test for
+// the flat dispatcher dropping all-but-first concurrent failures: two
+// components rendezvous on a barrier so both are mid-flight when they fail,
+// and both sentinels must be visible through errors.Is on the joined error.
+func TestForEachComponentAggregatesConcurrentErrors(t *testing.T) {
+	errA := errors.New("component A exploded")
+	errB := errors.New("component B exploded")
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	err := ForEachComponent(context.Background(), 2, 2, nil, func(_ *Task, i int) error {
+		barrier.Done()
+		barrier.Wait() // both components are in flight; both will fail
+		if i == 0 {
+			return errA
+		}
+		return errB
+	})
+	if err == nil {
+		t.Fatal("want error, got nil")
+	}
+	if !errors.Is(err, errA) {
+		t.Errorf("errors.Is(err, errA) = false; err = %v", err)
+	}
+	if !errors.Is(err, errB) {
+		t.Errorf("errors.Is(err, errB) = false; err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "2 components failed") {
+		t.Errorf("error message should count the failures: %v", err)
+	}
+}
+
+// TestForEachComponentConcurrentContextErrorsStayBare checks that when every
+// concurrent failure is a context error, the aggregate is still the bare
+// context error (not a join), so callers' errors.Is checks and error
+// equality both keep working.
+func TestForEachComponentConcurrentContextErrorsStayBare(t *testing.T) {
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	err := ForEachComponent(context.Background(), 2, 2, nil, func(_ *Task, i int) error {
+		barrier.Done()
+		barrier.Wait()
+		return context.Canceled
+	})
+	if err != context.Canceled {
+		t.Fatalf("want bare context.Canceled, got %v", err)
+	}
+}
+
+// TestForEachComponentMixedContextAndRealErrors: a real failure alongside a
+// context error must surface the real failure (wrapped or joined), and both
+// must remain matchable.
+func TestForEachComponentMixedContextAndRealErrors(t *testing.T) {
+	boom := errors.New("boom")
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	err := ForEachComponent(context.Background(), 2, 2, nil, func(_ *Task, i int) error {
+		barrier.Done()
+		barrier.Wait()
+		if i == 0 {
+			return context.Canceled
+		}
+		return boom
+	})
+	if err == nil {
+		t.Fatal("want error, got nil")
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("errors.Is(err, boom) = false; err = %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false; err = %v", err)
+	}
+}
+
+// TestTaskSpawnSerialRunsStagesInOrder checks serial mode: spawned stages run
+// FIFO after the component function returns, before the next component.
+func TestTaskSpawnSerialRunsStagesInOrder(t *testing.T) {
+	var trace []string
+	err := ForEachComponent(context.Background(), 2, 1, nil, func(task *Task, i int) error {
+		name := string(rune('A' + i))
+		trace = append(trace, "fn"+name)
+		task.Spawn(func() error {
+			trace = append(trace, "stage1"+name)
+			return nil
+		})
+		task.Spawn(func() error {
+			trace = append(trace, "stage2"+name)
+			return nil
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "fnA stage1A stage2A fnB stage1B stage2B"
+	if got := strings.Join(trace, " "); got != want {
+		t.Fatalf("serial trace = %q, want %q", got, want)
+	}
+}
+
+// TestTaskSpawnParallelStageErrorsAttributed checks that a spawned stage's
+// failure is reported like a component failure, with the sentinel matchable.
+func TestTaskSpawnParallelStageErrorsAttributed(t *testing.T) {
+	stageErr := errors.New("stage failed")
+	for _, par := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForEachComponent(context.Background(), 4, par,
+			func(i int) int { return i },
+			func(task *Task, i int) error {
+				task.Spawn(func() error {
+					ran.Add(1)
+					if i == 2 {
+						return stageErr
+					}
+					return nil
+				})
+				return nil
+			})
+		if err == nil {
+			t.Fatalf("parallelism %d: want error, got nil", par)
+		}
+		if !errors.Is(err, stageErr) {
+			t.Errorf("parallelism %d: errors.Is(err, stageErr) = false; err = %v", par, err)
+		}
+	}
+}
+
+// TestTaskSpawnParallelStagesAllRun checks that every component's spawned
+// stage executes under parallel dispatch (the pool must not terminate while
+// continuations are queued) and that per-index slot writes all land.
+func TestTaskSpawnParallelStagesAllRun(t *testing.T) {
+	const n = 32
+	got := make([]int, n)
+	err := ForEachComponent(context.Background(), n, 4,
+		func(i int) int { return n - i },
+		func(task *Task, i int) error {
+			task.Spawn(func() error {
+				got[i] = i + 1
+				return nil
+			})
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("slot %d = %d, want %d (stage skipped?)", i, v, i+1)
+		}
+	}
+}
+
+// TestTaskSpawnStagePanicRecovered checks that a panic inside a spawned stage
+// is converted into an attributed error in both modes.
+func TestTaskSpawnStagePanicRecovered(t *testing.T) {
+	for _, par := range []int{1, 2} {
+		err := ForEachComponent(context.Background(), 2, par, nil,
+			func(task *Task, i int) error {
+				task.Spawn(func() error {
+					if i == 1 {
+						panic("stage kaboom")
+					}
+					return nil
+				})
+				return nil
+			})
+		if err == nil || !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "stage kaboom") {
+			t.Fatalf("parallelism %d: want recovered panic error, got %v", par, err)
+		}
+	}
+}
+
+// TestForEachComponentStealsUnderImbalance gives one worker a long-running
+// component and checks the other worker steals the rest: everything completes
+// even though the seeded shares are maximally unbalanced.
+func TestForEachComponentStealsUnderImbalance(t *testing.T) {
+	const n = 16
+	release := make(chan struct{})
+	var done atomic.Int64
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- ForEachComponent(context.Background(), n, 2,
+			func(i int) int {
+				if i == 0 {
+					return 1 << 20 // component 0 dominates; seeded first
+				}
+				return 1
+			},
+			func(_ *Task, i int) error {
+				if i == 0 {
+					<-release // hold worker 0 hostage
+				}
+				done.Add(1)
+				return nil
+			})
+	}()
+	// All other components must finish while component 0 blocks its worker.
+	deadline := time.Now().Add(10 * time.Second)
+	for done.Load() < n-1 {
+		if time.Now().After(deadline) {
+			got := done.Load()
+			close(release)
+			t.Fatalf("only %d/%d components finished while one worker was blocked; stealing broken?", got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
