@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// featureRecord mirrors the harvester's JSONL schema (docs/OBSERVABILITY.md).
+type featureRecord struct {
+	Kind      string         `json:"kind"`
+	Source    string         `json:"source"`
+	Algo      string         `json:"algo"`
+	Component int64          `json:"component"`
+	Queries   int64          `json:"queries"`
+	Cache     string         `json:"cache"`
+	Nanos     int64          `json:"ns"`
+	Params    map[string]any `json:"params"`
+	Prep      map[string]any `json:"prep"`
+	WSC       *struct {
+		Winner string `json:"winner"`
+		Runs   []struct {
+			Engine string `json:"engine"`
+		} `json:"runs"`
+	} `json:"wsc"`
+	MaxFlow map[string]any `json:"maxflow"`
+}
+
+func readFeatures(t *testing.T, path string) []featureRecord {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var recs []featureRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var r featureRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad feature line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestBenchFeatureHarvest is the ISSUE acceptance check for the harvester:
+// a -quick run over all three workload generators (BestBuy: fig3a/fig3d,
+// Private: fig3b, synthetic: fig3c) emits exactly one "component" feature
+// record per solved residual component — cross-checked against the
+// SolveStats component count in the -json report — and the records carry
+// instance parameters, prep counters, and the engine-race winners.
+func TestBenchFeatureHarvest(t *testing.T) {
+	featPath := filepath.Join(t.TempDir(), "features.jsonl")
+	var out bytes.Buffer
+	args := []string{"-quick", "-exp", "fig3a,fig3b,fig3c,fig3d", "-json", "-stats", "-features", featPath}
+	if err := run(args, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	var rep struct {
+		Stats struct {
+			Components int `json:"components"`
+			Solves     int `json:"solves"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if rep.Stats.Solves == 0 || rep.Stats.Components == 0 {
+		t.Fatalf("run solved nothing: %+v", rep.Stats)
+	}
+
+	recs := readFeatures(t, featPath)
+	components := 0
+	var sawWSC, sawMaxFlow bool
+	for i, r := range recs {
+		if r.Kind != "component" {
+			t.Fatalf("record %d has kind %q, want component (mc3bench emits no applies)", i, r.Kind)
+		}
+		if r.Source != "mc3bench" {
+			t.Errorf("record %d source = %q", i, r.Source)
+		}
+		if r.Algo == "" {
+			t.Errorf("record %d has no algo label", i)
+		}
+		if len(r.Params) == 0 {
+			t.Errorf("record %d (%s) has no instance params", i, r.Algo)
+		}
+		if len(r.Prep) == 0 {
+			t.Errorf("record %d (%s) has no prep counters", i, r.Algo)
+		}
+		components++
+		if r.WSC != nil {
+			sawWSC = true
+			if r.WSC.Winner == "" {
+				t.Errorf("record %d wsc has no winner", i)
+			}
+			if len(r.WSC.Runs) == 0 {
+				t.Errorf("record %d wsc has no race arms", i)
+			}
+		}
+		if r.MaxFlow != nil {
+			sawMaxFlow = true
+			if r.MaxFlow["engine"] == "" {
+				t.Errorf("record %d maxflow has no engine", i)
+			}
+		}
+	}
+	// The invariant the harvest relies on: every residual component counted
+	// by SolveStats (from prep spans) is solved under exactly one
+	// "component" span, so the record count equals the stats counter.
+	if components != rep.Stats.Components {
+		t.Errorf("harvested %d component records, SolveStats counted %d components",
+			components, rep.Stats.Components)
+	}
+	if !sawWSC {
+		t.Error("no record carries a wsc engine race (fig3d runs the general solver)")
+	}
+	if !sawMaxFlow {
+		t.Error("no record carries a maxflow run (fig3a/b run the k<=2 solver)")
+	}
+}

@@ -52,6 +52,7 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 		timeout  = fs.Duration("timeout", 0, "abort any individual solve after this wall time (0 = no limit)")
 		stats    = fs.Bool("stats", false, "print accumulated solve statistics after the run")
 		useCache = fs.Bool("cache", false, "share one component-solution cache across every solve of the run and report its hit/miss stats")
+		features = fs.String("features", "", "harvest one JSONL feature record per solved component into this file (see docs/OBSERVABILITY.md)")
 	)
 	var obsCfg obs.CLIConfig
 	obsCfg.RegisterFlags(fs)
@@ -114,6 +115,21 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 	}
 	if *useCache {
 		cfg.Cache = cache.New(cache.Config{})
+	}
+	var harvest *obs.HarvestSink
+	if *features != "" {
+		f, err := os.Create(*features)
+		if err != nil {
+			return fmt.Errorf("-features: %w", err)
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+		}()
+		harvest = obs.NewHarvestSink(f, "mc3bench")
+		cfg.Tracer = cfg.Tracer.WithSink(harvest)
+		cfg.FeatureAttrs = true
 	}
 
 	runners := map[string]func(bench.Config) (*bench.Table, error){
@@ -211,6 +227,10 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 			fmt.Fprintf(out, "component cache: %d hits / %d misses (%.1f%% hit rate), %d entries, %d evictions\n",
 				st.Hits, st.Misses, 100*st.HitRate(), st.Entries, st.Evictions)
 		}
+	}
+	if harvest != nil {
+		fmt.Fprintf(errw, "mc3bench: %d feature records -> %s (%d dropped)\n",
+			harvest.Records(), *features, harvest.Dropped())
 	}
 	fmt.Fprintf(errw, "mc3bench: total %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

@@ -71,6 +71,7 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 		asJSON      = fs.Bool("json", false, "emit the BENCH_*.json report format")
 		outPath     = fs.String("out", "", "output file (default stdout)")
 		seed        = fs.Int64("seed", 0, "seed recorded in the JSON report")
+		features    = fs.String("features", "", "harvest one JSONL feature record per applied batch into this file (see docs/OBSERVABILITY.md)")
 	)
 	var obsCfg obs.CLIConfig
 	obsCfg.RegisterFlags(fs)
@@ -120,6 +121,19 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 			initial = append(initial, incr.Add(q...))
 		}
 	}
+	tracer := obsCLI.Tracer
+	if *features != "" {
+		f, err := os.Create(*features)
+		if err != nil {
+			return fmt.Errorf("-features: %w", err)
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+		}()
+		tracer = tracer.WithSink(obs.NewHarvestSink(f, "mc3replay"))
+	}
 	opts := solver.DefaultOptions()
 	opts.Validate = *validate
 	opts.Parallelism = *parallel
@@ -128,7 +142,7 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 		Universe: u,
 		Algo:     *algo,
 		Options:  opts,
-		Tracer:   obsCLI.Tracer,
+		Tracer:   tracer,
 	})
 	if err != nil {
 		return err
@@ -143,7 +157,7 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 		fmt.Fprintf(errw, "mc3replay: installed %d initial queries from %s\n", len(initial), *loadPath)
 	}
 
-	stats, err := replay(ctx, engine, deltas, *window, *algo, opts, !*noBaseline)
+	stats, err := replay(ctx, engine, tracer, deltas, *window, *algo, opts, !*noBaseline)
 	if err != nil {
 		return err
 	}
@@ -186,16 +200,23 @@ func readStream(path string) ([]incr.Delta, error) {
 
 // replay applies the stream batch by batch. With baseline set, every batch
 // is followed by a from-scratch solve of the materialized load under the
-// same options, and the two costs must agree exactly.
-func replay(ctx context.Context, engine *incr.Engine, deltas []incr.Delta, window float64, algo string, opts solver.Options, baseline bool) ([]batchStat, error) {
+// same options, and the two costs must agree exactly. Each batch runs under
+// a "replay.batch" span carrying the batch index, sizes, and timings, so the
+// engine's "incr.apply" span nests under it and trace consumers (the feature
+// harvester in particular) see replay runs with full batch context.
+func replay(ctx context.Context, engine *incr.Engine, tracer *obs.Tracer, deltas []incr.Delta, window float64, algo string, opts solver.Options, baseline bool) ([]batchStat, error) {
 	var stats []batchStat
 	for lo := 0; lo < len(deltas); {
 		hi := lo + 1
 		for hi < len(deltas) && deltas[hi].Time < deltas[lo].Time+window {
 			hi++
 		}
-		res, err := engine.Apply(ctx, deltas[lo:hi])
+		sp, sctx := obs.StartSpan(ctx, tracer, "replay.batch",
+			obs.Int("batch", len(stats)), obs.Int("deltas", hi-lo),
+			obs.F64("stream_time", deltas[lo].Time))
+		res, err := engine.Apply(sctx, deltas[lo:hi])
 		if err != nil {
+			sp.EndErr(err)
 			return nil, fmt.Errorf("batch at t=%gs: %w", deltas[lo].Time, err)
 		}
 		st := batchStat{
@@ -207,17 +228,24 @@ func replay(ctx context.Context, engine *incr.Engine, deltas []incr.Delta, windo
 			incrSecs:    res.Seconds,
 			scratchSecs: math.NaN(),
 		}
+		sp.SetAttr(obs.Int("components", res.Components), obs.Int("dirty", res.Dirty),
+			obs.F64("cost", res.Cost), obs.I64("incremental_ns", int64(res.Seconds*1e9)))
 		if baseline {
 			secs, cost, err := solveFromScratch(ctx, engine, algo, opts)
 			if err != nil {
+				sp.EndErr(err)
 				return nil, fmt.Errorf("baseline at t=%gs: %w", deltas[lo].Time, err)
 			}
 			st.scratchSecs = secs
+			sp.SetAttr(obs.I64("baseline_ns", int64(secs*1e9)))
 			if cost != res.Cost {
-				return nil, fmt.Errorf("differential mismatch at t=%gs: incremental cost %v, from-scratch cost %v",
+				err := fmt.Errorf("differential mismatch at t=%gs: incremental cost %v, from-scratch cost %v",
 					deltas[lo].Time, res.Cost, cost)
+				sp.EndErr(err)
+				return nil, err
 			}
 		}
+		sp.End()
 		stats = append(stats, st)
 		lo = hi
 	}

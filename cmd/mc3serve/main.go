@@ -22,8 +22,17 @@
 //	DELETE /session/{id}          — drop a session.
 //	GET    /healthz    — liveness probe, "ok".
 //	GET    /stats      — JSON snapshot: uptime, request counters, cache and
-//	                     session stats.
+//	                     session stats, solve-latency quantiles, scheduler
+//	                     counters, flight-recorder counters.
 //	GET    /metrics    — Prometheus text exposition of the process registry.
+//	GET    /debug/requests    — flight recorder: recent request traces.
+//	GET    /debug/trace/{id}  — one retained trace by request or span ID.
+//
+// Every solving endpoint propagates X-Request-ID (honored inbound, echoed
+// outbound, generated when absent) and runs under a root span retained by an
+// in-memory flight recorder (-flight); slow or failed requests are
+// additionally appended to -slow-log as JSONL. -feature-log harvests one
+// feature record per solved component (docs/OBSERVABILITY.md).
 //
 // During shutdown drain, new requests are answered 503 with a Retry-After
 // header while in-flight requests complete.
@@ -50,6 +59,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -73,18 +83,27 @@ func main() {
 
 // config is the parsed daemon configuration.
 type config struct {
-	addr         string
-	algo         string
-	wsc          string
-	prep         string
-	engine       string
-	parallel     int
-	cacheSize    int
-	cacheQuantum float64
-	reqTimeout   time.Duration
-	maxBody      int64
-	validate     bool
-	maxSessions  int
+	addr          string
+	algo          string
+	wsc           string
+	prep          string
+	engine        string
+	parallel      int
+	cacheSize     int
+	cacheQuantum  float64
+	reqTimeout    time.Duration
+	maxBody       int64
+	validate      bool
+	maxSessions   int
+	flight        int
+	slowLog       string
+	slowThreshold time.Duration
+	featureLog    string
+
+	// slowW / featureW receive the slow-query and feature JSONL streams.
+	// run() opens them from -slow-log / -feature-log; tests inject buffers.
+	slowW    io.Writer
+	featureW io.Writer
 }
 
 // run parses flags, builds the server, and serves until a termination signal
@@ -104,10 +123,35 @@ func run(args []string, logw io.Writer) (retErr error) {
 	fs.Int64Var(&cfg.maxBody, "max-body", 8<<20, "maximum request body bytes")
 	fs.BoolVar(&cfg.validate, "validate", true, "verify every solution before answering")
 	fs.IntVar(&cfg.maxSessions, "max-sessions", 64, "maximum live incremental sessions")
+	fs.IntVar(&cfg.flight, "flight", 256, "span trees retained by the in-memory flight recorder, served at /debug/requests (0 disables)")
+	fs.StringVar(&cfg.slowLog, "slow-log", "", "append a JSONL record with the full span tree of every slow or failed request to this file")
+	fs.DurationVar(&cfg.slowThreshold, "slow-threshold", time.Second, "requests at or above this latency are captured in -slow-log")
+	fs.StringVar(&cfg.featureLog, "feature-log", "", "harvest one JSONL feature record per solved component into this file (see docs/OBSERVABILITY.md)")
 	var obsCfg obs.CLIConfig
 	obsCfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cfg.slowLog != "" && cfg.flight <= 0 {
+		return fmt.Errorf("-slow-log requires the flight recorder (-flight > 0)")
+	}
+	for _, f := range []struct {
+		path string
+		dst  *io.Writer
+	}{{cfg.slowLog, &cfg.slowW}, {cfg.featureLog, &cfg.featureW}} {
+		if f.path == "" {
+			continue
+		}
+		w, err := os.OpenFile(f.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := w.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+		}()
+		*f.dst = w
 	}
 
 	obsCLI, err := obsCfg.Start()
@@ -170,12 +214,23 @@ type server struct {
 	opts     solver.Options // template; Context is set per request
 	cache    *cache.Cache   // nil when -cache-size 0
 	registry *obs.Registry
+	tracer   *obs.Tracer          // the request tracer (== opts.Tracer)
+	flight   *obs.FlightRecorder  // nil when -flight 0
+	harvest  *obs.HarvestSink     // nil when no -feature-log
 	mux      *http.ServeMux
 	started  time.Time
+	bootID   string // request-ID prefix, unique per process
 	sessions sessions
+
+	// solveSecsAll aggregates solve latency across endpoints (the
+	// pre-existing mc3serve_solve_seconds family); solveSecs holds the
+	// per-endpoint split series.
+	solveSecsAll *obs.Histogram
+	solveSecs    map[string]*obs.Histogram
 
 	requests atomic.Int64
 	errored  atomic.Int64
+	reqSeq   atomic.Int64
 	draining atomic.Bool
 }
 
@@ -197,6 +252,7 @@ func newServer(cfg config, tracer *obs.Tracer) (*server, error) {
 		started:  time.Now(),
 		sessions: sessions{m: make(map[string]*session), max: cfg.maxSessions},
 	}
+	s.bootID = strconv.FormatInt(s.started.UnixNano(), 36)
 	if cfg.cacheSize > 0 {
 		s.cache = cache.New(cache.Config{
 			MaxEntries:  cfg.cacheSize,
@@ -205,20 +261,47 @@ func newServer(cfg config, tracer *obs.Tracer) (*server, error) {
 		})
 	}
 	s.opts.Cache = s.cache
+
+	// The request tracer: caller sinks (-spans etc.), then the flight
+	// recorder and the feature harvester, then the metrics registry. One
+	// tracer serves every request; the per-request root span opened by
+	// instrument() fans out to all of them.
+	if cfg.flight > 0 {
+		s.flight = obs.NewFlightRecorder(cfg.flight)
+		if cfg.slowW != nil {
+			s.flight.SetSlowLog(cfg.slowW, cfg.slowThreshold)
+		}
+		tracer = tracer.WithSink(s.flight)
+	}
+	if cfg.featureW != nil {
+		s.harvest = obs.NewHarvestSink(cfg.featureW, "mc3serve")
+		tracer = tracer.WithSink(s.harvest)
+		s.opts.FeatureAttrs = true
+	}
 	s.opts.Tracer = tracer.WithMetrics(reg)
+	s.tracer = s.opts.Tracer
+
+	s.solveSecsAll = reg.Histogram("mc3serve_solve_seconds")
+	s.solveSecs = map[string]*obs.Histogram{
+		"solve": reg.Histogram(`mc3serve_solve_seconds{endpoint="solve"}`),
+		"load":  reg.Histogram(`mc3serve_solve_seconds{endpoint="load"}`),
+		"delta": reg.Histogram(`mc3serve_solve_seconds{endpoint="delta"}`),
+	}
 
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	s.mux.HandleFunc("POST /solve", s.instrument("solve", s.handleSolve))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.Handle("GET /metrics", reg)
-	s.mux.HandleFunc("POST /load", s.handleLoad)
-	s.mux.HandleFunc("POST /session/{id}/delta", s.handleDelta)
-	s.mux.HandleFunc("GET /session/{id}/solution", s.handleSolution)
-	s.mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("POST /load", s.instrument("load", s.handleLoad))
+	s.mux.HandleFunc("POST /session/{id}/delta", s.instrument("delta", s.handleDelta))
+	s.mux.HandleFunc("GET /session/{id}/solution", s.instrument("solution", s.handleSolution))
+	s.mux.HandleFunc("DELETE /session/{id}", s.instrument("session_delete", s.handleSessionDelete))
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleDebugTrace)
 	return s, nil
 }
 
@@ -321,7 +404,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sol, err := fn(inst, opts)
 	elapsed := time.Since(start)
-	s.registry.Histogram("mc3serve_solve_seconds").Observe(elapsed.Seconds())
+	s.observeSolve("solve", elapsed.Seconds())
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -346,12 +429,33 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the /stats document.
 type statsResponse struct {
-	UptimeSeconds float64       `json:"uptime_seconds"`
-	Requests      int64         `json:"requests"`
-	Errors        int64         `json:"errors"`
-	Cache         cache.Stats   `json:"cache"`
-	CacheHitRate  float64       `json:"cache_hit_rate"`
-	Sessions      sessionsStats `json:"sessions"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Requests      int64           `json:"requests"`
+	Errors        int64           `json:"errors"`
+	Cache         cache.Stats     `json:"cache"`
+	CacheHitRate  float64         `json:"cache_hit_rate"`
+	Sessions      sessionsStats   `json:"sessions"`
+	SolveLatency  latencyStats    `json:"solve_latency"`
+	Sched         schedStats      `json:"sched"`
+	Flight        obs.FlightStats `json:"flight"`
+}
+
+// latencyStats summarizes a latency histogram: estimated quantiles from the
+// registry's fixed log-scale buckets.
+type latencyStats struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
+}
+
+// schedStats surfaces the work-stealing scheduler's mc3_sched_* counters.
+type schedStats struct {
+	Runs       int64 `json:"runs"`
+	Components int64 `json:"components"`
+	Tasks      int64 `json:"tasks"`
+	Steals     int64 `json:"steals"`
+	Spawns     int64 `json:"spawns"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -363,6 +467,20 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Cache:         st,
 		CacheHitRate:  st.HitRate(),
 		Sessions:      s.sessions.snapshot(),
+		SolveLatency: latencyStats{
+			Count: s.solveSecsAll.Count(),
+			P50:   s.solveSecsAll.Quantile(0.50),
+			P95:   s.solveSecsAll.Quantile(0.95),
+			P99:   s.solveSecsAll.Quantile(0.99),
+		},
+		Sched: schedStats{
+			Runs:       s.registry.Counter("mc3_sched_runs_total").Value(),
+			Components: s.registry.Counter("mc3_sched_components_total").Value(),
+			Tasks:      s.registry.Counter("mc3_sched_tasks_total").Value(),
+			Steals:     s.registry.Counter("mc3_sched_steals_total").Value(),
+			Spawns:     s.registry.Counter("mc3_sched_spawns_total").Value(),
+		},
+		Flight: s.flight.Stats(),
 	})
 }
 

@@ -24,6 +24,7 @@ func testServer(t *testing.T, fn func(*config)) *server {
 		maxBody:     1 << 20,
 		validate:    true,
 		maxSessions: 8,
+		flight:      256,
 	}
 	if fn != nil {
 		fn(&cfg)

@@ -186,7 +186,7 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusTooManyRequests, err)
 		return
 	}
-	res, err := s.applySession(r, sess, deltas)
+	res, err := s.applySession(r, "load", sess, deltas)
 	if err != nil {
 		s.sessions.drop(sess.id) // a load that cannot solve is not a session
 		s.failApply(w, err)
@@ -221,7 +221,7 @@ func (s *server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		}
 		deltas[i] = d
 	}
-	res, err := s.applySession(r, sess, deltas)
+	res, err := s.applySession(r, "delta", sess, deltas)
 	if err != nil {
 		s.failApply(w, err)
 		return
@@ -258,8 +258,9 @@ func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// applySession runs one delta batch under the request's deadline.
-func (s *server) applySession(r *http.Request, sess *session, deltas []incr.Delta) (*incr.Result, error) {
+// applySession runs one delta batch under the request's deadline, observing
+// the solve latency under the given endpoint label ("load" or "delta").
+func (s *server) applySession(r *http.Request, endpoint string, sess *session, deltas []incr.Delta) (*incr.Result, error) {
 	ctx := r.Context()
 	if s.cfg.reqTimeout > 0 {
 		var cancel context.CancelFunc
@@ -268,7 +269,7 @@ func (s *server) applySession(r *http.Request, sess *session, deltas []incr.Delt
 	}
 	res, err := sess.engine.Apply(ctx, deltas)
 	if err == nil {
-		s.registry.Histogram("mc3serve_solve_seconds").Observe(res.Seconds)
+		s.observeSolve(endpoint, res.Seconds)
 	}
 	return res, err
 }

@@ -50,6 +50,10 @@ type Config struct {
 	// same dataset at growing subset sizes re-meet components, so the
 	// hit/miss counters quantify real-workload amortization.
 	Cache *cache.Cache
+	// FeatureAttrs, when set, stamps each solve's root span with the
+	// instance parameter analysis (see solver.Options.FeatureAttrs) so an
+	// attached harvesting sink can emit feature records.
+	FeatureAttrs bool
 }
 
 // SolverOptions returns the paper-default solver options carrying the
@@ -61,6 +65,7 @@ func (c Config) SolverOptions() solver.Options {
 	opts.Stats = c.Stats
 	opts.Tracer = c.Tracer
 	opts.Cache = c.Cache
+	opts.FeatureAttrs = c.FeatureAttrs
 	return opts
 }
 

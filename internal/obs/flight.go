@@ -1,0 +1,421 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// FlightRecorder is a Sink retaining the last N completed span trees in a
+// fixed-capacity ring — the serving layer's "why was that request slow?"
+// buffer. Events are grouped by Event.Root as they arrive (children end
+// before their root), and when the root span ends the assembled tree is
+// retired into the ring, evicting the oldest.
+//
+// The recorder is built for an always-on serve path: one short mutex per
+// event, and every buffer (trace slots, per-span attribute slices) is
+// recycled, so steady-state recording adds zero allocations per span once
+// warm (flight_test.go gates this with AllocsPerRun).
+//
+// Tail-based capture: with a slow log attached (SetSlowLog), any retired
+// tree whose root exceeded the latency threshold or carries an "err"
+// attribute is additionally serialized as one JSONL record — the slow-query
+// log. Serialization allocates, but only on that tail path.
+//
+// All methods are nil-receiver-safe.
+type FlightRecorder struct {
+	capacity int
+	maxSpans int // per-trace span bound; extra spans are dropped, counted
+
+	mu      sync.Mutex
+	pending map[uint64]*traceBuf // root ID → tree under assembly
+	free    []*traceBuf          // recycled buffers
+	ring    []*traceBuf          // retired trees; ring[next] is the oldest once full
+	next    int
+
+	slow          io.Writer
+	slowThreshold time.Duration
+
+	recorded  uint64 // trees retired into the ring
+	dropped   uint64 // events dropped (pending overflow, per-trace span bound)
+	slowCount uint64 // slow-log records written
+	slowErrs  uint64 // slow-log records lost to write errors
+}
+
+// traceBuf accumulates one span tree. Its Event slots and their Attrs
+// slices are reused across trees, so steady-state appends don't allocate.
+type traceBuf struct {
+	root      uint64
+	spans     []Event
+	truncated int
+}
+
+const (
+	defaultFlightCapacity = 256
+	// defaultMaxSpans bounds one trace's retained spans so a pathological
+	// request (huge component fan-out) can't pin unbounded memory.
+	defaultMaxSpans = 4096
+)
+
+// NewFlightRecorder returns a recorder retaining the last capacity completed
+// span trees (capacity <= 0 uses 256).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = defaultFlightCapacity
+	}
+	return &FlightRecorder{
+		capacity: capacity,
+		maxSpans: defaultMaxSpans,
+		pending:  make(map[uint64]*traceBuf),
+		ring:     make([]*traceBuf, 0, capacity),
+	}
+}
+
+// SetSlowLog attaches a JSONL slow-query log: every retired tree whose root
+// lasted at least threshold (when threshold > 0), or whose root carries an
+// "err" attribute, is written to w as one JSON line. Call before attaching
+// the recorder to a tracer; w must tolerate concurrent-free writes (they
+// happen under the recorder's mutex).
+func (f *FlightRecorder) SetSlowLog(w io.Writer, threshold time.Duration) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.slow = w
+	f.slowThreshold = threshold
+	f.mu.Unlock()
+}
+
+// maxPending bounds trees under assembly. Above it, the oldest pending tree
+// is evicted (a root that never ended — a panicked handler, a leaked span)
+// so abandoned trees cannot pin buffers forever.
+func (f *FlightRecorder) maxPending() int {
+	if n := 2 * f.capacity; n > 64 {
+		return n
+	}
+	return 64
+}
+
+// take returns a reset buffer, recycling a free one when available.
+func (f *FlightRecorder) take(root uint64) *traceBuf {
+	var tb *traceBuf
+	if n := len(f.free); n > 0 {
+		tb = f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+	} else {
+		tb = new(traceBuf)
+	}
+	tb.root = root
+	tb.spans = tb.spans[:0]
+	tb.truncated = 0
+	return tb
+}
+
+// appendEvent copies ev into tb, reusing the slot's existing Attrs backing
+// array — copying already-boxed attribute values allocates nothing.
+func (tb *traceBuf) appendEvent(ev Event) {
+	var dst *Event
+	if n := len(tb.spans); n < cap(tb.spans) {
+		tb.spans = tb.spans[:n+1]
+		dst = &tb.spans[n]
+	} else {
+		tb.spans = append(tb.spans, Event{})
+		dst = &tb.spans[len(tb.spans)-1]
+	}
+	attrs := dst.Attrs
+	*dst = ev
+	dst.Attrs = append(attrs[:0], ev.Attrs...)
+}
+
+// Span implements Sink.
+func (f *FlightRecorder) Span(ev Event) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	tb := f.pending[ev.Root]
+	if tb == nil {
+		if len(f.pending) >= f.maxPending() {
+			f.evictOldestPendingLocked()
+		}
+		tb = f.take(ev.Root)
+		f.pending[ev.Root] = tb
+	}
+	// The root event is always kept (it completes the tree); non-root spans
+	// beyond the per-trace bound are dropped and counted.
+	if len(tb.spans) >= f.maxSpans && ev.ID != ev.Root {
+		tb.truncated++
+		f.dropped++
+		f.mu.Unlock()
+		return
+	}
+	tb.appendEvent(ev)
+	if ev.ID != ev.Root {
+		f.mu.Unlock()
+		return
+	}
+	// Root completed: retire the tree into the ring.
+	delete(f.pending, ev.Root)
+	if len(f.ring) < f.capacity {
+		f.ring = append(f.ring, tb)
+		f.next = len(f.ring) % f.capacity
+	} else {
+		f.free = append(f.free, f.ring[f.next])
+		f.ring[f.next] = tb
+		f.next = (f.next + 1) % f.capacity
+	}
+	f.recorded++
+	if f.slow != nil && (ev.Err("err") != nil || (f.slowThreshold > 0 && ev.Duration >= f.slowThreshold)) {
+		f.writeSlowLocked(tb, ev)
+	}
+	f.mu.Unlock()
+}
+
+// evictOldestPendingLocked drops the pending tree whose first span completed
+// longest ago, recycling its buffer. Rare: only fires when maxPending trees
+// are simultaneously under assembly (or have leaked).
+func (f *FlightRecorder) evictOldestPendingLocked() {
+	var (
+		oldest *traceBuf
+		key    uint64
+	)
+	for root, tb := range f.pending {
+		if len(tb.spans) == 0 {
+			oldest, key = tb, root
+			break
+		}
+		if oldest == nil || len(oldest.spans) == 0 || tb.spans[0].Start.Before(oldest.spans[0].Start) {
+			oldest, key = tb, root
+		}
+	}
+	if oldest == nil {
+		return
+	}
+	f.dropped += uint64(len(oldest.spans))
+	delete(f.pending, key)
+	f.free = append(f.free, oldest)
+}
+
+// slowRecord is the JSONL wire form of one slow-query capture.
+type slowRecord struct {
+	Kind      string     `json:"kind"` // "slow" (threshold) or "error"
+	RequestID string     `json:"request_id,omitempty"`
+	Root      uint64     `json:"root"`
+	Name      string     `json:"name"`
+	TS        time.Time  `json:"ts"`
+	Nanos     int64      `json:"ns"`
+	Err       string     `json:"err,omitempty"`
+	Truncated int        `json:"truncated_spans,omitempty"`
+	Spans     []jsonSpan `json:"spans"`
+}
+
+// writeSlowLocked serializes tb as one slow-query JSONL record. Allocation
+// and the write happen under f.mu — acceptable on this tail path, and it
+// guarantees the buffer isn't recycled mid-serialization.
+func (f *FlightRecorder) writeSlowLocked(tb *traceBuf, root Event) {
+	rec := slowRecord{
+		Kind:      "slow",
+		RequestID: root.Str("request_id"),
+		Root:      root.Root,
+		Name:      root.Name,
+		TS:        root.Start,
+		Nanos:     int64(root.Duration),
+		Truncated: tb.truncated,
+		Spans:     jsonSpans(tb.spans),
+	}
+	if err := root.Err("err"); err != nil {
+		rec.Kind = "error"
+		rec.Err = err.Error()
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		f.slowErrs++
+		return
+	}
+	if _, err := f.slow.Write(append(line, '\n')); err != nil {
+		f.slowErrs++
+		return
+	}
+	f.slowCount++
+}
+
+// jsonSpans renders events in the JSONLSink wire format.
+func jsonSpans(events []Event) []jsonSpan {
+	out := make([]jsonSpan, len(events))
+	for i, ev := range events {
+		out[i] = jsonSpan{Name: ev.Name, ID: ev.ID, Parent: ev.Parent, TS: ev.Start, Nanos: int64(ev.Duration)}
+		if len(ev.Attrs) > 0 {
+			out[i].Attrs = make(map[string]any, len(ev.Attrs))
+			for _, a := range ev.Attrs {
+				out[i].Attrs[a.Key] = jsonValue(a.Value)
+			}
+		}
+	}
+	return out
+}
+
+// Trace is one retained span tree, spans in completion order (children
+// before parents; the root is last). Returned data is a deep copy — safe to
+// use while the recorder keeps recording.
+type Trace struct {
+	Root      uint64
+	RequestID string
+	Spans     []Event
+	Truncated int
+}
+
+// rootEvent returns the tree's root span event.
+func (t *Trace) rootEvent() Event {
+	for i := len(t.Spans) - 1; i >= 0; i-- {
+		if t.Spans[i].ID == t.Spans[i].Root {
+			return t.Spans[i]
+		}
+	}
+	return Event{}
+}
+
+// JSON returns the trace as a JSON-marshalable document: root metadata plus
+// every span in the JSONL wire format.
+func (t *Trace) JSON() any {
+	root := t.rootEvent()
+	doc := struct {
+		Root      uint64     `json:"root"`
+		RequestID string     `json:"request_id,omitempty"`
+		Name      string     `json:"name"`
+		TS        time.Time  `json:"ts"`
+		Nanos     int64      `json:"ns"`
+		Err       string     `json:"err,omitempty"`
+		Truncated int        `json:"truncated_spans,omitempty"`
+		Spans     []jsonSpan `json:"spans"`
+	}{
+		Root:      t.Root,
+		RequestID: t.RequestID,
+		Name:      root.Name,
+		TS:        root.Start,
+		Nanos:     int64(root.Duration),
+		Truncated: t.Truncated,
+		Spans:     jsonSpans(t.Spans),
+	}
+	if err := root.Err("err"); err != nil {
+		doc.Err = err.Error()
+	}
+	return doc
+}
+
+// TraceSummary is one ring entry's overview — the /debug/requests row.
+type TraceSummary struct {
+	Root      uint64    `json:"root"`
+	Name      string    `json:"name"`
+	RequestID string    `json:"request_id,omitempty"`
+	TS        time.Time `json:"ts"`
+	Nanos     int64     `json:"ns"`
+	Err       string    `json:"err,omitempty"`
+	Spans     int       `json:"spans"`
+}
+
+// Snapshot returns summaries of the retained trees, newest first.
+func (f *FlightRecorder) Snapshot() []TraceSummary {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]TraceSummary, 0, len(f.ring))
+	// Newest is the slot before f.next (once full); before wrap, the ring is
+	// append-ordered so newest is the last element.
+	n := len(f.ring)
+	for i := 1; i <= n; i++ {
+		tb := f.ring[((f.next-i)%n+n)%n]
+		root := tb.rootLocked()
+		sum := TraceSummary{
+			Root:      tb.root,
+			Name:      root.Name,
+			RequestID: root.Str("request_id"),
+			TS:        root.Start,
+			Nanos:     int64(root.Duration),
+			Spans:     len(tb.spans),
+		}
+		if err := root.Err("err"); err != nil {
+			sum.Err = err.Error()
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// rootLocked returns the buffer's root event (the last appended span with
+// ID == Root).
+func (tb *traceBuf) rootLocked() Event {
+	for i := len(tb.spans) - 1; i >= 0; i-- {
+		if tb.spans[i].ID == tb.spans[i].Root {
+			return tb.spans[i]
+		}
+	}
+	return Event{}
+}
+
+// Trace returns a deep copy of the retained tree whose root span ID (decimal
+// string) or request_id attribute matches id.
+func (f *FlightRecorder) Trace(id string) (*Trace, bool) {
+	if f == nil {
+		return nil, false
+	}
+	rootID, _ := strconv.ParseUint(id, 10, 64)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, tb := range f.ring {
+		root := tb.rootLocked()
+		if tb.root != rootID && (id == "" || root.Str("request_id") != id) {
+			continue
+		}
+		t := &Trace{
+			Root:      tb.root,
+			RequestID: root.Str("request_id"),
+			Spans:     make([]Event, len(tb.spans)),
+			Truncated: tb.truncated,
+		}
+		for i, ev := range tb.spans {
+			ev.Attrs = append([]Attr(nil), ev.Attrs...)
+			t.Spans[i] = ev
+		}
+		return t, true
+	}
+	return nil, false
+}
+
+// FlightStats are the recorder's counters.
+type FlightStats struct {
+	// Recorded counts span trees retired into the ring.
+	Recorded uint64 `json:"recorded"`
+	// Retained is the number of trees currently in the ring.
+	Retained int `json:"retained"`
+	// Pending is the number of trees under assembly.
+	Pending int `json:"pending"`
+	// Dropped counts span events discarded (per-trace span bound, pending
+	// overflow).
+	Dropped uint64 `json:"dropped"`
+	// SlowRecords counts slow-query log records written.
+	SlowRecords uint64 `json:"slow_records"`
+	// SlowErrors counts slow-query records lost to marshal/write errors.
+	SlowErrors uint64 `json:"slow_errors,omitempty"`
+}
+
+// Stats returns the recorder's counters.
+func (f *FlightRecorder) Stats() FlightStats {
+	if f == nil {
+		return FlightStats{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FlightStats{
+		Recorded:    f.recorded,
+		Retained:    len(f.ring),
+		Pending:     len(f.pending),
+		Dropped:     f.dropped,
+		SlowRecords: f.slowCount,
+		SlowErrors:  f.slowErrs,
+	}
+}

@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HarvestSink turns span trees into training-ready feature records — the
+// harvest layer the learned-algorithm-selection work consumes (see
+// docs/OBSERVABILITY.md, "Feature harvesting", for the JSONL schema). It
+// assembles each tree by Event.Root and, when the root span ends, emits:
+//
+//   - one "component" record per "component" span: the instance features
+//     stamped on the enclosing solve span (core.Analyze parameters), the
+//     preprocessing counters from the sibling "prep" span, the component's
+//     shape and cache outcome, and which engine won the wsc / max-flow race
+//     with per-arm timings;
+//   - one "apply" record per "incr.apply" span: the incremental engine's
+//     delta/dirty/reuse counters, merged with the enclosing "replay.batch"
+//     span's batch index and baseline/incremental timings when present.
+//
+// Unlike the flight recorder, the harvester is an opt-in offline path
+// (mc3bench -features, mc3serve -feature-log, mc3replay -features) and is
+// free to allocate. All methods are nil-receiver-safe.
+type HarvestSink struct {
+	mu      sync.Mutex
+	w       io.Writer
+	source  string
+	pending map[uint64][]Event
+	records uint64
+	dropped uint64
+}
+
+// harvestMaxPending bounds trees under assembly; beyond it the oldest is
+// discarded so leaked roots can't grow the map forever.
+const harvestMaxPending = 1024
+
+// NewHarvestSink returns a harvester writing JSONL records to w. source tags
+// every record with the producing tool ("mc3bench", "mc3serve", "mc3replay").
+func NewHarvestSink(w io.Writer, source string) *HarvestSink {
+	return &HarvestSink{w: w, source: source, pending: make(map[uint64][]Event)}
+}
+
+// Span implements Sink.
+func (h *HarvestSink) Span(ev Event) {
+	if h == nil {
+		return
+	}
+	ev.Attrs = append([]Attr(nil), ev.Attrs...)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.pending[ev.Root]; !ok && len(h.pending) >= harvestMaxPending {
+		h.evictOldestLocked()
+	}
+	h.pending[ev.Root] = append(h.pending[ev.Root], ev)
+	if ev.ID != ev.Root {
+		return
+	}
+	tree := h.pending[ev.Root]
+	delete(h.pending, ev.Root)
+	h.processLocked(tree)
+}
+
+// evictOldestLocked discards the pending tree whose first span completed
+// longest ago.
+func (h *HarvestSink) evictOldestLocked() {
+	var (
+		key    uint64
+		oldest time.Time
+		found  bool
+	)
+	for root, evs := range h.pending {
+		if !found || evs[0].Start.Before(oldest) {
+			key, oldest, found = root, evs[0].Start, true
+		}
+	}
+	if found {
+		h.dropped += uint64(len(h.pending[key]))
+		delete(h.pending, key)
+	}
+}
+
+// Records returns the number of JSONL records written so far.
+func (h *HarvestSink) Records() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.records
+}
+
+// Dropped returns the number of span events discarded (pending overflow) and
+// records lost to write errors.
+func (h *HarvestSink) Dropped() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// wscRunRecord is one set-cover race arm.
+type wscRunRecord struct {
+	Engine string  `json:"engine"`
+	Nanos  int64   `json:"ns"`
+	Cost   float64 `json:"cost"`
+	Sets   int64   `json:"sets"`
+}
+
+// wscRecord summarizes the set-cover engine race on one component.
+type wscRecord struct {
+	Winner        string         `json:"winner"`
+	Cost          float64        `json:"cost"`
+	Sets          int64          `json:"sets"`
+	Elements      int64          `json:"elements"`
+	SetsAvailable int64          `json:"sets_available"`
+	Nanos         int64          `json:"ns"`
+	Runs          []wscRunRecord `json:"runs,omitempty"`
+}
+
+// componentRecord is the "component" JSONL record — one per solved
+// component. See docs/OBSERVABILITY.md for the schema contract.
+type componentRecord struct {
+	Kind      string         `json:"kind"` // "component"
+	Source    string         `json:"source"`
+	RequestID string         `json:"request_id,omitempty"`
+	Root      uint64         `json:"root"`
+	Algo      string         `json:"algo,omitempty"`
+	Component int64          `json:"component"`
+	Queries   int64          `json:"queries"`
+	Cache     string         `json:"cache,omitempty"`
+	Nanos     int64          `json:"ns"`
+	Params    map[string]any `json:"params,omitempty"`
+	Prep      map[string]any `json:"prep,omitempty"`
+	WSC       *wscRecord     `json:"wsc,omitempty"`
+	MaxFlow   map[string]any `json:"maxflow,omitempty"`
+}
+
+// applyRecord is the "apply" JSONL record — one per incremental apply.
+type applyRecord struct {
+	Kind          string  `json:"kind"` // "apply"
+	Source        string  `json:"source"`
+	RequestID     string  `json:"request_id,omitempty"`
+	Root          uint64  `json:"root"`
+	Batch         *int64  `json:"batch,omitempty"`
+	Deltas        int64   `json:"deltas"`
+	Components    int64   `json:"components"`
+	Dirty         int64   `json:"dirty"`
+	Reused        int64   `json:"reused"`
+	Split         int64   `json:"split"`
+	Merged        int64   `json:"merged"`
+	Cost          float64 `json:"cost"`
+	Nanos         int64   `json:"ns"`
+	BaselineNanos int64   `json:"baseline_ns,omitempty"`
+}
+
+// processLocked walks one completed tree and writes its records.
+func (h *HarvestSink) processLocked(tree []Event) {
+	byID := make(map[uint64]*Event, len(tree))
+	children := make(map[uint64][]*Event, len(tree))
+	var root *Event
+	for i := range tree {
+		ev := &tree[i]
+		byID[ev.ID] = ev
+		children[ev.Parent] = append(children[ev.Parent], ev)
+		if ev.ID == ev.Root {
+			root = ev
+		}
+	}
+	if root == nil {
+		return
+	}
+	reqID := root.Str("request_id")
+	for i := range tree {
+		ev := &tree[i]
+		switch ev.Name {
+		case "component":
+			h.writeLocked(h.componentRecordLocked(ev, byID, children, reqID))
+		case "incr.apply":
+			h.writeLocked(h.applyRecordLocked(ev, byID, reqID))
+		}
+	}
+}
+
+// componentRecordLocked assembles the feature record for one component span.
+func (h *HarvestSink) componentRecordLocked(comp *Event, byID map[uint64]*Event, children map[uint64][]*Event, reqID string) any {
+	rec := componentRecord{
+		Kind:      "component",
+		Source:    h.source,
+		RequestID: reqID,
+		Root:      comp.Root,
+		Component: comp.Int("index"),
+		Queries:   comp.Int("queries"),
+		Cache:     comp.Str("cache"),
+		Nanos:     int64(comp.Duration),
+	}
+	// The enclosing solve span carries the algorithm label and, with
+	// Options.FeatureAttrs, the instance parameter analysis ("params_*").
+	if solve := nearestAncestor(comp, byID, "solve"); solve != nil {
+		rec.Algo = solve.Str("algo")
+		for _, a := range solve.Attrs {
+			if name, ok := strings.CutPrefix(a.Key, "params_"); ok {
+				if rec.Params == nil {
+					rec.Params = make(map[string]any)
+				}
+				rec.Params[name] = jsonValue(a.Value)
+			}
+		}
+		// The prep span is the component's sibling under the same solve.
+		for _, sib := range children[solve.ID] {
+			if sib.Name != "prep" {
+				continue
+			}
+			rec.Prep = map[string]any{
+				"level":      sib.Str("level"),
+				"ns":         int64(sib.Duration),
+				"components": sib.Int("components"),
+				"selected":   sib.Int("selected"),
+			}
+			if v, ok := sib.Value("stats"); ok {
+				rec.Prep["stats"] = jsonValue(v)
+			}
+			if v, ok := sib.Value("residual_queries"); ok {
+				rec.Prep["residual_queries"] = jsonValue(v)
+			}
+			if v, ok := sib.Value("max_component"); ok {
+				rec.Prep["max_component"] = jsonValue(v)
+			}
+			break
+		}
+	}
+	// General path: the wsc race with its per-engine arms.
+	for _, c := range children[comp.ID] {
+		if c.Name != "wsc" {
+			continue
+		}
+		w := &wscRecord{
+			Winner:        c.Str("engine"),
+			Cost:          c.F64("cost"),
+			Sets:          c.Int("sets"),
+			Elements:      c.Int("elements"),
+			SetsAvailable: c.Int("sets_available"),
+			Nanos:         int64(c.Duration),
+		}
+		for _, run := range children[c.ID] {
+			if run.Name != "wsc.run" {
+				continue
+			}
+			w.Runs = append(w.Runs, wscRunRecord{
+				Engine: run.Str("engine"),
+				Nanos:  int64(run.Duration),
+				Cost:   run.F64("cost"),
+				Sets:   run.Int("sets"),
+			})
+		}
+		rec.WSC = w
+		break
+	}
+	// k ≤ 2 path: the max-flow engine run under the component.
+	if mf := firstDescendant(comp, children, "maxflow"); mf != nil {
+		rec.MaxFlow = map[string]any{
+			"engine":     mf.Str("engine"),
+			"ns":         int64(mf.Duration),
+			"phases":     mf.Int("phases"),
+			"augments":   mf.Int("augments"),
+			"discharges": mf.Int("discharges"),
+			"relabels":   mf.Int("relabels"),
+		}
+	}
+	return rec
+}
+
+// applyRecordLocked assembles the record for one incremental apply span.
+func (h *HarvestSink) applyRecordLocked(apply *Event, byID map[uint64]*Event, reqID string) any {
+	rec := applyRecord{
+		Kind:       "apply",
+		Source:     h.source,
+		RequestID:  reqID,
+		Root:       apply.Root,
+		Deltas:     apply.Int("deltas"),
+		Components: apply.Int("components"),
+		Dirty:      apply.Int("dirty"),
+		Reused:     apply.Int("reused"),
+		Split:      apply.Int("split"),
+		Merged:     apply.Int("merged"),
+		Cost:       apply.F64("cost"),
+		Nanos:      int64(apply.Duration),
+	}
+	// mc3replay wraps each batch in a "replay.batch" span carrying the batch
+	// index and the differential-baseline timing.
+	if batch := nearestAncestor(apply, byID, "replay.batch"); batch != nil {
+		idx := batch.Int("batch")
+		rec.Batch = &idx
+		rec.BaselineNanos = batch.Int("baseline_ns")
+	}
+	return rec
+}
+
+// nearestAncestor walks parent links from ev (exclusive) to the nearest
+// ancestor named name, or nil.
+func nearestAncestor(ev *Event, byID map[uint64]*Event, name string) *Event {
+	for cur := byID[ev.Parent]; cur != nil; cur = byID[cur.Parent] {
+		if cur.Name == name {
+			return cur
+		}
+		if cur.ID == cur.Root {
+			break
+		}
+	}
+	return nil
+}
+
+// firstDescendant returns the first descendant of ev named name in DFS
+// order, or nil.
+func firstDescendant(ev *Event, children map[uint64][]*Event, name string) *Event {
+	for _, c := range children[ev.ID] {
+		if c.Name == name {
+			return c
+		}
+		if d := firstDescendant(c, children, name); d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+// writeLocked marshals and writes one record, counting failures.
+func (h *HarvestSink) writeLocked(rec any) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		h.dropped++
+		return
+	}
+	if _, err := h.w.Write(append(line, '\n')); err != nil {
+		h.dropped++
+		return
+	}
+	h.records++
+}

@@ -1,0 +1,176 @@
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// emitSolveTree replays the span shape the solver produces for one general
+// solve with two components (a wsc race and a max-flow run) under an HTTP
+// request root.
+func emitSolveTree(tr *obs.Tracer) {
+	root, ctx := obs.StartSpan(context.Background(), tr, "http.request", obs.Str("request_id", "req-7"))
+	solve, sctx := obs.StartChild(ctx, "solve",
+		obs.Str("algo", "mc3-general"),
+		obs.Int("queries", 12),
+		obs.I64("params_queries", 12), obs.I64("params_properties", 9),
+		obs.F64("params_incidence", 0.25))
+
+	prep, _ := obs.StartChild(sctx, "prep", obs.Str("level", "full"))
+	prep.SetAttr(obs.Int("components", 2), obs.Int("selected", 3),
+		obs.Int("residual_queries", 7), obs.Int("max_component", 5))
+	prep.End()
+
+	c0, cctx := obs.StartChild(sctx, "component", obs.Int("index", 0), obs.Int("queries", 4), obs.Str("cache", "miss"))
+	wsc, wctx := obs.StartChild(cctx, "wsc", obs.Int("elements", 4), obs.Int("sets_available", 10))
+	run0, _ := obs.StartChild(wctx, "wsc.run", obs.Str("engine", "greedy"))
+	run0.SetAttr(obs.F64("cost", 3.5), obs.Int("sets", 2))
+	run0.End()
+	run1, _ := obs.StartChild(wctx, "wsc.run", obs.Str("engine", "lp"))
+	run1.SetAttr(obs.F64("cost", 3.0), obs.Int("sets", 2))
+	run1.End()
+	wsc.SetAttr(obs.Str("engine", "lp"), obs.F64("cost", 3.0), obs.Int("sets", 2))
+	wsc.End()
+	c0.End()
+
+	c1, cctx := obs.StartChild(sctx, "component", obs.Int("index", 1), obs.Int("queries", 3), obs.Str("cache", "hit"))
+	mf, _ := obs.StartChild(cctx, "maxflow", obs.Str("engine", "dinic"))
+	mf.SetAttr(obs.Int("phases", 3), obs.Int("augments", 11))
+	mf.End()
+	c1.End()
+
+	solve.End()
+	root.End()
+}
+
+func TestHarvestSinkComponentRecords(t *testing.T) {
+	var buf bytes.Buffer
+	h := obs.NewHarvestSink(&buf, "test")
+	emitSolveTree(obs.New(h))
+
+	if got := h.Records(); got != 2 {
+		t.Fatalf("Records() = %d, want 2", got)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2:\n%s", len(lines), buf.String())
+	}
+	type rec struct {
+		Kind      string         `json:"kind"`
+		Source    string         `json:"source"`
+		RequestID string         `json:"request_id"`
+		Algo      string         `json:"algo"`
+		Component int64          `json:"component"`
+		Queries   int64          `json:"queries"`
+		Cache     string         `json:"cache"`
+		Nanos     int64          `json:"ns"`
+		Params    map[string]any `json:"params"`
+		Prep      map[string]any `json:"prep"`
+		WSC       *struct {
+			Winner string  `json:"winner"`
+			Cost   float64 `json:"cost"`
+			Runs   []struct {
+				Engine string  `json:"engine"`
+				Cost   float64 `json:"cost"`
+			} `json:"runs"`
+		} `json:"wsc"`
+		MaxFlow map[string]any `json:"maxflow"`
+	}
+	var recs []rec
+	for i, line := range lines {
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		recs = append(recs, r)
+	}
+	for i, r := range recs {
+		if r.Kind != "component" || r.Source != "test" || r.RequestID != "req-7" || r.Algo != "mc3-general" {
+			t.Errorf("record %d header = %+v", i, r)
+		}
+		if r.Params["queries"] != float64(12) || r.Params["incidence"] != 0.25 {
+			t.Errorf("record %d params = %v", i, r.Params)
+		}
+		if r.Prep["components"] != float64(2) || r.Prep["level"] != "full" ||
+			r.Prep["residual_queries"] != float64(7) || r.Prep["max_component"] != float64(5) {
+			t.Errorf("record %d prep = %v", i, r.Prep)
+		}
+	}
+	r0, r1 := recs[0], recs[1]
+	if r0.Component != 0 || r0.Queries != 4 || r0.Cache != "miss" {
+		t.Errorf("component 0 = %+v", r0)
+	}
+	if r0.WSC == nil || r0.WSC.Winner != "lp" || r0.WSC.Cost != 3.0 || len(r0.WSC.Runs) != 2 {
+		t.Errorf("component 0 wsc = %+v", r0.WSC)
+	}
+	if r1.Component != 1 || r1.Cache != "hit" || r1.WSC != nil {
+		t.Errorf("component 1 = %+v", r1)
+	}
+	if r1.MaxFlow["engine"] != "dinic" || r1.MaxFlow["phases"] != float64(3) {
+		t.Errorf("component 1 maxflow = %v", r1.MaxFlow)
+	}
+	if r0.Nanos <= 0 {
+		t.Errorf("component 0 ns = %d, want > 0", r0.Nanos)
+	}
+}
+
+func TestHarvestSinkApplyRecords(t *testing.T) {
+	var buf bytes.Buffer
+	h := obs.NewHarvestSink(&buf, "mc3replay")
+	tr := obs.New(h)
+
+	// The replay loop wraps each apply in a replay.batch span.
+	batch, bctx := obs.StartSpan(context.Background(), tr, "replay.batch",
+		obs.Int("batch", 3), obs.Int("deltas", 40))
+	apply, _ := obs.StartChild(bctx, "incr.apply", obs.Int("deltas", 40))
+	apply.SetAttr(obs.Int("components", 6), obs.Int("dirty", 2), obs.Int("reused", 4),
+		obs.Int("split", 1), obs.Int("merged", 0), obs.F64("cost", 17.5))
+	apply.End()
+	batch.SetAttr(obs.I64("baseline_ns", 123456789))
+	batch.End()
+
+	// A bare apply (mc3serve path): no batch, no baseline.
+	bare, _ := obs.StartSpan(context.Background(), tr, "incr.apply", obs.Int("deltas", 5))
+	bare.SetAttr(obs.Int("components", 2), obs.Int("dirty", 1), obs.F64("cost", 4.0))
+	bare.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d records, want 2:\n%s", len(lines), buf.String())
+	}
+	type applyRec struct {
+		Kind          string  `json:"kind"`
+		Batch         *int64  `json:"batch"`
+		Deltas        int64   `json:"deltas"`
+		Dirty         int64   `json:"dirty"`
+		Cost          float64 `json:"cost"`
+		BaselineNanos int64   `json:"baseline_ns"`
+	}
+	var r0, r1 applyRec
+	if err := json.Unmarshal([]byte(lines[0]), &r0); err != nil {
+		t.Fatal(err)
+	}
+	if r0.Kind != "apply" || r0.Batch == nil || *r0.Batch != 3 || r0.Deltas != 40 ||
+		r0.Dirty != 2 || r0.Cost != 17.5 || r0.BaselineNanos != 123456789 {
+		t.Errorf("batched apply record = %+v", r0)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Kind != "apply" || r1.Batch != nil || r1.Deltas != 5 || r1.BaselineNanos != 0 {
+		t.Errorf("bare apply record = %+v", r1)
+	}
+}
+
+func TestHarvestSinkNilSafe(t *testing.T) {
+	var h *obs.HarvestSink
+	h.Span(obs.Event{})
+	if h.Records() != 0 || h.Dropped() != 0 {
+		t.Error("nil harvester counted something")
+	}
+}

@@ -188,6 +188,52 @@ func (h *Histogram) Sum() float64 {
 	return h.sum.Value()
 }
 
+// Quantile estimates the q-quantile (clamped to [0, 1]) of the observed
+// distribution from the fixed log-scale buckets: it finds the bucket where
+// the cumulative count crosses q·count and interpolates linearly inside it.
+// The first bucket interpolates from 0; observations in the +Inf bucket are
+// clamped to the last finite bound (the estimate cannot exceed it). Returns
+// 0 for a nil or empty histogram. Concurrent Observe calls may make the
+// per-bucket counts and the total drift slightly apart; the estimate
+// degrades gracefully (it clamps, never panics).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := 0; i < numBuckets; i++ {
+		c := float64(h.counts[i].Load())
+		if c <= 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = bucketBounds[i-1]
+			}
+			hi := bucketBounds[i]
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	// Rank falls in the +Inf bucket: clamp to the last finite bound.
+	return bucketBounds[numBuckets-1]
+}
+
 // splitName separates a metric name into its family and inline label set:
 // `f{a="b"}` → ("f", `a="b"`); a plain name has empty labels.
 func splitName(name string) (family, labels string) {

@@ -1,0 +1,110 @@
+package obs_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// almostEq compares with a tiny relative tolerance (the quantile math is
+// pure float arithmetic on exact bucket bounds, so this is generous).
+func almostEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-12*scale
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	bounds := obs.HistogramBounds()
+	reg := obs.NewRegistry()
+	h := reg.Histogram("q_single")
+	// bounds[1] is upper-inclusive: observations exactly at the bound land in
+	// bucket 1, which spans (bounds[0], bounds[1]].
+	for i := 0; i < 100; i++ {
+		h.Observe(bounds[1])
+	}
+	if got := h.Quantile(0); !almostEq(got, bounds[0]) {
+		t.Errorf("q0 = %g, want bucket lower bound %g", got, bounds[0])
+	}
+	if got := h.Quantile(1); !almostEq(got, bounds[1]) {
+		t.Errorf("q1 = %g, want bucket upper bound %g", got, bounds[1])
+	}
+	mid := bounds[0] + 0.5*(bounds[1]-bounds[0])
+	if got := h.Quantile(0.5); !almostEq(got, mid) {
+		t.Errorf("q0.5 = %g, want bucket midpoint %g", got, mid)
+	}
+}
+
+func TestHistogramQuantileFirstBucketFromZero(t *testing.T) {
+	bounds := obs.HistogramBounds()
+	reg := obs.NewRegistry()
+	h := reg.Histogram("q_first")
+	for i := 0; i < 10; i++ {
+		h.Observe(bounds[0] / 2) // first bucket: (0, bounds[0]]
+	}
+	if got := h.Quantile(0.5); !almostEq(got, bounds[0]/2) {
+		t.Errorf("q0.5 = %g, want %g (interpolated from 0)", got, bounds[0]/2)
+	}
+}
+
+func TestHistogramQuantileAcrossBuckets(t *testing.T) {
+	bounds := obs.HistogramBounds()
+	reg := obs.NewRegistry()
+	h := reg.Histogram("q_multi")
+	// 50 observations in bucket 0, 50 in bucket 2; bucket 1 empty.
+	for i := 0; i < 50; i++ {
+		h.Observe(bounds[0])
+		h.Observe(bounds[2])
+	}
+	// Rank 25 is halfway through bucket 0: 0 + 0.5·bounds[0].
+	if got, want := h.Quantile(0.25), 0.5*bounds[0]; !almostEq(got, want) {
+		t.Errorf("q0.25 = %g, want %g", got, want)
+	}
+	// Rank 50 is exactly the end of bucket 0.
+	if got := h.Quantile(0.5); !almostEq(got, bounds[0]) {
+		t.Errorf("q0.5 = %g, want %g", got, bounds[0])
+	}
+	// Rank 75 is halfway through bucket 2, which spans (bounds[1], bounds[2]].
+	if got, want := h.Quantile(0.75), bounds[1]+0.5*(bounds[2]-bounds[1]); !almostEq(got, want) {
+		t.Errorf("q0.75 = %g, want %g", got, want)
+	}
+	if got := h.Quantile(1); !almostEq(got, bounds[2]) {
+		t.Errorf("q1 = %g, want %g", got, bounds[2])
+	}
+}
+
+func TestHistogramQuantileInfBucketClamps(t *testing.T) {
+	bounds := obs.HistogramBounds()
+	last := bounds[len(bounds)-1]
+	reg := obs.NewRegistry()
+	h := reg.Histogram("q_inf")
+	h.Observe(last * 10) // lands in +Inf
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); !almostEq(got, last) {
+			t.Errorf("q%g = %g, want clamp to last finite bound %g", q, got, last)
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var nilH *obs.Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %g, want 0", got)
+	}
+	reg := obs.NewRegistry()
+	h := reg.Histogram("q_empty")
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	h.Observe(1e-6)
+	// Out-of-range q clamps rather than panicking.
+	if got := h.Quantile(-3); got < 0 {
+		t.Errorf("q-3 = %g, want >= 0", got)
+	}
+	if got, want := h.Quantile(42), h.Quantile(1); !almostEq(got, want) {
+		t.Errorf("q42 = %g, want clamp to q1 = %g", got, want)
+	}
+}

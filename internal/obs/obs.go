@@ -64,6 +64,11 @@ type Event struct {
 	ID uint64
 	// Parent is the parent span's ID, or 0 for root spans.
 	Parent uint64
+	// Root is the ID of the span tree's root (Root == ID for root spans).
+	// Since sinks see children before parents, tree-assembling consumers
+	// (the flight recorder, the feature harvester) group events by Root
+	// instead of chasing Parent links that haven't arrived yet.
+	Root uint64
 	// Start is when the span was opened.
 	Start time.Time
 	// Duration is the span's wall time.
@@ -95,6 +100,13 @@ func (e Event) Int(key string) int64 {
 	v, _ := e.Value(key)
 	n, _ := v.(int64)
 	return n
+}
+
+// F64 returns the named attribute as a float64 (0 when absent or mistyped).
+func (e Event) F64(key string) float64 {
+	v, _ := e.Value(key)
+	f, _ := v.(float64)
+	return f
 }
 
 // Err returns the named attribute as an error (nil when absent or mistyped).
@@ -176,11 +188,15 @@ func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
 	if !t.Enabled() {
 		return nil
 	}
-	return t.newSpan(name, 0, attrs)
+	return t.newSpan(name, 0, 0, attrs)
 }
 
-func (t *Tracer) newSpan(name string, parent uint64, attrs []Attr) *Span {
-	sp := &Span{tr: t, name: name, id: spanIDs.Add(1), parent: parent, start: time.Now()}
+// newSpan issues a span. root 0 means the new span is its own tree root.
+func (t *Tracer) newSpan(name string, parent, root uint64, attrs []Attr) *Span {
+	sp := &Span{tr: t, name: name, id: spanIDs.Add(1), parent: parent, root: root, start: time.Now()}
+	if root == 0 {
+		sp.root = sp.id
+	}
 	if len(attrs) > 0 {
 		sp.attrs = append(sp.attrs, attrs...)
 	}
@@ -195,6 +211,7 @@ type Span struct {
 	name   string
 	id     uint64
 	parent uint64
+	root   uint64
 	start  time.Time
 	attrs  []Attr
 	ended  bool
@@ -208,12 +225,20 @@ func (s *Span) Tracer() *Tracer {
 	return s.tr
 }
 
+// ID returns the span's process-unique identifier (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
 // Child opens a child span.
 func (s *Span) Child(name string, attrs ...Attr) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tr.newSpan(name, s.id, attrs)
+	return s.tr.newSpan(name, s.id, s.root, attrs)
 }
 
 // SetAttr appends attributes to the span. Later values for the same key win.
@@ -236,6 +261,7 @@ func (s *Span) End() {
 		Name:     s.name,
 		ID:       s.id,
 		Parent:   s.parent,
+		Root:     s.root,
 		Start:    s.start,
 		Duration: time.Since(s.start),
 		Attrs:    s.attrs,

@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintMetrics parses a Prometheus text exposition (format 0.0.4) and returns
+// an error describing the first violation found:
+//
+//   - malformed metric or label names, unparsable label syntax or values;
+//   - a sample line whose family has no preceding # TYPE line, or a family
+//     typed twice;
+//   - histogram series with non-monotone cumulative buckets, out-of-order
+//     or duplicate le bounds, a missing +Inf bucket, or a _count that
+//     disagrees with the +Inf bucket.
+//
+// It exists so a malformed metric name or label emitted by any layer fails
+// in CI (metrics_lint tests run it against the full /metrics output of
+// mc3serve) instead of surfacing as a scrape error in production.
+func LintMetrics(r io.Reader) error {
+	types := map[string]string{} // family → kind
+	// histogram series state, keyed by family + label set (le excluded)
+	type histSeries struct {
+		lastLE    float64
+		lastCum   float64
+		hasInf    bool
+		infCum    float64
+		count     float64
+		hasCount  bool
+		bucketSeq []string
+	}
+	hists := map[string]*histSeries{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "HELP" {
+				continue
+			}
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line: %q", lineNo, line)
+				}
+				family, kind := fields[2], fields[3]
+				if !validMetricName(family) {
+					return fmt.Errorf("line %d: invalid metric family name %q", lineNo, family)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q for %q", lineNo, kind, family)
+				}
+				if prev, ok := types[family]; ok {
+					return fmt.Errorf("line %d: family %q typed twice (%s, then %s)", lineNo, family, prev, kind)
+				}
+				types[family] = kind
+				continue
+			}
+			continue // other comments are legal
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		family, suffix := name, ""
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && (types[base] == "histogram" || types[base] == "summary") {
+				family, suffix = base, suf
+				break
+			}
+		}
+		kind, ok := types[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE line", lineNo, name)
+		}
+		if kind != "histogram" {
+			continue
+		}
+		key := family + "|" + labelsKey(labels, "le")
+		hs := hists[key]
+		if hs == nil {
+			hs = &histSeries{lastLE: math.Inf(-1), lastCum: -1}
+			hists[key] = hs
+		}
+		switch suffix {
+		case "_bucket":
+			leStr, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket of %q lacks an le label", lineNo, family)
+			}
+			le, err := parseLE(leStr)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if le <= hs.lastLE {
+				return fmt.Errorf("line %d: histogram %q buckets out of order: le=%q after le=%v", lineNo, family, leStr, hs.lastLE)
+			}
+			if hs.lastCum >= 0 && value < hs.lastCum {
+				return fmt.Errorf("line %d: histogram %q cumulative bucket counts decrease at le=%q (%v < %v)",
+					lineNo, family, leStr, value, hs.lastCum)
+			}
+			hs.lastLE, hs.lastCum = le, value
+			if math.IsInf(le, 1) {
+				hs.hasInf, hs.infCum = true, value
+			}
+			hs.bucketSeq = append(hs.bucketSeq, leStr)
+		case "_count":
+			hs.count, hs.hasCount = value, true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		hs := hists[k]
+		family := k[:strings.IndexByte(k, '|')]
+		if len(hs.bucketSeq) == 0 {
+			continue
+		}
+		if !hs.hasInf {
+			return fmt.Errorf("histogram %q lacks a +Inf bucket", family)
+		}
+		if hs.hasCount && hs.count != hs.infCum {
+			return fmt.Errorf("histogram %q: _count %v disagrees with +Inf bucket %v", family, hs.count, hs.infCum)
+		}
+	}
+	return nil
+}
+
+// parseSample splits a sample line into name, labels, and value. An optional
+// trailing timestamp is accepted and ignored.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err = parseLabels(rest[i+1 : j])
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("malformed sample line %q", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value (and optional timestamp) in %q", line)
+	}
+	value, err = parsePromFloat(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q: %w", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses `a="b",c="d"`.
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	s = strings.TrimSpace(s)
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '='")
+		}
+		lname := strings.TrimSpace(s[:eq])
+		if !validLabelName(lname) {
+			return nil, fmt.Errorf("invalid label name %q", lname)
+		}
+		rest := s[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("label %q value is not quoted", lname)
+		}
+		// Find the closing quote, honoring backslash escapes.
+		i := 1
+		for ; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+		}
+		if i >= len(rest) {
+			return nil, fmt.Errorf("unterminated value for label %q", lname)
+		}
+		val, err := strconv.Unquote(rest[:i+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad value for label %q: %w", lname, err)
+		}
+		if _, dup := out[lname]; dup {
+			return nil, fmt.Errorf("duplicate label %q", lname)
+		}
+		out[lname] = val
+		s = strings.TrimSpace(rest[i+1:])
+		if s != "" {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels")
+			}
+			s = strings.TrimSpace(s[1:])
+		}
+	}
+	return out, nil
+}
+
+// labelsKey renders a label set canonically, excluding the named label.
+func labelsKey(labels map[string]string, exclude string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != exclude {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+	}
+	return b.String()
+}
+
+// parseLE parses an le bound ("+Inf" included).
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// parsePromFloat parses a sample value (Prometheus allows +Inf/-Inf/NaN).
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,151 @@
+package obs_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestLintMetricsAcceptsRegistryOutput checks the lint against the real
+// exposition: a registry mixing counters, gauges, and labeled + unlabeled
+// histogram series in one family must pass.
+func TestLintMetricsAcceptsRegistryOutput(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("mc3serve_requests_total").Add(5)
+	reg.Counter(`mc3serve_http_requests_total{endpoint="solve",status="2xx"}`).Add(3)
+	reg.Counter(`mc3serve_http_requests_total{endpoint="load",status="4xx"}`).Inc()
+	reg.Gauge("mc3serve_uptime_seconds").Set(12.5)
+	reg.Histogram("mc3serve_solve_seconds").Observe(0.01)
+	reg.Histogram(`mc3serve_solve_seconds{endpoint="solve"}`).Observe(0.01)
+	reg.Histogram(`mc3serve_solve_seconds{endpoint="delta"}`).Observe(33)
+
+	// Span metrics, as WithMetrics would record them.
+	tr := obs.New().WithMetrics(reg)
+	tr.StartSpan("solve").End()
+	tr.StartSpan("solve").EndErr(errors.New("x"))
+
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.LintMetrics(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("registry exposition fails lint: %v\n%s", err, buf.String())
+	}
+}
+
+func TestLintMetricsRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{
+			name: "no type line",
+			text: "mc3_orphan_total 5\n",
+			want: "no preceding # TYPE",
+		},
+		{
+			name: "bad metric name",
+			text: "# TYPE mc3-bad counter\nmc3-bad 1\n",
+			want: "invalid metric family name",
+		},
+		{
+			name: "bad label name",
+			text: "# TYPE m counter\nm{0bad=\"x\"} 1\n",
+			want: "invalid label name",
+		},
+		{
+			name: "unquoted label value",
+			text: "# TYPE m counter\nm{a=x} 1\n",
+			want: "not quoted",
+		},
+		{
+			name: "bad value",
+			text: "# TYPE m counter\nm 1.2.3\n",
+			want: "bad sample value",
+		},
+		{
+			name: "unknown kind",
+			text: "# TYPE m flavor\nm 1\n",
+			want: "unknown metric type",
+		},
+		{
+			name: "family typed twice",
+			text: "# TYPE m counter\n# TYPE m gauge\n",
+			want: "typed twice",
+		},
+		{
+			name: "buckets out of order",
+			text: "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n",
+			want: "out of order",
+		},
+		{
+			name: "non-monotone cumulative counts",
+			text: "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			want: "decrease",
+		},
+		{
+			name: "missing +Inf",
+			text: "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"2\"} 2\nh_count 2\n",
+			want: "lacks a +Inf bucket",
+		},
+		{
+			name: "count disagrees with +Inf",
+			text: "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 3\n",
+			want: "disagrees",
+		},
+		{
+			name: "bucket without le",
+			text: "# TYPE h histogram\nh_bucket{x=\"1\"} 1\n",
+			want: "lacks an le label",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := obs.LintMetrics(strings.NewReader(tc.text))
+			if err == nil {
+				t.Fatalf("lint accepted malformed input:\n%s", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLintMetricsAcceptsEdgeSyntax(t *testing.T) {
+	text := strings.Join([]string{
+		`# HELP m free-form help text, any bytes at all`,
+		`# a bare comment`,
+		`# TYPE m counter`,
+		`m{a="with \"escaped\" quotes, and, commas"} 7`,
+		`m{a="plain"} 1 1712345678901`, // trailing timestamp
+		`# TYPE g gauge`,
+		`g +Inf`,
+		`g{x="n"} NaN`,
+		``,
+	}, "\n")
+	if err := obs.LintMetrics(strings.NewReader(text)); err != nil {
+		t.Fatalf("lint rejected legal exposition: %v", err)
+	}
+}
+
+// TestLintMetricsLabeledHistogramSeries ensures independent label sets in one
+// histogram family are checked per-series, not mixed.
+func TestLintMetricsLabeledHistogramSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Histogram(`h{e="a"}`).Observe(1e-6)
+	for i := 0; i < 100; i++ {
+		reg.Histogram(`h{e="b"}`).Observe(float64(i))
+	}
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.LintMetrics(&buf); err != nil {
+		t.Fatalf("per-series check failed: %v", err)
+	}
+}

@@ -207,9 +207,17 @@ func RunCtxAmbient(ctx context.Context, inst *core.Instance, level Level, ambien
 		obs.Str("level", level.String()),
 		obs.Int("queries", inst.NumQueries()), obs.Int("classifiers", inst.NumClassifiers()))
 	r, err := runCtx(ctx, inst, level, ambientLen)
-	if err == nil {
+	if err == nil && sp != nil {
+		residual, maxComp := 0, 0
+		for _, comp := range r.Components {
+			residual += len(comp)
+			if len(comp) > maxComp {
+				maxComp = len(comp)
+			}
+		}
 		sp.SetAttr(obs.Any("stats", r.Stats),
-			obs.Int("components", len(r.Components)), obs.Int("selected", len(r.Selected)))
+			obs.Int("components", len(r.Components)), obs.Int("selected", len(r.Selected)),
+			obs.Int("residual_queries", residual), obs.Int("max_component", maxComp))
 	}
 	sp.EndErr(err)
 	return r, err

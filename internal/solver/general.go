@@ -26,6 +26,7 @@ func General(inst *core.Instance, opts Options) (*core.Solution, error) {
 	defer cancelTimeout()
 	sp, ctx, opts := startSolve(ctx, opts, SpanSolve, "mc3-general")
 	sp.SetAttr(obs.Int("queries", inst.NumQueries()), obs.Int("classifiers", inst.NumClassifiers()))
+	setFeatureAttrs(sp, inst, opts)
 	sol, err := generalWithCtx(ctx, inst, opts)
 	sp.EndErr(err)
 	return sol, err

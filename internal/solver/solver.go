@@ -131,6 +131,14 @@ type Options struct {
 	// algorithm domain (general/k≤2, WSC method, max-flow engine) is part of
 	// every key, so one cache serves mixed configurations soundly.
 	Cache *cache.Cache
+	// FeatureAttrs, when set, stamps the top-level solve span with the
+	// instance's parameter analysis (core.Analyze: query/property/classifier
+	// counts, length extremes, incidence/frequency/degree) as "params_*"
+	// attributes, so trace consumers — the feature harvester in particular —
+	// can emit training-ready records without re-reading the instance. Off by
+	// default because Analyze is a full instance scan; enable it only when a
+	// harvesting sink is attached (mc3bench -features, mc3serve -feature-log).
+	FeatureAttrs bool
 	// Tracer, when non-nil and enabled (it has at least one sink or a
 	// metrics registry), receives hierarchical spans covering the whole
 	// solve: preprocessing steps, per-component dispatch, every set-cover

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/maxflow"
 	"repro/internal/obs"
 	"repro/internal/prep"
@@ -59,6 +60,27 @@ func startSolve(ctx context.Context, opts Options, name, algo string) (*obs.Span
 	sp, ctx := obs.StartSpan(ctx, resolveTracer(ctx, opts), name, obs.Str("algo", algo))
 	opts.Context = ctx
 	return sp, ctx, opts
+}
+
+// setFeatureAttrs stamps the solve span with the instance parameter analysis
+// (Options.FeatureAttrs). Guarded on the span being live so the Analyze scan
+// is never paid when tracing is off.
+func setFeatureAttrs(sp *obs.Span, inst *core.Instance, opts Options) {
+	if sp == nil || !opts.FeatureAttrs {
+		return
+	}
+	p := core.Analyze(inst)
+	sp.SetAttr(
+		obs.Int("params_queries", p.NumQueries),
+		obs.Int("params_properties", p.NumProperties),
+		obs.Int("params_classifiers", p.NumClassifiers),
+		obs.Int("params_max_query_len", p.MaxQueryLen),
+		obs.Int("params_max_classifier_len", p.MaxClassifierLen),
+		obs.Int("params_sum_query_len", p.SumQueryLen),
+		obs.Int("params_incidence", p.Incidence),
+		obs.Int("params_frequency", p.Frequency),
+		obs.Int("params_degree", p.Degree),
+	)
 }
 
 // statsSink accumulates trace events into a SolveStats — the bridge that
