@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/incr"
 	"repro/internal/obs"
+	"repro/internal/selector"
 	"repro/internal/solver"
 	"repro/internal/textio"
 )
@@ -72,6 +73,7 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 		outPath     = fs.String("out", "", "output file (default stdout)")
 		seed        = fs.Int64("seed", 0, "seed recorded in the JSON report")
 		features    = fs.String("features", "", "harvest one JSONL feature record per applied batch into this file (see docs/OBSERVABILITY.md)")
+		selPath     = fs.String("selector", "", "trained selector model (mc3bench -train-selector): skips confident set-cover engine races in re-solves (see docs/SELECTOR.md)")
 	)
 	var obsCfg obs.CLIConfig
 	obsCfg.RegisterFlags(fs)
@@ -137,6 +139,13 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 	opts := solver.DefaultOptions()
 	opts.Validate = *validate
 	opts.Parallelism = *parallel
+	if *selPath != "" {
+		model, err := selector.Load(*selPath)
+		if err != nil {
+			return err
+		}
+		opts.Selector = model
+	}
 	engine, err := incr.New(incr.Config{
 		Costs:    cm,
 		Universe: u,

@@ -70,6 +70,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/prep"
+	"repro/internal/selector"
 	"repro/internal/solver"
 	"repro/internal/textio"
 )
@@ -99,6 +100,7 @@ type config struct {
 	slowLog       string
 	slowThreshold time.Duration
 	featureLog    string
+	selectorPath  string
 
 	// slowW / featureW receive the slow-query and feature JSONL streams.
 	// run() opens them from -slow-log / -feature-log; tests inject buffers.
@@ -127,6 +129,7 @@ func run(args []string, logw io.Writer) (retErr error) {
 	fs.StringVar(&cfg.slowLog, "slow-log", "", "append a JSONL record with the full span tree of every slow or failed request to this file")
 	fs.DurationVar(&cfg.slowThreshold, "slow-threshold", time.Second, "requests at or above this latency are captured in -slow-log")
 	fs.StringVar(&cfg.featureLog, "feature-log", "", "harvest one JSONL feature record per solved component into this file (see docs/OBSERVABILITY.md)")
+	fs.StringVar(&cfg.selectorPath, "selector", "", "trained selector model (mc3bench -train-selector): skips confident set-cover engine races and informs -algo auto dispatch (see docs/SELECTOR.md)")
 	var obsCfg obs.CLIConfig
 	obsCfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -214,9 +217,9 @@ type server struct {
 	opts     solver.Options // template; Context is set per request
 	cache    *cache.Cache   // nil when -cache-size 0
 	registry *obs.Registry
-	tracer   *obs.Tracer          // the request tracer (== opts.Tracer)
-	flight   *obs.FlightRecorder  // nil when -flight 0
-	harvest  *obs.HarvestSink     // nil when no -feature-log
+	tracer   *obs.Tracer         // the request tracer (== opts.Tracer)
+	flight   *obs.FlightRecorder // nil when -flight 0
+	harvest  *obs.HarvestSink    // nil when no -feature-log
 	mux      *http.ServeMux
 	started  time.Time
 	bootID   string // request-ID prefix, unique per process
@@ -390,7 +393,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("build instance: %w", err))
 		return
 	}
-	fn, algoName := pickAlgorithm(s.cfg.algo, inst)
+	fn, algoName := pickAlgorithm(s.cfg.algo, inst, s.opts)
 
 	// The solve runs under the request context — a dropped connection
 	// cancels it — additionally bounded by the configured timeout. The
@@ -536,6 +539,13 @@ func buildOptions(cfg config) (solver.Options, error) {
 		return opts, fmt.Errorf("unknown -engine %q", cfg.engine)
 	}
 	opts.Parallelism = cfg.parallel
+	if cfg.selectorPath != "" {
+		model, err := selector.Load(cfg.selectorPath)
+		if err != nil {
+			return opts, err
+		}
+		opts.Selector = model
+	}
 	return opts, nil
 }
 
@@ -549,8 +559,12 @@ func checkAlgo(name string) error {
 	return fmt.Errorf("unknown -algo %q", name)
 }
 
-// pickAlgorithm resolves the configured algorithm against an instance.
-func pickAlgorithm(name string, inst *core.Instance) (solver.Func, string) {
+// pickAlgorithm resolves the configured algorithm against an instance. The
+// "auto" gate mirrors solver.Auto — static k ≤ 2 dispatch, overridable
+// toward the general solver by a confident dispatch prediction from a
+// loaded selector model — but is unrolled here so the chosen label reaches
+// the per-request metrics.
+func pickAlgorithm(name string, inst *core.Instance, opts solver.Options) (solver.Func, string) {
 	switch name {
 	case "ktwo":
 		return solver.KTwo, "ktwo"
@@ -561,9 +575,20 @@ func pickAlgorithm(name string, inst *core.Instance) (solver.Func, string) {
 	case "portfolio":
 		return solver.Portfolio, "portfolio"
 	default: // "auto", validated at startup
-		if inst.MaxQueryLen() <= 2 {
-			return solver.KTwo, "ktwo"
+		if inst.MaxQueryLen() > 2 {
+			return solver.General, "general"
 		}
-		return solver.General, "general"
+		if ds, ok := opts.Selector.(solver.DispatchSelector); ok {
+			f := solver.DispatchFeatures{
+				Queries:     inst.NumQueries(),
+				Classifiers: inst.NumClassifiers(),
+				MaxQueryLen: inst.MaxQueryLen(),
+				SumQueryLen: inst.SumQueryLen(),
+			}
+			if algo, _, ok := ds.PredictDispatch(f); ok && algo == solver.AlgoGeneral {
+				return solver.General, "general"
+			}
+		}
+		return solver.KTwo, "ktwo"
 	}
 }

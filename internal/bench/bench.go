@@ -54,6 +54,10 @@ type Config struct {
 	// instance parameter analysis (see solver.Options.FeatureAttrs) so an
 	// attached harvesting sink can emit feature records.
 	FeatureAttrs bool
+	// Selector, when non-nil, replaces the set-cover engine race with a
+	// confident learned prediction in every solve of the run (see
+	// solver.Options.Selector).
+	Selector solver.Selector
 }
 
 // SolverOptions returns the paper-default solver options carrying the
@@ -66,6 +70,7 @@ func (c Config) SolverOptions() solver.Options {
 	opts.Tracer = c.Tracer
 	opts.Cache = c.Cache
 	opts.FeatureAttrs = c.FeatureAttrs
+	opts.Selector = c.Selector
 	return opts
 }
 

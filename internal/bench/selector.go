@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/selector"
+	"repro/internal/solver"
+	"repro/internal/workload"
+)
+
+// SelectorBench measures the learned engine selector end to end: it first
+// harvests feature records from always-racing solves over the general
+// (Private) workloads, trains a model in-process on that harvest, then
+// re-times the same solves with the selector attached. The table reports
+// always-racing vs selector wall time per instance plus the selector's
+// solution-cost overhead in percent (0 whenever the model predicts the race
+// winner — the differential guarantee); the notes carry the offline regret
+// report. Every solution from both arms is verified against its instance.
+func SelectorBench(cfg Config) (*Table, error) {
+	cfg = cfg.Defaults()
+
+	type target struct {
+		name string
+		inst *core.Instance
+	}
+	var targets []target
+	d := workload.Private(cfg.Seed)
+	fashion := d.CategorySlice(workload.CategoryFashion)
+	fi, err := fashion.Instance()
+	if err != nil {
+		return nil, err
+	}
+	targets = append(targets, target{fmt.Sprintf("private/%d-fashion", len(fashion.Queries)), fi})
+	for _, m := range cfg.PSizes {
+		if m > len(d.Queries) {
+			m = len(d.Queries)
+		}
+		inst, err := d.SubsetInstance(m, cfg.Seed+int64(m))
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, target{fmt.Sprintf("private/%d", m), inst})
+	}
+
+	// Phase 1: harvest always-racing solves into an in-memory JSONL stream.
+	// The run's shared component cache is disabled throughout: cache hits
+	// skip the engine race entirely (starving the harvest of training
+	// rows) and would time cache lookups instead of the race-vs-predict
+	// difference this experiment exists to measure.
+	var buf bytes.Buffer
+	harvest := obs.NewHarvestSink(&buf, "mc3bench")
+	hopts := cfg.SolverOptions()
+	hopts.Selector = nil
+	hopts.Cache = nil
+	hopts.Tracer = hopts.Tracer.WithSink(harvest)
+	hopts.FeatureAttrs = true
+	for _, tg := range targets {
+		if _, err := solver.General(tg.inst, hopts); err != nil {
+			return nil, fmt.Errorf("bench: selector harvest on %s: %w", tg.name, err)
+		}
+	}
+
+	// Phase 2: train on the harvest.
+	comps, _, err := obs.ReadHarvestRecords(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("bench: selector harvest decode: %w", err)
+	}
+	model, report, err := selector.Train(comps, selector.DefaultTrainConfig())
+	if err != nil {
+		return nil, fmt.Errorf("bench: selector training: %w", err)
+	}
+
+	// Phase 3: time always-racing vs selector-attached solves.
+	t := &Table{
+		ID:     "selector",
+		Title:  "Learned WSC engine selection: always-racing vs selector (MC3[G], Private)",
+		XLabel: "instance",
+		Unit:   "seconds",
+		Series: []Series{{Name: "race"}, {Name: "selector"}, {Name: "cost-overhead-%"}},
+	}
+	raceOpts := cfg.SolverOptions()
+	raceOpts.Selector = nil
+	raceOpts.Cache = nil
+	selOpts := cfg.SolverOptions()
+	selOpts.Selector = model
+	selOpts.Cache = nil
+	for _, tg := range targets {
+		tg := tg
+		raceSecs, raceSol, err := timedRun(cfg.Repeats, func() (*core.Solution, error) {
+			return solver.General(tg.inst, raceOpts)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: racing %s: %w", tg.name, err)
+		}
+		selSecs, selSol, err := timedRun(cfg.Repeats, func() (*core.Solution, error) {
+			return solver.General(tg.inst, selOpts)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: selector %s: %w", tg.name, err)
+		}
+		for _, sol := range []*core.Solution{raceSol, selSol} {
+			if err := tg.inst.Verify(sol); err != nil {
+				return nil, fmt.Errorf("bench: selector experiment produced invalid solution on %s: %w", tg.name, err)
+			}
+		}
+		overhead := 0.0
+		if raceSol.Cost > 0 {
+			overhead = 100 * (selSol.Cost - raceSol.Cost) / raceSol.Cost
+		}
+		t.XValues = append(t.XValues, tg.name)
+		t.Series[0].Values = append(t.Series[0].Values, raceSecs)
+		t.Series[1].Values = append(t.Series[1].Values, selSecs)
+		t.Series[2].Values = append(t.Series[2].Values, overhead)
+	}
+	t.Notes = fmt.Sprintf(
+		"trained on %d raced components; offline replay: skip %d races / fall back on %d, accuracy %.1f%%, regret %.4g of total cost %.4g, %.2fms loser-arm work reclaimed",
+		report.Races, report.Predictions, report.Fallbacks, 100*report.Accuracy,
+		report.RegretCost, report.TotalCost, float64(report.SavedNanos)/1e6)
+	return t, nil
+}

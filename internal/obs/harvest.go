@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"strings"
 	"sync"
@@ -104,45 +106,59 @@ func (h *HarvestSink) Dropped() uint64 {
 	return h.dropped
 }
 
-// wscRunRecord is one set-cover race arm.
-type wscRunRecord struct {
+// WSCRunRecord is one set-cover race arm.
+type WSCRunRecord struct {
 	Engine string  `json:"engine"`
 	Nanos  int64   `json:"ns"`
 	Cost   float64 `json:"cost"`
 	Sets   int64   `json:"sets"`
 }
 
-// wscRecord summarizes the set-cover engine race on one component.
-type wscRecord struct {
+// WSCRecord summarizes the set-cover engine race on one component. With a
+// learned selector attached the Selector fields record whether the race was
+// skipped ("predict") or run ("race"), which engine the model named, and at
+// what confidence — the label joins the learned-dispatch loop closes over.
+type WSCRecord struct {
 	Winner        string         `json:"winner"`
 	Cost          float64        `json:"cost"`
 	Sets          int64          `json:"sets"`
 	Elements      int64          `json:"elements"`
 	SetsAvailable int64          `json:"sets_available"`
 	Nanos         int64          `json:"ns"`
-	Runs          []wscRunRecord `json:"runs,omitempty"`
+	Selector      string         `json:"selector,omitempty"`
+	Predicted     string         `json:"predicted,omitempty"`
+	Confidence    float64        `json:"confidence,omitempty"`
+	Runs          []WSCRunRecord `json:"runs,omitempty"`
 }
 
-// componentRecord is the "component" JSONL record — one per solved
-// component. See docs/OBSERVABILITY.md for the schema contract.
-type componentRecord struct {
-	Kind      string         `json:"kind"` // "component"
-	Source    string         `json:"source"`
-	RequestID string         `json:"request_id,omitempty"`
-	Root      uint64         `json:"root"`
-	Algo      string         `json:"algo,omitempty"`
-	Component int64          `json:"component"`
-	Queries   int64          `json:"queries"`
-	Cache     string         `json:"cache,omitempty"`
-	Nanos     int64          `json:"ns"`
-	Params    map[string]any `json:"params,omitempty"`
-	Prep      map[string]any `json:"prep,omitempty"`
-	WSC       *wscRecord     `json:"wsc,omitempty"`
-	MaxFlow   map[string]any `json:"maxflow,omitempty"`
+// ComponentRecord is the "component" JSONL record — one per solved
+// component. See docs/OBSERVABILITY.md for the schema contract. The exported
+// form is the accessor internal/selector trains from; field additions must
+// keep existing keys stable (consumers version on HarvestSchemaVersion).
+type ComponentRecord struct {
+	Kind      string             `json:"kind"` // "component"
+	Source    string             `json:"source"`
+	RequestID string             `json:"request_id,omitempty"`
+	Root      uint64             `json:"root"`
+	Algo      string             `json:"algo,omitempty"`
+	Component int64              `json:"component"`
+	Queries   int64              `json:"queries"`
+	Cache     string             `json:"cache,omitempty"`
+	Nanos     int64              `json:"ns"`
+	Params    map[string]float64 `json:"params,omitempty"`
+	Prep      map[string]any     `json:"prep,omitempty"`
+	WSC       *WSCRecord         `json:"wsc,omitempty"`
+	MaxFlow   map[string]any     `json:"maxflow,omitempty"`
 }
 
-// applyRecord is the "apply" JSONL record — one per incremental apply.
-type applyRecord struct {
+// Param returns the named instance parameter ("queries", "max_query_len", …
+// — the params_* attrs with the prefix cut), or 0 when absent.
+func (c *ComponentRecord) Param(name string) float64 {
+	return c.Params[name]
+}
+
+// ApplyRecord is the "apply" JSONL record — one per incremental apply.
+type ApplyRecord struct {
 	Kind          string  `json:"kind"` // "apply"
 	Source        string  `json:"source"`
 	RequestID     string  `json:"request_id,omitempty"`
@@ -157,6 +173,53 @@ type applyRecord struct {
 	Cost          float64 `json:"cost"`
 	Nanos         int64   `json:"ns"`
 	BaselineNanos int64   `json:"baseline_ns,omitempty"`
+}
+
+// HarvestSchemaVersion identifies the JSONL record layout this package
+// writes. Consumers persisting derived artefacts (trained selector models in
+// particular) stamp it so stale models are detected when the schema moves.
+const HarvestSchemaVersion = 1
+
+// ReadHarvestRecords decodes a harvest JSONL stream, splitting it into
+// component and apply records by kind. Unknown kinds are skipped (forward
+// compatibility); a malformed line fails with its line number.
+func ReadHarvestRecords(r io.Reader) ([]ComponentRecord, []ApplyRecord, error) {
+	var comps []ComponentRecord
+	var applies []ApplyRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(raw), &kind); err != nil {
+			return nil, nil, fmt.Errorf("obs: harvest line %d: %w", line, err)
+		}
+		switch kind.Kind {
+		case "component":
+			var c ComponentRecord
+			if err := json.Unmarshal([]byte(raw), &c); err != nil {
+				return nil, nil, fmt.Errorf("obs: harvest line %d: %w", line, err)
+			}
+			comps = append(comps, c)
+		case "apply":
+			var a ApplyRecord
+			if err := json.Unmarshal([]byte(raw), &a); err != nil {
+				return nil, nil, fmt.Errorf("obs: harvest line %d: %w", line, err)
+			}
+			applies = append(applies, a)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return comps, applies, nil
 }
 
 // processLocked walks one completed tree and writes its records.
@@ -189,7 +252,7 @@ func (h *HarvestSink) processLocked(tree []Event) {
 
 // componentRecordLocked assembles the feature record for one component span.
 func (h *HarvestSink) componentRecordLocked(comp *Event, byID map[uint64]*Event, children map[uint64][]*Event, reqID string) any {
-	rec := componentRecord{
+	rec := ComponentRecord{
 		Kind:      "component",
 		Source:    h.source,
 		RequestID: reqID,
@@ -206,9 +269,9 @@ func (h *HarvestSink) componentRecordLocked(comp *Event, byID map[uint64]*Event,
 		for _, a := range solve.Attrs {
 			if name, ok := strings.CutPrefix(a.Key, "params_"); ok {
 				if rec.Params == nil {
-					rec.Params = make(map[string]any)
+					rec.Params = make(map[string]float64)
 				}
-				rec.Params[name] = jsonValue(a.Value)
+				rec.Params[name] = numericValue(a.Value)
 			}
 		}
 		// The prep span is the component's sibling under the same solve.
@@ -239,19 +302,22 @@ func (h *HarvestSink) componentRecordLocked(comp *Event, byID map[uint64]*Event,
 		if c.Name != "wsc" {
 			continue
 		}
-		w := &wscRecord{
+		w := &WSCRecord{
 			Winner:        c.Str("engine"),
 			Cost:          c.F64("cost"),
 			Sets:          c.Int("sets"),
 			Elements:      c.Int("elements"),
 			SetsAvailable: c.Int("sets_available"),
 			Nanos:         int64(c.Duration),
+			Selector:      c.Str("selector"),
+			Predicted:     c.Str("selector_predicted"),
+			Confidence:    c.F64("selector_confidence"),
 		}
 		for _, run := range children[c.ID] {
 			if run.Name != "wsc.run" {
 				continue
 			}
-			w.Runs = append(w.Runs, wscRunRecord{
+			w.Runs = append(w.Runs, WSCRunRecord{
 				Engine: run.Str("engine"),
 				Nanos:  int64(run.Duration),
 				Cost:   run.F64("cost"),
@@ -277,7 +343,7 @@ func (h *HarvestSink) componentRecordLocked(comp *Event, byID map[uint64]*Event,
 
 // applyRecordLocked assembles the record for one incremental apply span.
 func (h *HarvestSink) applyRecordLocked(apply *Event, byID map[uint64]*Event, reqID string) any {
-	rec := applyRecord{
+	rec := ApplyRecord{
 		Kind:       "apply",
 		Source:     h.source,
 		RequestID:  reqID,
@@ -299,6 +365,20 @@ func (h *HarvestSink) applyRecordLocked(apply *Event, byID map[uint64]*Event, re
 		rec.BaselineNanos = batch.Int("baseline_ns")
 	}
 	return rec
+}
+
+// numericValue coerces an attribute value to float64 (0 for non-numeric
+// values) — params_* attrs are ints or floats by construction.
+func numericValue(v any) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	case int:
+		return float64(x)
+	}
+	return 0
 }
 
 // nearestAncestor walks parent links from ev (exclusive) to the nearest

@@ -1,0 +1,95 @@
+package selector
+
+import (
+	"math"
+
+	"repro/internal/obs"
+	"repro/internal/solver"
+)
+
+// Feature vectors are fixed-order transforms of the dispatch-time feature
+// structs in internal/solver. Counts enter as log1p (they span orders of
+// magnitude across workloads), plus shape ratios that normalize out instance
+// size. The names are serialized into the model so a loaded model can detect
+// a vector-layout change independently of the harvest schema version.
+
+// wscFeatureNames is the layout of the WSC-head feature vector, in order.
+// Everything here derives from solver.WSCFeatures, which is restricted to
+// component-local values so predictions are identical between from-scratch
+// and incremental solves (see the WSCFeatures doc).
+var wscFeatureNames = []string{
+	"log_queries",
+	"log_elements",
+	"log_sets",
+	"elements_per_query",
+	"elements_per_set",
+	"log_max_query_len",
+}
+
+// wscVector transforms dispatch-time component features into the model's
+// input vector.
+func wscVector(f solver.WSCFeatures) []float64 {
+	q, e, s := float64(f.Queries), float64(f.Elements), float64(f.Sets)
+	return []float64{
+		math.Log1p(q),
+		math.Log1p(e),
+		math.Log1p(s),
+		safeRatio(e, q),
+		safeRatio(e, s),
+		math.Log1p(float64(f.MaxQueryLen)),
+	}
+}
+
+// dispatchFeatureNames is the layout of the dispatch-head feature vector.
+var dispatchFeatureNames = []string{
+	"log_queries",
+	"log_classifiers",
+	"max_query_len",
+	"log_sum_query_len",
+}
+
+// dispatchVector transforms instance-level features into the dispatch
+// model's input vector.
+func dispatchVector(f solver.DispatchFeatures) []float64 {
+	return []float64{
+		math.Log1p(float64(f.Queries)),
+		math.Log1p(float64(f.Classifiers)),
+		float64(f.MaxQueryLen),
+		math.Log1p(float64(f.SumQueryLen)),
+	}
+}
+
+func safeRatio(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// RecordWSCFeatures reconstructs the dispatch-time WSCFeatures from a
+// harvested component record — the exact values the solver hands a Selector
+// online, so offline training and online prediction see one schema. The
+// record must carry a WSC block and the params_* attrs (Options.FeatureAttrs
+// was on during harvesting); missing params yield zero-valued features.
+func RecordWSCFeatures(rec *obs.ComponentRecord) solver.WSCFeatures {
+	f := solver.WSCFeatures{
+		Queries:     int(rec.Queries),
+		MaxQueryLen: int(rec.Param("max_query_len")),
+	}
+	if rec.WSC != nil {
+		f.Elements = int(rec.WSC.Elements)
+		f.Sets = int(rec.WSC.SetsAvailable)
+	}
+	return f
+}
+
+// recordDispatchFeatures reconstructs instance-level DispatchFeatures from a
+// record's params_* attrs.
+func recordDispatchFeatures(rec *obs.ComponentRecord) solver.DispatchFeatures {
+	return solver.DispatchFeatures{
+		Queries:     int(rec.Param("queries")),
+		Classifiers: int(rec.Param("classifiers")),
+		MaxQueryLen: int(rec.Param("max_query_len")),
+		SumQueryLen: int(rec.Param("sum_query_len")),
+	}
+}

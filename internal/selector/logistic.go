@@ -1,0 +1,134 @@
+package selector
+
+import "math"
+
+// logisticModel is a multinomial logistic regression over standardized
+// features — the linear learner of the pair. Training is full-batch gradient
+// descent from a zero initialization with a fixed epoch count, so identical
+// records always yield an identical model (no randomness anywhere).
+type logisticModel struct {
+	// Mean and Std standardize inputs per feature (Std entries are never 0;
+	// constant features get Std 1 and so contribute nothing).
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+	// Weights holds one row per class over the standardized features, plus
+	// a trailing bias term.
+	Weights [][]float64 `json:"weights"`
+}
+
+// trainLogistic fits a multinomial logistic regression on xs with integer
+// class labels ys in [0, classes).
+func trainLogistic(xs [][]float64, ys []int, classes int, cfg TrainConfig) *logisticModel {
+	if len(xs) == 0 {
+		return nil
+	}
+	dim := len(xs[0])
+	m := &logisticModel{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	for j := 0; j < dim; j++ {
+		var sum float64
+		for _, x := range xs {
+			sum += x[j]
+		}
+		mean := sum / float64(len(xs))
+		var varsum float64
+		for _, x := range xs {
+			d := x[j] - mean
+			varsum += d * d
+		}
+		std := math.Sqrt(varsum / float64(len(xs)))
+		if std < 1e-12 {
+			std = 1
+		}
+		m.Mean[j], m.Std[j] = mean, std
+	}
+	std := make([][]float64, len(xs))
+	for i, x := range xs {
+		z := make([]float64, dim)
+		for j := range x {
+			z[j] = (x[j] - m.Mean[j]) / m.Std[j]
+		}
+		std[i] = z
+	}
+
+	m.Weights = make([][]float64, classes)
+	for c := range m.Weights {
+		m.Weights[c] = make([]float64, dim+1)
+	}
+	grad := make([][]float64, classes)
+	for c := range grad {
+		grad[c] = make([]float64, dim+1)
+	}
+	probs := make([]float64, classes)
+	n := float64(len(xs))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for c := range grad {
+			for j := range grad[c] {
+				grad[c][j] = 0
+			}
+		}
+		for i, z := range std {
+			m.scores(z, probs)
+			softmax(probs)
+			for c := 0; c < classes; c++ {
+				delta := probs[c]
+				if c == ys[i] {
+					delta -= 1
+				}
+				g := grad[c]
+				for j, v := range z {
+					g[j] += delta * v
+				}
+				g[dim] += delta
+			}
+		}
+		for c := range m.Weights {
+			w := m.Weights[c]
+			g := grad[c]
+			for j := range w {
+				w[j] -= cfg.LearnRate * (g[j]/n + cfg.L2*w[j])
+			}
+		}
+	}
+	return m
+}
+
+// scores writes the per-class linear scores of a standardized input into out.
+func (m *logisticModel) scores(z []float64, out []float64) {
+	for c, w := range m.Weights {
+		s := w[len(z)]
+		for j, v := range z {
+			s += w[j] * v
+		}
+		out[c] = s
+	}
+}
+
+// predict returns the class probability distribution for a raw input vector.
+func (m *logisticModel) predict(x []float64) []float64 {
+	z := make([]float64, len(x))
+	for j := range x {
+		z[j] = (x[j] - m.Mean[j]) / m.Std[j]
+	}
+	probs := make([]float64, len(m.Weights))
+	m.scores(z, probs)
+	softmax(probs)
+	return probs
+}
+
+// softmax normalizes scores in place into a probability distribution.
+func softmax(s []float64) {
+	max := math.Inf(-1)
+	for _, v := range s {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range s {
+		s[i] = math.Exp(v - max)
+		sum += s[i]
+	}
+	for i := range s {
+		s[i] /= sum
+	}
+}

@@ -1,0 +1,176 @@
+// Package selector learns algorithm selection from harvested solve traces —
+// the offline-train / online-predict split over the internal/obs harvest
+// schema. It trains two dependency-free learners (multinomial logistic
+// regression and a small CART decision tree) on two prediction heads:
+//
+//   - the WSC head predicts which set-cover engine wins Algorithm 3's race
+//     on a component ("greedy" / "primal-dual" / "lp-rounding"), so a
+//     confident model runs only the winner and reclaims the loser's work;
+//   - the dispatch head (trained only when the harvest contains both
+//     algorithms on identically-shaped instances) predicts the
+//     general-vs-k≤2 gate.
+//
+// The trained Model serializes to JSON, implements solver.Selector and
+// solver.DispatchSelector, and ships with a regret report measured against
+// the recorded race outcomes. Everything is deterministic: identical
+// harvest records always produce an identical model file.
+package selector
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/solver"
+)
+
+// Model is a trained selector: up to two prediction heads plus the shared
+// confidence threshold. The zero Model predicts nothing (every call reports
+// ok=false), so a partially-populated model degrades to the static behavior.
+type Model struct {
+	// Schema is the harvest schema version the model was trained from
+	// (obs.HarvestSchemaVersion); Load rejects a mismatch so stale models
+	// are detected when the record layout moves.
+	Schema int `json:"schema"`
+	// Threshold is the confidence a prediction must reach before the
+	// solver skips the race (resp. overrides the dispatch gate). Callers
+	// may adjust it after loading; 0 trusts every prediction, >1 forces
+	// the race fallback always.
+	Threshold float64 `json:"threshold"`
+	// WSC predicts the engine-race winner; nil when the harvest held no
+	// raced components.
+	WSC *head `json:"wsc,omitempty"`
+	// Dispatch predicts general-vs-k≤2; nil when the harvest lacked
+	// paired observations.
+	Dispatch *head `json:"dispatch,omitempty"`
+}
+
+// head is one prediction target: the class list, the feature layout it was
+// trained on, both learners, and which of them won on training accuracy.
+type head struct {
+	Features []string           `json:"features"`
+	Classes  []string           `json:"classes"`
+	Best     string             `json:"best"` // "logistic" | "tree"
+	Accuracy map[string]float64 `json:"accuracy"`
+	Logistic *logisticModel     `json:"logistic,omitempty"`
+	Tree     *treeModel         `json:"tree,omitempty"`
+}
+
+// predict returns the class distribution of the winning learner, aligned
+// with h.Classes.
+func (h *head) predict(x []float64) []float64 {
+	if h.Best == "tree" && h.Tree != nil {
+		return h.Tree.predict(x)
+	}
+	return h.Logistic.predict(x)
+}
+
+// PredictWSC implements solver.Selector: the engine expected to win the race
+// among arms, its confidence, and whether that clears the threshold. Classes
+// outside arms are masked and the distribution renormalized, so the model
+// never names an engine the configured WSCMethod would not run.
+func (m *Model) PredictWSC(arms []string, f solver.WSCFeatures) (string, float64, bool) {
+	if m == nil || m.WSC == nil {
+		return "", 0, false
+	}
+	probs := m.WSC.predict(wscVector(f))
+	var total float64
+	for i, c := range m.WSC.Classes {
+		if containsString(arms, c) {
+			total += probs[i]
+		}
+	}
+	if total <= 0 {
+		return "", 0, false
+	}
+	engine, confidence := "", 0.0
+	for i, c := range m.WSC.Classes {
+		if !containsString(arms, c) {
+			continue
+		}
+		if p := probs[i] / total; p > confidence {
+			engine, confidence = c, p
+		}
+	}
+	return engine, confidence, confidence >= m.Threshold
+}
+
+// PredictDispatch implements solver.DispatchSelector.
+func (m *Model) PredictDispatch(f solver.DispatchFeatures) (string, float64, bool) {
+	if m == nil || m.Dispatch == nil {
+		return "", 0, false
+	}
+	probs := m.Dispatch.predict(dispatchVector(f))
+	algo, confidence := "", 0.0
+	for i, c := range m.Dispatch.Classes {
+		if probs[i] > confidence {
+			algo, confidence = c, probs[i]
+		}
+	}
+	return algo, confidence, confidence >= m.Threshold
+}
+
+// Save writes the model as indented JSON.
+func (m *Model) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("selector: encode model: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a model file, rejecting schema or feature-layout mismatches so
+// a model trained on an older harvest layout never silently mispredicts.
+func Load(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("selector: decode model %s: %w", path, err)
+	}
+	if m.Schema != obs.HarvestSchemaVersion {
+		return nil, fmt.Errorf("selector: model %s has harvest schema %d, this build expects %d — retrain",
+			path, m.Schema, obs.HarvestSchemaVersion)
+	}
+	if m.WSC != nil {
+		if err := m.WSC.checkLayout(wscFeatureNames); err != nil {
+			return nil, fmt.Errorf("selector: model %s wsc head: %w", path, err)
+		}
+	}
+	if m.Dispatch != nil {
+		if err := m.Dispatch.checkLayout(dispatchFeatureNames); err != nil {
+			return nil, fmt.Errorf("selector: model %s dispatch head: %w", path, err)
+		}
+	}
+	return &m, nil
+}
+
+func (h *head) checkLayout(want []string) error {
+	if len(h.Features) != len(want) {
+		return fmt.Errorf("feature vector has %d entries, this build expects %d — retrain", len(h.Features), len(want))
+	}
+	for i, name := range want {
+		if h.Features[i] != name {
+			return fmt.Errorf("feature %d is %q, this build expects %q — retrain", i, h.Features[i], name)
+		}
+	}
+	if len(h.Classes) == 0 {
+		return fmt.Errorf("no classes")
+	}
+	if h.Logistic == nil && h.Tree == nil {
+		return fmt.Errorf("no learner")
+	}
+	return nil
+}
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,366 @@
+package selector
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/solver"
+	"repro/internal/workload"
+)
+
+// syntheticRecords builds raced component records whose winner is a clean
+// function of the features (small reductions favor greedy, set-heavy ones
+// primal-dual), so both learners can fit the mapping.
+func syntheticRecords(n int) []obs.ComponentRecord {
+	recs := make([]obs.ComponentRecord, 0, n)
+	for i := 0; i < n; i++ {
+		queries := int64(4 + i%40)
+		sets := int64(3 + (i*7)%60)
+		elements := queries * int64(2+i%3)
+		winner, loser := "greedy", "primal-dual"
+		if sets > 30 {
+			winner, loser = loser, winner
+		}
+		cost := 10 + float64(i%17)
+		recs = append(recs, obs.ComponentRecord{
+			Kind:    "component",
+			Algo:    "mc3-general",
+			Queries: queries,
+			Params:  map[string]float64{"max_query_len": 3},
+			WSC: &obs.WSCRecord{
+				Winner:        winner,
+				Cost:          cost,
+				Elements:      elements,
+				SetsAvailable: sets,
+				Runs: []obs.WSCRunRecord{
+					{Engine: winner, Nanos: 1000, Cost: cost},
+					{Engine: loser, Nanos: 3000, Cost: cost + 1},
+				},
+			},
+		})
+	}
+	return recs
+}
+
+// TestHarvestRoundTrip: a record serialized through the JSONL harvest
+// schema must deserialize into the exact dispatch-time feature values the
+// solver hands a Selector online.
+func TestHarvestRoundTrip(t *testing.T) {
+	rec := syntheticRecords(1)[0]
+	rec.Queries = 12
+	rec.Params["max_query_len"] = 4
+	rec.WSC.Elements = 30
+	rec.WSC.SetsAvailable = 9
+
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(rec); err != nil {
+		t.Fatal(err)
+	}
+	comps, _, err := obs.ReadHarvestRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 {
+		t.Fatalf("decoded %d component records, want 1", len(comps))
+	}
+
+	got := RecordWSCFeatures(&comps[0])
+	want := solver.WSCFeatures{Queries: 12, Elements: 30, Sets: 9, MaxQueryLen: 4}
+	if got != want {
+		t.Fatalf("round-tripped features = %+v, want %+v", got, want)
+	}
+
+	vec := wscVector(got)
+	if len(vec) != len(wscFeatureNames) {
+		t.Fatalf("vector length %d, feature names %d", len(vec), len(wscFeatureNames))
+	}
+	if vec[0] != math.Log1p(12) || vec[3] != 30.0/12.0 || vec[4] != 30.0/9.0 {
+		t.Errorf("unexpected vector %v", vec)
+	}
+}
+
+// TestTrainDeterminism: identical harvests must yield byte-identical models
+// — training is full-batch with fixed initialization and deterministic tree
+// splits, so retraining in CI cannot churn the committed artifact.
+func TestTrainDeterminism(t *testing.T) {
+	recs := syntheticRecords(80)
+	m1, r1, err := Train(recs, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, r2, err := Train(syntheticRecords(80), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(m1)
+	b2, _ := json.Marshal(m2)
+	if !bytes.Equal(b1, b2) {
+		t.Error("same records trained two different models")
+	}
+	if r1.Accuracy != r2.Accuracy || r1.RegretCost != r2.RegretCost {
+		t.Errorf("reports differ: %+v vs %+v", r1, r2)
+	}
+	if r1.Races != 80 {
+		t.Errorf("report counted %d races, want 80", r1.Races)
+	}
+	if r1.Render() == "" {
+		t.Error("empty report rendering")
+	}
+}
+
+// TestTrainLearnsSeparableRule: on a cleanly separable harvest the winning
+// learner must reach high training accuracy and the model must predict each
+// regime correctly with confidence.
+func TestTrainLearnsSeparableRule(t *testing.T) {
+	model, report, err := Train(syntheticRecords(120), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for _, acc := range report.LearnerAccuracy {
+		if acc > best {
+			best = acc
+		}
+	}
+	if best < 0.9 {
+		t.Fatalf("learner accuracy %v on a separable rule", report.LearnerAccuracy)
+	}
+	arms := []string{"greedy", "primal-dual"}
+	few := solver.WSCFeatures{Queries: 10, Elements: 20, Sets: 5, MaxQueryLen: 3}
+	many := solver.WSCFeatures{Queries: 10, Elements: 20, Sets: 55, MaxQueryLen: 3}
+	if engine, _, _ := model.PredictWSC(arms, few); engine != "greedy" {
+		t.Errorf("few-sets regime predicted %q, want greedy", engine)
+	}
+	if engine, _, _ := model.PredictWSC(arms, many); engine != "primal-dual" {
+		t.Errorf("many-sets regime predicted %q, want primal-dual", engine)
+	}
+}
+
+// TestPredictWSCThresholdAndArms: the confidence gate and the arm mask.
+func TestPredictWSCThresholdAndArms(t *testing.T) {
+	model, _, err := Train(syntheticRecords(120), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := solver.WSCFeatures{Queries: 10, Elements: 20, Sets: 5, MaxQueryLen: 3}
+	arms := []string{"greedy", "primal-dual"}
+
+	model.Threshold = 0
+	if _, _, ok := model.PredictWSC(arms, f); !ok {
+		t.Error("threshold 0 must always be confident")
+	}
+	model.Threshold = 1.1
+	if _, _, ok := model.PredictWSC(arms, f); ok {
+		t.Error("threshold above 1 must never be confident")
+	}
+
+	// Masking: with the favored class outside the race, the prediction must
+	// come from the offered arms. The logistic head's softmax keeps every
+	// class strictly positive, so renormalization always has mass to work
+	// with (a pure tree leaf may legitimately report zero and fall back).
+	model.Threshold = 0
+	model.WSC.Best = "logistic"
+	engine, _, _ := model.PredictWSC([]string{"primal-dual"}, f)
+	if engine != "primal-dual" {
+		t.Errorf("masked prediction %q not among offered arms", engine)
+	}
+	if engine, _, ok := model.PredictWSC([]string{"simplex"}, f); ok || engine != "" {
+		t.Errorf("unknown-arms race produced prediction %q", engine)
+	}
+}
+
+// TestModelSaveLoadRoundTrip: a saved model loads back to identical
+// predictions, and a schema-version mismatch is rejected with a retrain
+// hint.
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	model, _, err := Train(syntheticRecords(80), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := model.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arms := []string{"greedy", "primal-dual"}
+	for _, f := range []solver.WSCFeatures{
+		{Queries: 5, Elements: 10, Sets: 4, MaxQueryLen: 3},
+		{Queries: 30, Elements: 90, Sets: 50, MaxQueryLen: 3},
+	} {
+		ge, gc, gok := model.PredictWSC(arms, f)
+		le, lc, lok := loaded.PredictWSC(arms, f)
+		if ge != le || gok != lok || math.Abs(gc-lc) > 1e-12 {
+			t.Errorf("prediction drifted through save/load: (%v %v %v) vs (%v %v %v)", ge, gc, gok, le, lc, lok)
+		}
+	}
+
+	stale := filepath.Join(t.TempDir(), "stale.json")
+	model.Schema = obs.HarvestSchemaVersion + 1
+	if err := model.Save(stale); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(stale); err == nil || !strings.Contains(err.Error(), "retrain") {
+		t.Errorf("stale schema load err = %v, want retrain hint", err)
+	}
+}
+
+// TestTrainRequiresRacedRecords: a harvest with no raced components cannot
+// train a model.
+func TestTrainRequiresRacedRecords(t *testing.T) {
+	recs := syntheticRecords(5)
+	for i := range recs {
+		recs[i].WSC = nil
+	}
+	if _, _, err := Train(recs, DefaultTrainConfig()); err == nil {
+		t.Fatal("training on an empty harvest succeeded")
+	}
+}
+
+// TestTrainedSelectorEndToEnd is the live differential over a real workload:
+// harvest a racing solve, train, then re-solve with the trained model
+// attached. At threshold 0 every multi-arm component must skip the race and
+// run exactly the predicted engine; at an unreachable threshold every
+// component must fall back to racing and reproduce the selector-free cost.
+func TestTrainedSelectorEndToEnd(t *testing.T) {
+	d := workload.Private(17)
+	inst, err := d.SubsetInstance(400, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	hopts := solver.DefaultOptions()
+	hopts.Cache = nil
+	hopts.FeatureAttrs = true
+	hopts.Tracer = obs.New(obs.NewHarvestSink(&buf, "test"))
+	base, err := solver.General(inst, hopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, _, err := obs.ReadHarvestRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := Train(comps, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	solveWith := func(m *Model) (*obs.HarvestSink, []obs.ComponentRecord, float64) {
+		t.Helper()
+		var out bytes.Buffer
+		opts := solver.DefaultOptions()
+		opts.Cache = nil
+		opts.FeatureAttrs = true
+		opts.Selector = m
+		sink := obs.NewHarvestSink(&out, "test")
+		opts.Tracer = obs.New(sink)
+		sol, err := solver.General(inst, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Verify(sol); err != nil {
+			t.Fatal(err)
+		}
+		recs, _, err := obs.ReadHarvestRecords(&out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sink, recs, sol.Cost
+	}
+
+	model.Threshold = 0
+	_, predicted, _ := solveWith(model)
+	raced := 0
+	for _, rec := range predicted {
+		if rec.WSC == nil || len(rec.WSC.Runs) == 0 {
+			continue
+		}
+		switch rec.WSC.Selector {
+		case "predict":
+			if len(rec.WSC.Runs) != 1 {
+				t.Errorf("component %d: predicted mode ran %d engines", rec.Component, len(rec.WSC.Runs))
+			}
+			if rec.WSC.Runs[0].Engine != rec.WSC.Predicted {
+				t.Errorf("component %d: ran %q, predicted %q", rec.Component, rec.WSC.Runs[0].Engine, rec.WSC.Predicted)
+			}
+		case "race":
+			raced++
+		}
+	}
+	if raced != 0 {
+		t.Errorf("%d components raced at threshold 0", raced)
+	}
+
+	model.Threshold = 2
+	_, fallback, fallbackCost := solveWith(model)
+	for _, rec := range fallback {
+		if rec.WSC == nil || len(rec.WSC.Runs) < 2 {
+			continue
+		}
+		if rec.WSC.Selector != "race" {
+			t.Errorf("component %d: selector mode %q at unreachable threshold", rec.Component, rec.WSC.Selector)
+		}
+	}
+	if math.Abs(fallbackCost-base.Cost) > 1e-9 {
+		t.Errorf("fallback cost %v != selector-free cost %v", fallbackCost, base.Cost)
+	}
+}
+
+// TestDispatchHeadTraining: records carrying both a general and a short
+// solve of the same instance train the dispatch head, and its prediction
+// names the faster algorithm per regime.
+func TestDispatchHeadTraining(t *testing.T) {
+	var recs []obs.ComponentRecord
+	for i := 0; i < 24; i++ {
+		big := i%2 == 1
+		queries := float64(50 + i)
+		if big {
+			queries = float64(5000 + i)
+		}
+		params := map[string]float64{
+			"queries":       queries,
+			"classifiers":   queries * 3,
+			"max_query_len": 2,
+			"sum_query_len": queries * 2,
+		}
+		genNanos, shortNanos := int64(1000), int64(4000)
+		if big {
+			genNanos, shortNanos = 4000, 1000
+		}
+		recs = append(recs,
+			obs.ComponentRecord{Kind: "component", Algo: solver.AlgoGeneral, Nanos: genNanos, Params: params},
+			obs.ComponentRecord{Kind: "component", Algo: solver.AlgoShort, Nanos: shortNanos, Params: params},
+		)
+	}
+	// The WSC head still needs raced records to train at all.
+	recs = append(recs, syntheticRecords(40)...)
+
+	model, report, err := Train(recs, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Dispatch == nil {
+		t.Fatal("dispatch head not trained despite paired records")
+	}
+	if report.DispatchPairs == 0 {
+		t.Error("report counted no dispatch pairs")
+	}
+	model.Threshold = 0
+	small := solver.DispatchFeatures{Queries: 60, Classifiers: 180, MaxQueryLen: 2, SumQueryLen: 120}
+	large := solver.DispatchFeatures{Queries: 5100, Classifiers: 15300, MaxQueryLen: 2, SumQueryLen: 10200}
+	if algo, _, _ := model.PredictDispatch(small); algo != solver.AlgoGeneral {
+		t.Errorf("small regime predicted %q, want %q", algo, solver.AlgoGeneral)
+	}
+	if algo, _, _ := model.PredictDispatch(large); algo != solver.AlgoShort {
+		t.Errorf("large regime predicted %q, want %q", algo, solver.AlgoShort)
+	}
+}

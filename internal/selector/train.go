@@ -1,0 +1,313 @@
+package selector
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/solver"
+)
+
+// TrainConfig tunes the trainer. Every knob is deterministic — there is no
+// random seed because nothing is randomized.
+type TrainConfig struct {
+	// Threshold is baked into the model as the confidence gate for
+	// skipping the race (see Model.Threshold).
+	Threshold float64
+	// Epochs, LearnRate, L2 tune the logistic learner.
+	Epochs    int
+	LearnRate float64
+	L2        float64
+	// MaxDepth, MinLeaf tune the tree learner.
+	MaxDepth int
+	MinLeaf  int
+}
+
+// DefaultTrainConfig returns the trainer defaults: a conservative 0.85
+// confidence gate, 300 full-batch epochs, and a depth-4 tree.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Threshold: 0.85, Epochs: 300, LearnRate: 0.5, L2: 1e-4, MaxDepth: 4, MinLeaf: 3}
+}
+
+// Report measures the trained model against the recorded race outcomes it
+// was trained from — the regret accounting of the ISSUE's differential
+// guarantee: had the selector been live, which races would it have skipped,
+// what solution cost would the skipped races have given up (RegretCost), and
+// how much loser-arm work would it have reclaimed (SavedNanos).
+type Report struct {
+	Schema  int            `json:"schema"`
+	Races   int            `json:"races"`
+	Classes map[string]int `json:"classes"`
+	// Predictions counts races the model would skip (confidence cleared
+	// the threshold); Fallbacks the races it would still run.
+	Predictions  int     `json:"predictions"`
+	Fallbacks    int     `json:"fallbacks"`
+	Correct      int     `json:"correct"`
+	Mispredicted int     `json:"mispredicted"`
+	Accuracy     float64 `json:"accuracy"`
+	// RegretCost is the summed solution-cost excess of confident
+	// mispredictions (cost of the predicted arm minus the race winner);
+	// TotalCost scales it (sum of winner costs over all races).
+	RegretCost float64 `json:"regret_cost"`
+	TotalCost  float64 `json:"total_cost"`
+	// SavedNanos sums the recorded wall time of every arm a confident
+	// prediction would have skipped.
+	SavedNanos int64 `json:"saved_ns"`
+	// LearnerAccuracy is each learner's training accuracy on the WSC head.
+	LearnerAccuracy map[string]float64 `json:"learner_accuracy,omitempty"`
+	// DispatchPairs counts instance shapes observed under both dispatch
+	// algorithms; DispatchAccuracy is the dispatch head's training
+	// accuracy over them (0 when no head was trained).
+	DispatchPairs    int     `json:"dispatch_pairs"`
+	DispatchAccuracy float64 `json:"dispatch_accuracy,omitempty"`
+}
+
+// Render formats the report for terminal output.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "selector: trained on %d raced components (schema %d)\n", r.Races, r.Schema)
+	classes := make([]string, 0, len(r.Classes))
+	for c := range r.Classes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Fprintf(&b, "  winner %-12s %d\n", c, r.Classes[c])
+	}
+	fmt.Fprintf(&b, "  would skip %d races (%d fall back), accuracy %.1f%%\n",
+		r.Predictions, r.Fallbacks, 100*r.Accuracy)
+	fmt.Fprintf(&b, "  regret %.6g of total cost %.6g; reclaimed %.3fms of loser-arm work\n",
+		r.RegretCost, r.TotalCost, float64(r.SavedNanos)/1e6)
+	if r.DispatchPairs > 0 {
+		fmt.Fprintf(&b, "  dispatch head: %d paired shapes, training accuracy %.1f%%\n",
+			r.DispatchPairs, 100*r.DispatchAccuracy)
+	} else {
+		b.WriteString("  dispatch head: not trained (no instance shape observed under both algorithms)\n")
+	}
+	return b.String()
+}
+
+// Train fits a selector on harvested component records and reports its
+// regret against the recorded race outcomes. Only records holding a full
+// race (two or more engine runs) train the WSC head — selector-skipped
+// records carry no counterfactual. An error is returned when the harvest
+// holds no raced components at all.
+func Train(recs []obs.ComponentRecord, cfg TrainConfig) (*Model, *Report, error) {
+	raced := racedRecords(recs)
+	if len(raced) == 0 {
+		return nil, nil, fmt.Errorf("selector: no raced components in harvest (need wsc records with ≥2 engine runs; run with racing enabled and -features)")
+	}
+
+	var xs [][]float64
+	var labels []string
+	for _, rec := range raced {
+		xs = append(xs, wscVector(RecordWSCFeatures(rec)))
+		labels = append(labels, rec.WSC.Winner)
+	}
+	classes := uniqueSorted(labels)
+	ys := make([]int, len(labels))
+	for i, l := range labels {
+		ys[i] = indexOf(classes, l)
+	}
+
+	wscHead, learnerAcc := trainHead(xs, ys, classes, wscFeatureNames, cfg)
+	m := &Model{Schema: obs.HarvestSchemaVersion, Threshold: cfg.Threshold, WSC: wscHead}
+
+	report := &Report{
+		Schema:          obs.HarvestSchemaVersion,
+		Races:           len(raced),
+		Classes:         map[string]int{},
+		LearnerAccuracy: learnerAcc,
+	}
+	for _, l := range labels {
+		report.Classes[l]++
+	}
+
+	m.Dispatch, report.DispatchPairs, report.DispatchAccuracy = trainDispatch(recs, cfg)
+
+	scoreWSC(m, raced, report)
+	return m, report, nil
+}
+
+// racedRecords filters the harvest down to WSC-head training rows: records
+// with a decided race of at least two engine runs.
+func racedRecords(recs []obs.ComponentRecord) []*obs.ComponentRecord {
+	var out []*obs.ComponentRecord
+	for i := range recs {
+		rec := &recs[i]
+		if rec.WSC != nil && rec.WSC.Winner != "" && len(rec.WSC.Runs) >= 2 {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// trainHead fits both learners on one prediction target and keeps the one
+// with the higher training accuracy (logistic on ties — it extrapolates,
+// the tree clamps).
+func trainHead(xs [][]float64, ys []int, classes, featureNames []string, cfg TrainConfig) (*head, map[string]float64) {
+	h := &head{
+		Features: append([]string(nil), featureNames...),
+		Classes:  classes,
+		Logistic: trainLogistic(xs, ys, len(classes), cfg),
+		Tree:     trainTree(xs, ys, len(classes), cfg),
+	}
+	accuracy := func(predict func([]float64) []float64) float64 {
+		correct := 0
+		for i, x := range xs {
+			if argmax(predict(x)) == ys[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(xs))
+	}
+	la := accuracy(h.Logistic.predict)
+	ta := accuracy(h.Tree.predict)
+	h.Accuracy = map[string]float64{"logistic": la, "tree": ta}
+	h.Best = "logistic"
+	if ta > la {
+		h.Best = "tree"
+	}
+	return h, h.Accuracy
+}
+
+// trainDispatch builds the general-vs-k≤2 head from instance shapes the
+// harvest observed under both algorithms, labelling each shape with the
+// faster one (total component time). Shapes seen under only one algorithm
+// carry no counterfactual and are dropped; the head is omitted entirely
+// (static gate stands) when fewer than 4 paired shapes or only one winning
+// class exist.
+func trainDispatch(recs []obs.ComponentRecord, cfg TrainConfig) (*head, int, float64) {
+	type shape struct {
+		feat  solver.DispatchFeatures
+		nanos map[string]int64
+	}
+	shapes := map[string]*shape{}
+	var order []string
+	for i := range recs {
+		rec := &recs[i]
+		if len(rec.Params) == 0 || (rec.Algo != solver.AlgoGeneral && rec.Algo != solver.AlgoShort) {
+			continue
+		}
+		key := paramsFingerprint(rec.Params)
+		s := shapes[key]
+		if s == nil {
+			s = &shape{feat: recordDispatchFeatures(rec), nanos: map[string]int64{}}
+			shapes[key] = s
+			order = append(order, key)
+		}
+		s.nanos[rec.Algo] += rec.Nanos
+	}
+	sort.Strings(order)
+
+	var xs [][]float64
+	var labels []string
+	for _, key := range order {
+		s := shapes[key]
+		g, hasG := s.nanos[solver.AlgoGeneral]
+		k, hasK := s.nanos[solver.AlgoShort]
+		if !hasG || !hasK {
+			continue
+		}
+		label := solver.AlgoShort
+		if g < k {
+			label = solver.AlgoGeneral
+		}
+		xs = append(xs, dispatchVector(s.feat))
+		labels = append(labels, label)
+	}
+	classes := uniqueSorted(labels)
+	if len(xs) < 4 || len(classes) < 2 {
+		return nil, len(xs), 0
+	}
+	ys := make([]int, len(labels))
+	for i, l := range labels {
+		ys[i] = indexOf(classes, l)
+	}
+	h, acc := trainHead(xs, ys, classes, dispatchFeatureNames, cfg)
+	best := acc[h.Best]
+	return h, len(xs), best
+}
+
+// scoreWSC replays the runtime selector policy over the recorded races.
+func scoreWSC(m *Model, raced []*obs.ComponentRecord, report *Report) {
+	for _, rec := range raced {
+		arms := make([]string, len(rec.WSC.Runs))
+		runCost := map[string]float64{}
+		runNanos := map[string]int64{}
+		for i, run := range rec.WSC.Runs {
+			arms[i] = run.Engine
+			runCost[run.Engine] = run.Cost
+			runNanos[run.Engine] = run.Nanos
+		}
+		report.TotalCost += rec.WSC.Cost
+		engine, _, ok := m.PredictWSC(arms, RecordWSCFeatures(rec))
+		if !ok {
+			report.Fallbacks++
+			continue
+		}
+		report.Predictions++
+		for _, a := range arms {
+			if a != engine {
+				report.SavedNanos += runNanos[a]
+			}
+		}
+		if engine == rec.WSC.Winner {
+			report.Correct++
+		} else {
+			report.Mispredicted++
+			report.RegretCost += runCost[engine] - rec.WSC.Cost
+		}
+	}
+	if report.Predictions > 0 {
+		report.Accuracy = float64(report.Correct) / float64(report.Predictions)
+	}
+}
+
+// paramsFingerprint serializes a params map into a canonical instance-shape
+// key.
+func paramsFingerprint(params map[string]float64) string {
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%v;", k, params[k])
+	}
+	return b.String()
+}
+
+func uniqueSorted(list []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range list {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func indexOf(list []string, s string) int {
+	for i, v := range list {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}

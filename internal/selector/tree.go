@@ -1,0 +1,142 @@
+package selector
+
+import "sort"
+
+// treeModel is a small CART decision tree (Gini impurity, depth- and
+// leaf-size-limited) — the nonlinear learner of the pair. Splits are chosen
+// deterministically: candidate thresholds are midpoints between consecutive
+// distinct sorted feature values, ties break toward the lower feature index
+// and then the lower threshold, so identical records always yield an
+// identical tree.
+type treeModel struct {
+	Root *treeNode `json:"root"`
+}
+
+type treeNode struct {
+	// Leaf nodes carry the class probability distribution; internal nodes
+	// route x[Feature] < Threshold to Left, the rest to Right.
+	Probs     []float64 `json:"probs,omitempty"`
+	Feature   int       `json:"feature,omitempty"`
+	Threshold float64   `json:"threshold,omitempty"`
+	Left      *treeNode `json:"left,omitempty"`
+	Right     *treeNode `json:"right,omitempty"`
+}
+
+// trainTree fits a decision tree on xs with integer class labels ys in
+// [0, classes).
+func trainTree(xs [][]float64, ys []int, classes int, cfg TrainConfig) *treeModel {
+	if len(xs) == 0 {
+		return nil
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	return &treeModel{Root: growTree(xs, ys, classes, idx, cfg.MaxDepth, cfg.MinLeaf)}
+}
+
+func growTree(xs [][]float64, ys []int, classes int, idx []int, depth, minLeaf int) *treeNode {
+	counts := make([]float64, classes)
+	for _, i := range idx {
+		counts[ys[i]]++
+	}
+	leaf := func() *treeNode {
+		probs := make([]float64, classes)
+		for c, n := range counts {
+			probs[c] = n / float64(len(idx))
+		}
+		return &treeNode{Probs: probs}
+	}
+	if depth <= 0 || len(idx) < 2*minLeaf || isPure(counts) {
+		return leaf()
+	}
+
+	total := float64(len(idx))
+	bestFeature, bestThreshold := 0, 0.0
+	bestImpurity, found := giniWeighted(counts, total), false
+	dim := len(xs[0])
+	order := make([]int, len(idx))
+	left := make([]float64, classes)
+	right := make([]float64, classes)
+	for f := 0; f < dim; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return xs[order[a]][f] < xs[order[b]][f] })
+		for c := range left {
+			left[c] = 0
+			right[c] = counts[c]
+		}
+		// One sorted sweep per feature: rows move left as the candidate
+		// threshold passes each distinct-value boundary.
+		for k := 0; k < len(order)-1; k++ {
+			y := ys[order[k]]
+			left[y]++
+			right[y]--
+			v, next := xs[order[k]][f], xs[order[k+1]][f]
+			if v == next {
+				continue
+			}
+			nl, nr := float64(k+1), total-float64(k+1)
+			if int(nl) < minLeaf || int(nr) < minLeaf {
+				continue
+			}
+			imp := (giniWeighted(left, nl)*nl + giniWeighted(right, nr)*nr) / total
+			if imp < bestImpurity-1e-12 {
+				bestImpurity, bestFeature, bestThreshold, found = imp, f, v+(next-v)/2, true
+			}
+		}
+	}
+	if !found {
+		return leaf()
+	}
+
+	var li, ri []int
+	for _, i := range idx {
+		if xs[i][bestFeature] < bestThreshold {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return &treeNode{
+		Feature:   bestFeature,
+		Threshold: bestThreshold,
+		Left:      growTree(xs, ys, classes, li, depth-1, minLeaf),
+		Right:     growTree(xs, ys, classes, ri, depth-1, minLeaf),
+	}
+}
+
+// predict returns the class probability distribution for an input vector.
+func (t *treeModel) predict(x []float64) []float64 {
+	n := t.Root
+	for n.Probs == nil {
+		if x[n.Feature] < n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Probs
+}
+
+func isPure(counts []float64) bool {
+	nonzero := 0
+	for _, n := range counts {
+		if n > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+// giniWeighted returns the Gini impurity of a count vector with total n.
+func giniWeighted(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := c / n
+		g -= p * p
+	}
+	return g
+}

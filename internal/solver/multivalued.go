@@ -2,6 +2,7 @@ package solver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/bits"
@@ -72,7 +73,7 @@ func GeneralWithMultiValued(inst *core.Instance, multis []MultiValued, opts Opti
 		// uncovered bits in query order. Recreate it to attach multi sets.
 		multiSets := addMultiValuedSets(r, comp, sc, multis)
 
-		sets, _, _, err := runWSC(ctx, sc, opts.WSC)
+		sets, _, _, err := runWSC(ctx, sc, componentFeatures(r, comp, opts), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -159,15 +160,24 @@ func addMultiValuedSets(r *prep.Result, comp []int, sc *setcover.Instance, multi
 	return added
 }
 
-// runWSC executes the configured set-cover method(s) under ctx and returns
+// runWSC executes the configured set-cover engine(s) under ctx and returns
 // the cheapest result plus the name of the engine that produced it
 // ("greedy", "primal-dual", or "lp-rounding"). The race runs under a "wsc"
 // span whose "engine" attr names the winner, with one "wsc.run" child per
-// engine executed.
-func runWSC(ctx context.Context, sc *setcover.Instance, method WSCMethod) ([]int, float64, string, error) {
+// engine executed. feat carries the instance-level component features for
+// opts.Selector; Elements and Sets are filled here from the reduction.
+func runWSC(ctx context.Context, sc *setcover.Instance, feat WSCFeatures, opts Options) ([]int, float64, string, error) {
+	feat.Elements = sc.NumElements()
+	feat.Sets = sc.NumSets()
 	wsp, ctx := obs.StartChild(ctx, SpanWSC,
-		obs.Int("elements", sc.NumElements()), obs.Int("sets_available", sc.NumSets()))
-	sets, cost, name, err := runWSCEngines(ctx, sc, method)
+		obs.Int("elements", feat.Elements), obs.Int("sets_available", feat.Sets))
+	arms, err := wscArms(sc, opts.WSC)
+	var sets []int
+	var cost float64
+	var name string
+	if err == nil {
+		sets, cost, name, err = runWSCEngines(ctx, wsp, arms, feat, opts)
+	}
 	if err == nil {
 		wsp.SetAttr(obs.Str("engine", name), obs.F64("cost", cost), obs.Int("sets", len(sets)))
 	}
@@ -175,53 +185,135 @@ func runWSC(ctx context.Context, sc *setcover.Instance, method WSCMethod) ([]int
 	return sets, cost, name, err
 }
 
-// runWSCEngines runs the engine(s) method selects and keeps the cheapest
-// output.
-func runWSCEngines(ctx context.Context, sc *setcover.Instance, method WSCMethod) ([]int, float64, string, error) {
+// wscArm is one set-cover engine available to the race.
+type wscArm struct {
+	name string
+	run  func(context.Context) ([]int, float64, error)
+}
+
+// wscArms lists the engine(s) method runs, in the documented race order.
+func wscArms(sc *setcover.Instance, method WSCMethod) ([]wscArm, error) {
+	switch method {
+	case WSCAuto:
+		return []wscArm{{"greedy", sc.GreedyCtx}, {"primal-dual", sc.PrimalDualCtx}}, nil
+	case WSCGreedy:
+		return []wscArm{{"greedy", sc.GreedyCtx}}, nil
+	case WSCPrimalDual:
+		return []wscArm{{"primal-dual", sc.PrimalDualCtx}}, nil
+	case WSCLPRounding:
+		return []wscArm{{"lp-rounding", sc.LPRoundingCtx}}, nil
+	case WSCAutoLP:
+		return []wscArm{{"greedy", sc.GreedyCtx}, {"lp-rounding", sc.LPRoundingCtx}}, nil
+	default:
+		return nil, fmt.Errorf("solver: unknown WSC method %v", method)
+	}
+}
+
+// runWSCEngines runs the arms of the engine race under wsp and keeps the
+// cheapest completed output.
+//
+// With a confident opts.Selector prediction only the predicted arm runs —
+// the loser arm's work is reclaimed — and the remaining arms serve purely as
+// failure fallback. Below the confidence threshold every arm races, and the
+// prediction (if any) is scored against the actual winner.
+//
+// A non-context arm failure does not abort the component when another arm
+// completed: the race degrades to the surviving results, counting the
+// failure in mc3_wsc_engine_failures. Context errors still fail fast — a
+// cover computed after the deadline would be discarded upstream anyway.
+func runWSCEngines(ctx context.Context, wsp *obs.Span, arms []wscArm, feat WSCFeatures, opts Options) ([]int, float64, string, error) {
+	metrics := wsp.Tracer().Metrics()
+
+	// Consult the selector only when there is a race to skip.
+	predicted, confident := "", false
+	if opts.Selector != nil && len(arms) > 1 {
+		names := make([]string, len(arms))
+		for i, a := range arms {
+			names[i] = a.name
+		}
+		var confidence float64
+		predicted, confidence, confident = opts.Selector.PredictWSC(names, feat)
+		if predicted != "" {
+			wsp.SetAttr(obs.Str("selector_predicted", predicted), obs.F64("selector_confidence", confidence))
+		}
+		if confident {
+			// Move the predicted arm first; the rest stay as fallback.
+			found := false
+			for i, a := range arms {
+				if a.name == predicted {
+					arms[0], arms[i] = arms[i], arms[0]
+					found = true
+					break
+				}
+			}
+			confident = found
+		}
+		if confident {
+			wsp.SetAttr(obs.Str("selector", "predict"))
+			metrics.Counter("mc3_selector_predictions_total").Inc()
+		} else {
+			wsp.SetAttr(obs.Str("selector", "race"))
+			metrics.Counter("mc3_selector_fallbacks_total").Inc()
+		}
+	}
+
 	type outcome struct {
 		sets []int
 		cost float64
 		name string
 	}
 	var results []outcome
-	run := func(name string, f func(context.Context) ([]int, float64, error)) error {
-		rsp, rctx := obs.StartChild(ctx, SpanWSCRun, obs.Str("engine", name))
-		sets, cost, err := f(rctx)
+	var failures []error
+	for _, a := range arms {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, "", err
+		}
+		rsp, rctx := obs.StartChild(ctx, SpanWSCRun, obs.Str("engine", a.name))
+		sets, cost, err := a.run(rctx)
 		if err != nil {
 			rsp.EndErr(err)
-			return err
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, 0, "", err
+			}
+			metrics.Counter("mc3_wsc_engine_failures").Inc()
+			failures = append(failures, fmt.Errorf("solver: wsc %s: %w", a.name, err))
+			continue
 		}
 		rsp.SetAttr(obs.F64("cost", cost), obs.Int("sets", len(sets)))
 		rsp.End()
-		results = append(results, outcome{sets, cost, name})
-		return nil
-	}
-	var err error
-	switch method {
-	case WSCAuto:
-		if err = run("greedy", sc.GreedyCtx); err == nil {
-			err = run("primal-dual", sc.PrimalDualCtx)
+		results = append(results, outcome{sets: sets, cost: cost, name: a.name})
+		if confident {
+			// The predicted arm completed; the race is skipped. (If it
+			// failed above, the loop falls through to the fallback arms.)
+			break
 		}
-	case WSCGreedy:
-		err = run("greedy", sc.GreedyCtx)
-	case WSCPrimalDual:
-		err = run("primal-dual", sc.PrimalDualCtx)
-	case WSCLPRounding:
-		err = run("lp-rounding", sc.LPRoundingCtx)
-	case WSCAutoLP:
-		if err = run("greedy", sc.GreedyCtx); err == nil {
-			err = run("lp-rounding", sc.LPRoundingCtx)
-		}
-	default:
-		err = fmt.Errorf("solver: unknown WSC method %v", method)
 	}
-	if err != nil {
-		return nil, 0, "", err
+	if len(results) == 0 {
+		return nil, 0, "", errors.Join(failures...)
+	}
+	if len(failures) > 0 {
+		wsp.SetAttr(obs.Int("engine_failures", len(failures)))
 	}
 	best := 0
 	for i := 1; i < len(results); i++ {
 		if results[i].cost < results[best].cost {
 			best = i
+		}
+	}
+	// Predicted-vs-actual: when a below-threshold prediction raced anyway,
+	// score it against the actual winner and account the cost regret the
+	// prediction would have incurred.
+	if predicted != "" && !confident && len(results) > 1 {
+		actual := results[best].name
+		wsp.SetAttr(obs.Bool("selector_correct", predicted == actual))
+		if predicted != actual {
+			metrics.Counter("mc3_selector_mispredictions_total").Inc()
+			for _, r := range results {
+				if r.name == predicted {
+					metrics.Gauge("mc3_selector_regret_cost").Add(r.cost - results[best].cost)
+					break
+				}
+			}
 		}
 	}
 	return results[best].sets, results[best].cost, results[best].name, nil
@@ -266,7 +358,10 @@ func VerifyMulti(inst *core.Instance, multis []MultiValued, sol *MultiSolution) 
 	for _, mi := range sol.MultiValued {
 		want += multis[mi].Cost
 	}
-	if math.Abs(want-sol.Cost) > 1e-6 {
+	// Relative tolerance: summation order differs between compose paths, so
+	// the admissible absolute drift scales with the cost magnitude (an
+	// absolute 1e-6 falsely rejects correct solutions once costs reach ~1e7).
+	if diff := math.Abs(want - sol.Cost); diff > 1e-6+1e-9*math.Max(math.Abs(want), math.Abs(sol.Cost)) {
 		return fmt.Errorf("solver: mixed solution cost %v != recomputed %v", sol.Cost, want)
 	}
 	return nil

@@ -194,3 +194,53 @@ func TestOptionStringers(t *testing.T) {
 		}
 	}
 }
+
+// TestVerifyMultiLargeCostTolerance: the cost-consistency check scales its
+// tolerance with the cost magnitude. At costs around 1e8 a few milli-units
+// of summation-order drift must pass, while a genuinely wrong cost (off by
+// a whole unit) must still be rejected.
+func TestVerifyMultiLargeCostTolerance(t *testing.T) {
+	u := core.NewUniverse()
+	queries := []core.PropSet{
+		u.Set("t:shirt", "c:white"),
+		u.Set("t:dress", "c:blue"),
+		u.Set("t:coat", "c:red"),
+	}
+	ct := core.NewCostTable(math.Inf(1))
+	for _, ty := range []string{"t:shirt", "t:dress", "t:coat"} {
+		ct.Set(u.Set(ty), 2e7)
+	}
+	for _, c := range []string{"c:white", "c:blue", "c:red"} {
+		ct.Set(u.Set(c), 9e7)
+	}
+	inst, err := core.NewInstance(u, queries, ct, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	white, _ := u.Lookup("c:white")
+	blue, _ := u.Lookup("c:blue")
+	red, _ := u.Lookup("c:red")
+	multis := []MultiValued{{Name: "color", Properties: core.NewPropSet(white, blue, red), Cost: 1e8}}
+	mixed, err := GeneralWithMultiValued(inst, multis, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMulti(inst, multis, mixed); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sub-tolerance drift (the kind different summation orders produce at
+	// this magnitude) must not be rejected.
+	drifted := *mixed
+	drifted.Cost += 5e-3
+	if err := VerifyMulti(inst, multis, &drifted); err != nil {
+		t.Errorf("relative tolerance rejected %v of drift at cost %v: %v", 5e-3, mixed.Cost, err)
+	}
+
+	// A real discrepancy still fails.
+	wrong := *mixed
+	wrong.Cost += 1
+	if err := VerifyMulti(inst, multis, &wrong); err == nil {
+		t.Error("cost off by 1 passed verification")
+	}
+}

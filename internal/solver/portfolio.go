@@ -32,27 +32,32 @@ func Portfolio(inst *core.Instance, opts Options) (*core.Solution, error) {
 	ctx, cancelTimeout, opts := opts.solveContext()
 	defer cancelTimeout()
 	sp, ctx, opts := startSolve(ctx, opts, SpanSolve, "portfolio")
-	sol, winner, err := portfolioWithCtx(ctx, inst, opts)
+	sol, winner, truncated, err := portfolioWithCtx(ctx, inst, opts)
 	if winner != "" {
 		sp.SetAttr(obs.Str("winner", winner))
 	}
-	sp.EndErr(err)
-	if sol != nil {
-		// A partial run (deadline fired after some candidate succeeded)
-		// still returns the best solution; the cancellation is recorded on
-		// the span and in the stats.
-		return sol, nil
+	if truncated != "" {
+		// The anytime contract: a truncated run that still produced a
+		// solution is a success, recorded as a "truncated" attr (mapped to
+		// Stats.Cancelled/CancelReason) rather than a span error.
+		sp.SetAttr(obs.Str("truncated", truncated))
 	}
-	return nil, err
+	sp.EndErr(err)
+	return sol, err
 }
 
 // portfolioWithCtx is Portfolio's body, split out so the solve span observes
-// the winner and the final error uniformly.
-func portfolioWithCtx(ctx context.Context, inst *core.Instance, opts Options) (*core.Solution, string, error) {
+// the winner and the final error uniformly. It implements the anytime
+// contract: whenever any candidate produced a valid solution, the best one
+// is returned with a nil error even if the deadline then cut the remaining
+// candidates short — truncated names the reason ("deadline" or "cancelled",
+// empty on a full run) so the caller can record the partial coverage without
+// discarding the answer. The error is non-nil only when no solution exists.
+func portfolioWithCtx(ctx context.Context, inst *core.Instance, opts Options) (sol *core.Solution, winner, truncated string, err error) {
 	// Preprocess once; every in-process candidate builds on this result.
 	r, err := prep.RunCtx(ctx, inst, opts.Prep)
 	if err != nil {
-		return nil, "", err
+		return nil, "", "", err
 	}
 
 	if inst.MaxQueryLen() <= 2 {
@@ -61,14 +66,14 @@ func portfolioWithCtx(ctx context.Context, inst *core.Instance, opts Options) (*
 		picks, err := ktwoResidual(cctx, r, opts)
 		if err != nil {
 			csp.EndErr(err)
-			return nil, "", err
+			return nil, "", "", err
 		}
 		sol, err := assemble(inst, r, picks, opts)
 		csp.EndErr(err)
 		if err != nil {
-			return nil, "", err
+			return nil, "", "", err
 		}
-		return sol, "mc3-short", nil
+		return sol, "mc3-short", "", nil
 	}
 
 	candidates := []struct {
@@ -97,7 +102,6 @@ func portfolioWithCtx(ctx context.Context, inst *core.Instance, opts Options) (*
 	}
 
 	var best *core.Solution
-	var winner string
 	var errs []error
 	for _, c := range candidates {
 		if err := ctx.Err(); err != nil {
@@ -117,15 +121,21 @@ func portfolioWithCtx(ctx context.Context, inst *core.Instance, opts Options) (*
 		}
 	}
 	if best == nil {
-		return nil, "", errors.Join(errs...)
+		return nil, "", "", errors.Join(errs...)
 	}
 	if opts.Validate {
 		if err := inst.Verify(best); err != nil {
-			return nil, "", err
+			return nil, "", "", err
 		}
 	}
-	// ctx.Err() is nil on a full run; when the deadline cut candidates
-	// short, the stats record the cancellation even though a solution is
-	// still returned.
-	return best, winner, ctx.Err()
+	// A deadline that fired after some candidate succeeded truncates the
+	// portfolio but does not fail it: the best solution found so far is a
+	// valid answer, and the truncation is reported out-of-band.
+	switch cerr := ctx.Err(); {
+	case errors.Is(cerr, context.DeadlineExceeded):
+		truncated = "deadline"
+	case cerr != nil:
+		truncated = "cancelled"
+	}
+	return best, winner, truncated, nil
 }

@@ -1,0 +1,289 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/setcover"
+	"repro/internal/workload"
+)
+
+// stubSelector is a fixed-answer Selector for differential tests.
+type stubSelector struct {
+	engine string
+	conf   float64
+	ok     bool
+}
+
+func (s stubSelector) PredictWSC([]string, WSCFeatures) (string, float64, bool) {
+	return s.engine, s.conf, s.ok
+}
+
+// stubDispatch adds a fixed dispatch answer on top of stubSelector.
+type stubDispatch struct {
+	stubSelector
+	algo string
+}
+
+func (s stubDispatch) PredictDispatch(DispatchFeatures) (string, float64, bool) {
+	return s.algo, s.conf, s.ok
+}
+
+// TestSelectorDifferentialWorkloads is the selector-mode guarantee: on every
+// differential workload, General with a confident prediction must select the
+// same classifiers at the same cost as General forced to run the predicted
+// engine alone, and a below-threshold (or unusable) prediction must fall
+// back to the plain race bit-for-bit.
+func TestSelectorDifferentialWorkloads(t *testing.T) {
+	for name, d := range differentialDatasets(300) {
+		queries := d.Queries
+		if len(queries) > 300 {
+			queries = queries[:300]
+		}
+		inst, err := core.NewInstance(d.Universe, queries, d.Costs, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: NewInstance: %v", name, err)
+		}
+
+		for engine, method := range map[string]WSCMethod{
+			"greedy":      WSCGreedy,
+			"primal-dual": WSCPrimalDual,
+		} {
+			got, err := General(inst, Options{Selector: stubSelector{engine, 0.99, true}})
+			if err != nil {
+				t.Fatalf("%s: General with %s selector: %v", name, engine, err)
+			}
+			want, err := General(inst, Options{WSC: method})
+			if err != nil {
+				t.Fatalf("%s: General %v: %v", name, method, err)
+			}
+			compareSolutions(t, name+"/"+engine, got, want)
+		}
+
+		// Not confident, or predicting an engine outside the race: the full
+		// race runs and the output matches a selector-free solve exactly.
+		race, err := General(inst, Options{})
+		if err != nil {
+			t.Fatalf("%s: General: %v", name, err)
+		}
+		for label, sel := range map[string]Selector{
+			"fallback": stubSelector{"greedy", 0.2, false},
+			"unknown":  stubSelector{"simplex", 0.99, true},
+		} {
+			got, err := General(inst, Options{Selector: sel})
+			if err != nil {
+				t.Fatalf("%s: General with %s selector: %v", name, label, err)
+			}
+			compareSolutions(t, name+"/"+label, got, race)
+		}
+	}
+}
+
+// TestAutoDispatchSelector: on a k ≤ 2 load Auto honors a confident
+// dispatch prediction, and falls back to the exact solver otherwise.
+func TestAutoDispatchSelector(t *testing.T) {
+	d := workload.Synthetic(200, 19).ShortSlice()
+	inst, err := d.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := KTwo(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	general, err := General(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		sel  Selector
+		want *core.Solution
+	}{
+		{"predict-general", stubDispatch{stubSelector{"", 0.99, true}, AlgoGeneral}, general},
+		{"predict-short", stubDispatch{stubSelector{"", 0.99, true}, AlgoShort}, exact},
+		{"not-confident", stubDispatch{stubSelector{"", 0.2, false}, AlgoGeneral}, exact},
+		{"no-dispatch-head", stubSelector{"greedy", 0.99, true}, exact},
+	}
+	for _, tc := range cases {
+		got, err := Auto(inst, Options{Selector: tc.sel})
+		if err != nil {
+			t.Fatalf("%s: Auto: %v", tc.name, err)
+		}
+		compareSolutions(t, tc.name, got, tc.want)
+	}
+}
+
+// raceInstance is a tiny set-cover instance where greedy finds the optimal
+// two-set cover.
+func raceInstance() *setcover.Instance {
+	sc := setcover.New(3)
+	sc.AddSet([]int32{0, 1}, 2)
+	sc.AddSet([]int32{2}, 1)
+	sc.AddSet([]int32{0, 1, 2}, 5)
+	return sc
+}
+
+func failingArm(name string, err error) wscArm {
+	return wscArm{name, func(context.Context) ([]int, float64, error) {
+		return nil, 0, err
+	}}
+}
+
+// TestWSCRaceSurvivesEngineFailure: a non-context engine failure must not
+// lose a completed result from another arm — in either order — and is
+// counted in mc3_wsc_engine_failures.
+func TestWSCRaceSurvivesEngineFailure(t *testing.T) {
+	sc := raceInstance()
+	boom := errors.New("boom")
+	for _, tc := range []struct {
+		name string
+		arms []wscArm
+	}{
+		{"failure-first", []wscArm{failingArm("bad", boom), {"greedy", sc.GreedyCtx}}},
+		{"failure-last", []wscArm{{"greedy", sc.GreedyCtx}, failingArm("bad", boom)}},
+	} {
+		reg := obs.NewRegistry()
+		wsp := obs.New().WithMetrics(reg).StartSpan(SpanWSC)
+		sets, cost, name, err := runWSCEngines(context.Background(), wsp, tc.arms, WSCFeatures{}, Options{})
+		wsp.End()
+		if err != nil {
+			t.Fatalf("%s: err = %v, want surviving result", tc.name, err)
+		}
+		if name != "greedy" || cost != 3 || len(sets) != 2 {
+			t.Errorf("%s: got engine %q cost %v sets %v", tc.name, name, cost, sets)
+		}
+		if got := reg.Counter("mc3_wsc_engine_failures").Value(); got != 1 {
+			t.Errorf("%s: mc3_wsc_engine_failures = %d, want 1", tc.name, got)
+		}
+	}
+}
+
+// TestWSCRaceAllEnginesFail: with no surviving arm the race reports every
+// failure.
+func TestWSCRaceAllEnginesFail(t *testing.T) {
+	arms := []wscArm{
+		failingArm("first", errors.New("first broke")),
+		failingArm("second", errors.New("second broke")),
+	}
+	_, _, _, err := runWSCEngines(context.Background(), nil, arms, WSCFeatures{}, Options{})
+	if err == nil {
+		t.Fatal("want error when every engine fails")
+	}
+	for _, frag := range []string{"first broke", "second broke"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("joined error %q missing %q", err, frag)
+		}
+	}
+}
+
+// TestWSCRaceContextErrorFailsFast: a context error aborts the race even
+// when an earlier arm completed — its cover would be discarded upstream.
+func TestWSCRaceContextErrorFailsFast(t *testing.T) {
+	sc := raceInstance()
+	arms := []wscArm{{"greedy", sc.GreedyCtx}, failingArm("slow", context.DeadlineExceeded)}
+	_, _, _, err := runWSCEngines(context.Background(), nil, arms, WSCFeatures{}, Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// expiringCtx is a context whose deadline "fires" exactly when the test says
+// so, making deadline-after-first-candidate deterministic.
+type expiringCtx struct {
+	context.Context
+	mu   sync.Mutex
+	done chan struct{}
+	err  error
+}
+
+func newExpiringCtx() *expiringCtx {
+	return &expiringCtx{Context: context.Background(), done: make(chan struct{})}
+}
+
+func (c *expiringCtx) Done() <-chan struct{} { return c.done }
+
+func (c *expiringCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *expiringCtx) expire() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = context.DeadlineExceeded
+		close(c.done)
+	}
+}
+
+// expireAfterFirstCandidate expires ctx the moment the first portfolio
+// candidate span completes.
+type expireAfterFirstCandidate struct {
+	ctx *expiringCtx
+	n   atomic.Int64
+}
+
+func (s *expireAfterFirstCandidate) Span(ev obs.Event) {
+	if ev.Name == SpanCandidate && s.n.Add(1) == 1 {
+		s.ctx.expire()
+	}
+}
+
+// TestPortfolioDeadlineKeepsBestSoFar is the anytime-contract regression: a
+// deadline that fires after the first candidate succeeded must not lose that
+// solution — the portfolio returns it with a nil error and records the
+// truncation in stats.
+func TestPortfolioDeadlineKeepsBestSoFar(t *testing.T) {
+	inst := adversarialInstance(t, 200, 30, 7)
+	ctx := newExpiringCtx()
+	sink := &expireAfterFirstCandidate{ctx: ctx}
+	var stats SolveStats
+	opts := DefaultOptions()
+	opts.Context = ctx
+	opts.Tracer = obs.New(sink)
+	opts.Stats = &stats
+	opts.Validate = true
+
+	sol, err := Portfolio(inst, opts)
+	if err != nil {
+		t.Fatalf("truncated portfolio lost its solution: %v", err)
+	}
+	if sol == nil {
+		t.Fatal("nil solution with nil error")
+	}
+	if err := inst.Verify(sol); err != nil {
+		t.Fatal(err)
+	}
+	if n := sink.n.Load(); n != 1 {
+		t.Errorf("%d candidates ran after the deadline, want 1", n)
+	}
+	if stats.Winner != "mc3-general" {
+		t.Errorf("winner = %q, want mc3-general (the only candidate that ran)", stats.Winner)
+	}
+	if !stats.Cancelled || stats.CancelReason != "deadline" {
+		t.Errorf("stats = cancelled=%v reason=%q, want truncation recorded as deadline",
+			stats.Cancelled, stats.CancelReason)
+	}
+}
+
+// TestPortfolioCancelBeforeAnyCandidate: truncation before the first result
+// still fails — the anytime contract only protects completed work.
+func TestPortfolioCancelBeforeAnyCandidate(t *testing.T) {
+	inst := adversarialInstance(t, 200, 30, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.Context = ctx
+	if sol, err := Portfolio(inst, opts); err == nil || sol != nil {
+		t.Fatalf("got (%v, %v), want (nil, error) with no completed candidate", sol, err)
+	}
+}

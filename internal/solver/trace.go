@@ -18,7 +18,9 @@ import (
 const (
 	// SpanSolve is a tracked solve phase: General, KTwo, Portfolio, Exact,
 	// and the nested phases of composite solvers. Attrs: "algo", and for
-	// Portfolio "winner"; "err" on failure.
+	// Portfolio "winner" plus "truncated" ("deadline" | "cancelled") when
+	// the deadline cut candidates short after a solution was found; "err"
+	// on failure.
 	SpanSolve = "solve"
 	// SpanComposite wraps a composite solver that delegates all real work
 	// to nested SpanSolve phases (ShortFirst). It names the algorithm
@@ -31,7 +33,11 @@ const (
 	// "cache" ("hit" | "miss").
 	SpanComponent = "component"
 	// SpanWSC wraps Algorithm 3's set-cover engine race on one component.
-	// Attrs: "engine" (the winner), "cost", "sets", "elements".
+	// Attrs: "engine" (the winner), "cost", "sets", "elements"; with a
+	// Selector attached also "selector" ("predict" | "race"),
+	// "selector_predicted", "selector_confidence", and — when a
+	// below-threshold prediction raced anyway — "selector_correct"; when an
+	// engine failed but the race survived, "engine_failures".
 	SpanWSC = "wsc"
 	// SpanWSCRun wraps a single set-cover engine run. Attrs: "engine",
 	// "cost", "sets".
@@ -132,6 +138,13 @@ func (k *statsSink) Span(ev obs.Event) {
 		case errors.Is(err, context.Canceled):
 			s.Cancelled = true
 			s.CancelReason = "cancelled"
+		}
+		// An anytime solver (Portfolio) that was cut short but still
+		// returned a solution reports the truncation as an attr instead of
+		// an error; stats record the cancellation either way.
+		if reason := ev.Str("truncated"); reason != "" {
+			s.Cancelled = true
+			s.CancelReason = reason
 		}
 		s.mu.Unlock()
 
