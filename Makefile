@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race check bench bench-full bench-sched bench-baseline bench-compare experiments experiments-quick train serve fuzz clean
+.PHONY: all build vet test test-race race check bench bench-full bench-sched bench-baseline bench-compare cluster-smoke experiments experiments-quick train serve fuzz clean
 
 all: build vet test
 
@@ -38,6 +38,12 @@ bench-full:
 bench-sched:
 	$(GO) test -bench Sched -benchmem -count=$(BENCH_COUNT) -run xxx .
 	$(GO) run ./cmd/mc3bench -exp sched
+
+# End-to-end cluster gate: two shard processes + a router process, replayed
+# against with the per-batch differential check, plus the hedging experiment
+# (docs/CLUSTER.md). Artifacts land in ./cluster-smoke.
+cluster-smoke:
+	sh scripts/cluster-smoke.sh
 
 # Before/after comparison flow (see docs/PERFORMANCE.md):
 #   git stash / git checkout <old>; make bench-baseline   # writes bench-old.txt

@@ -7,10 +7,13 @@
 //	mc3gen -dataset bestbuy -out bb.json
 //	mc3gen -dataset private [-category fashion] [-short] -out p.json
 //	mc3gen -dataset synthetic -n 200 -deltas -delta-events 500 -out stream.txt
+//	mc3gen -dataset synthetic -n 200 -deltas -sessions 4 -out bundle.txt
 //
 // With -deltas the tool emits a timestamped add/remove/update-cost stream
 // (the mc3replay input format, see docs/INCREMENTAL.md) drawn from the
-// dataset's queries instead of an instance file.
+// dataset's queries instead of an instance file. Adding -sessions N emits a
+// deterministic multi-session bundle ("# session <name>" markers, see
+// internal/incr) — the mc3replay -cluster workload.
 package main
 
 import (
@@ -51,6 +54,7 @@ func run(args []string, out, errw io.Writer) error {
 		deltas      = fs.Bool("deltas", false, "emit a timestamped delta stream (mc3replay input) instead of an instance")
 		deltaEvents = fs.Int("delta-events", 200, "number of events in the -deltas stream")
 		deltaRate   = fs.Float64("delta-rate", 10, "events per second of stream time in the -deltas stream")
+		sessions    = fs.Int("sessions", 0, "with -deltas: emit a multi-session bundle with this many independent sessions (mc3replay -cluster input)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,10 +98,21 @@ func run(args []string, out, errw io.Writer) error {
 		d = d.ShortSlice()
 	}
 
+	if *sessions > 0 && !*deltas {
+		return fmt.Errorf("-sessions requires -deltas")
+	}
 	if *deltas {
+		if *sessions > 0 {
+			return emitSessionBundle(d, *sessions, *deltaEvents, *deltaRate, *seed, *outPath, out, errw)
+		}
 		return emitDeltas(d, *deltaEvents, *deltaRate, *seed, *outPath, out, errw)
 	}
 	return emit(d, *subset, *seed, *outPath, out, errw)
+}
+
+// deltaStats counts a generated stream's event mix.
+type deltaStats struct {
+	adds, removes, reprices int
 }
 
 // emitDeltas writes a deterministic timestamped delta stream drawn from the
@@ -105,56 +120,10 @@ func run(args []string, out, errw io.Writer) error {
 // mixed with removals of live queries and cost re-pricings of their
 // sub-classifiers.
 func emitDeltas(d *workload.Dataset, events int, rate float64, seed int64, outPath string, out, errw io.Writer) error {
-	if events <= 0 {
-		return fmt.Errorf("-delta-events must be positive, got %d", events)
+	stream, st, err := genDeltas(d, events, rate, seed)
+	if err != nil {
+		return err
 	}
-	if rate <= 0 {
-		return fmt.Errorf("-delta-rate must be positive, got %v", rate)
-	}
-	if len(d.Queries) == 0 {
-		return fmt.Errorf("dataset %q has no queries", d.Name)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	names := func(s core.PropSet) []string { return d.Universe.SetNames(s) }
-
-	var (
-		stream   []incr.Delta
-		live     []core.PropSet
-		next     int
-		adds     int
-		removes  int
-		reprices int
-	)
-	for i := 0; i < events; i++ {
-		t := float64(i) / rate
-		switch r := rng.Float64(); {
-		case r < 0.70 || len(live) == 0:
-			q := d.Queries[rng.Intn(len(d.Queries))]
-			if next < len(d.Queries) {
-				q = d.Queries[next]
-				next++
-			}
-			live = append(live, q)
-			stream = append(stream, incr.Delta{Time: t, Op: incr.OpAdd, Props: names(q)})
-			adds++
-		case r < 0.90:
-			j := rng.Intn(len(live))
-			stream = append(stream, incr.Delta{Time: t, Op: incr.OpRemove, Props: names(live[j])})
-			live[j] = live[len(live)-1]
-			live = live[:len(live)-1]
-			removes++
-		default:
-			q := live[rng.Intn(len(live))]
-			k := rng.Intn(q.Len()) + 1
-			sub := make([]string, 0, k)
-			for _, j := range rng.Perm(q.Len())[:k] {
-				sub = append(sub, d.Universe.Name(q[j]))
-			}
-			stream = append(stream, incr.Delta{Time: t, Op: incr.OpUpdateCost, Props: sub, Cost: float64(rng.Intn(50) + 1)})
-			reprices++
-		}
-	}
-
 	if outPath != "" {
 		f, err := os.Create(outPath)
 		if err != nil {
@@ -167,8 +136,94 @@ func emitDeltas(d *workload.Dataset, events int, rate float64, seed int64, outPa
 		return err
 	}
 	fmt.Fprintf(errw, "mc3gen: %s — %d delta events over %.1fs (%d adds, %d removes, %d re-pricings)\n",
-		d.Name, len(stream), float64(events-1)/rate, adds, removes, reprices)
+		d.Name, len(stream), float64(events-1)/rate, st.adds, st.removes, st.reprices)
 	return nil
+}
+
+// emitSessionBundle writes a deterministic multi-session bundle: n
+// independent delta streams over the same dataset, session i generated with
+// seed+i, so the cluster replay harness gets a keyed, replayable workload
+// (identical flags → identical bytes; see TestSessionBundleDeterministic).
+func emitSessionBundle(d *workload.Dataset, n, events int, rate float64, seed int64, outPath string, out, errw io.Writer) error {
+	bundle := make([]incr.SessionStream, 0, n)
+	var total deltaStats
+	for i := 0; i < n; i++ {
+		stream, st, err := genDeltas(d, events, rate, seed+int64(i))
+		if err != nil {
+			return err
+		}
+		bundle = append(bundle, incr.SessionStream{Name: fmt.Sprintf("s%d", i+1), Deltas: stream})
+		total.adds += st.adds
+		total.removes += st.removes
+		total.reprices += st.reprices
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := incr.WriteSessionBundle(out, bundle); err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "mc3gen: %s — %d sessions x %d delta events (%d adds, %d removes, %d re-pricings)\n",
+		d.Name, n, events, total.adds, total.removes, total.reprices)
+	return nil
+}
+
+// genDeltas generates one deterministic delta stream (the body shared by
+// emitDeltas and emitSessionBundle).
+func genDeltas(d *workload.Dataset, events int, rate float64, seed int64) ([]incr.Delta, deltaStats, error) {
+	var st deltaStats
+	if events <= 0 {
+		return nil, st, fmt.Errorf("-delta-events must be positive, got %d", events)
+	}
+	if rate <= 0 {
+		return nil, st, fmt.Errorf("-delta-rate must be positive, got %v", rate)
+	}
+	if len(d.Queries) == 0 {
+		return nil, st, fmt.Errorf("dataset %q has no queries", d.Name)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	names := func(s core.PropSet) []string { return d.Universe.SetNames(s) }
+
+	var (
+		stream []incr.Delta
+		live   []core.PropSet
+		next   int
+	)
+	for i := 0; i < events; i++ {
+		t := float64(i) / rate
+		switch r := rng.Float64(); {
+		case r < 0.70 || len(live) == 0:
+			q := d.Queries[rng.Intn(len(d.Queries))]
+			if next < len(d.Queries) {
+				q = d.Queries[next]
+				next++
+			}
+			live = append(live, q)
+			stream = append(stream, incr.Delta{Time: t, Op: incr.OpAdd, Props: names(q)})
+			st.adds++
+		case r < 0.90:
+			j := rng.Intn(len(live))
+			stream = append(stream, incr.Delta{Time: t, Op: incr.OpRemove, Props: names(live[j])})
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			st.removes++
+		default:
+			q := live[rng.Intn(len(live))]
+			k := rng.Intn(q.Len()) + 1
+			sub := make([]string, 0, k)
+			for _, j := range rng.Perm(q.Len())[:k] {
+				sub = append(sub, d.Universe.Name(q[j]))
+			}
+			stream = append(stream, incr.Delta{Time: t, Op: incr.OpUpdateCost, Props: sub, Cost: float64(rng.Intn(50) + 1)})
+			st.reprices++
+		}
+	}
+	return stream, st, nil
 }
 
 // emit materializes the dataset (optionally subsampled) and writes the

@@ -172,3 +172,44 @@ func TestGenFromQueryLog(t *testing.T) {
 		t.Error("missing log file must fail")
 	}
 }
+
+// TestSessionBundleDeterministic: identical -sessions invocations emit
+// byte-identical bundles, different seeds differ, and the bundle parses
+// into the requested session count.
+func TestSessionBundleDeterministic(t *testing.T) {
+	gen := func(seed string) string {
+		var out bytes.Buffer
+		args := []string{"-dataset", "synthetic", "-n", "60", "-deltas",
+			"-delta-events", "80", "-sessions", "3", "-seed", seed}
+		if err := run(args, &out, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	a, b := gen("7"), gen("7")
+	if a != b {
+		t.Fatal("same flags produced different bundles")
+	}
+	if c := gen("8"); c == a {
+		t.Fatal("different seeds produced identical bundles")
+	}
+
+	sessions, err := incr.ReadSessionBundle(strings.NewReader(a))
+	if err != nil {
+		t.Fatalf("generated bundle does not parse: %v", err)
+	}
+	if len(sessions) != 3 {
+		t.Fatalf("bundle has %d sessions, want 3", len(sessions))
+	}
+	for _, ss := range sessions {
+		if len(ss.Deltas) != 80 {
+			t.Errorf("session %s has %d deltas, want 80", ss.Name, len(ss.Deltas))
+		}
+	}
+}
+
+func TestSessionsRequiresDeltas(t *testing.T) {
+	if err := run([]string{"-dataset", "synthetic", "-sessions", "2"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("-sessions without -deltas accepted")
+	}
+}

@@ -254,3 +254,87 @@ func TestReplayFeatureHarvest(t *testing.T) {
 		t.Errorf("harvested %d apply records, want 5:\n%s", applies, raw)
 	}
 }
+
+// clusterBundle writes a small two-session bundle to a temp file.
+func clusterBundle(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	err := incr.WriteSessionBundle(&buf, []incr.SessionStream{
+		{Name: "s1", Deltas: []incr.Delta{
+			{Time: 0, Op: incr.OpAdd, Props: []string{"a", "b"}},
+			{Time: 0, Op: incr.OpAdd, Props: []string{"c", "d"}},
+			{Time: 2, Op: incr.OpAdd, Props: []string{"a", "b"}},
+			{Time: 4, Op: incr.OpUpdateCost, Props: []string{"a"}, Cost: 3},
+			{Time: 6, Op: incr.OpRemove, Props: []string{"a", "b"}},
+		}},
+		{Name: "s2", Deltas: []incr.Delta{
+			{Time: 0, Op: incr.OpAdd, Props: []string{"x", "y"}},
+			{Time: 2, Op: incr.OpAdd, Props: []string{"y", "z"}},
+			{Time: 4, Op: incr.OpRemove, Props: []string{"x", "y"}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bundle.txt")
+	if err := os.WriteFile(path, buf.Bytes(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReplayClusterMode drives the -cluster CLI end to end: in-process
+// harness (router + 2 shards), per-batch differential, JSON report with the
+// cluster_replay table.
+func TestReplayClusterMode(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "BENCH_cluster.json")
+	var stdout bytes.Buffer
+	err := run([]string{"-cluster", "-stream", clusterBundle(t), "-shards", "2",
+		"-window", "1", "-json", "-out", outPath}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Experiments []struct {
+			ID     string `json:"id"`
+			Series []struct {
+				Name   string    `json:"name"`
+				Values []float64 `json:"values"`
+			} `json:"series"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "cluster_replay" {
+		t.Fatalf("report experiments = %+v, want one cluster_replay table", rep.Experiments)
+	}
+	var hasCost bool
+	for _, s := range rep.Experiments[0].Series {
+		if s.Name == "cost" && len(s.Values) > 0 {
+			hasCost = true
+		}
+	}
+	if !hasCost {
+		t.Fatalf("cluster_replay table lacks a populated cost series: %s", raw)
+	}
+}
+
+// TestReplayClusterTextOutput: -cluster without -json renders the table and
+// the differential summary goes to stderr.
+func TestReplayClusterTextOutput(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-cluster", "-stream", clusterBundle(t), "-shards", "2"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cluster replay") {
+		t.Errorf("text output lacks the cluster table:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "differential clean") {
+		t.Errorf("stderr lacks the differential summary:\n%s", errw.String())
+	}
+}

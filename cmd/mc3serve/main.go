@@ -2,14 +2,28 @@
 // requests. Where mc3solve pays the full solve cost on every invocation, the
 // daemon keeps a process-wide component-solution cache (internal/cache), so
 // query loads that repeat components — the normal shape of production query
-// logs — are answered increasingly from memory.
+// logs — are answered increasingly from memory. The server itself lives in
+// internal/serve; this command is flag parsing, signal handling, and the
+// cluster router mode.
 //
 // Usage:
 //
 //	mc3serve [-addr :8080] [-algo auto] [-wsc auto] [-prep full]
 //	         [-engine dinic] [-parallel -1] [-cache-size 4096]
 //	         [-cache-quantum 0] [-request-timeout 30s] [-max-body 8388608]
-//	         [-max-sessions 64]
+//	         [-max-sessions 64] [-drain-grace 0]
+//
+// Router mode (see docs/CLUSTER.md):
+//
+//	mc3serve -route shard1:8080,shard2:8080 [-addr :8080] [-vnodes 64]
+//	         [-hedge-quantile 0] [-hedge-min 2ms] [-retries 3]
+//	         [-retry-backoff 5ms] [-retry-budget 0.2] [-probe-interval 500ms]
+//	         [-breaker-failures 3] [-bounded-load 0]
+//
+// With -route the process serves no solves itself: it proxies the same API
+// over the listed shards — sessions pinned by consistent hashing, stateless
+// solves fanned by payload hash with bounded retries and optional hedging,
+// dead shards circuit-broken out of rotation.
 //
 // API (see docs/SERVING.md and docs/INCREMENTAL.md):
 //
@@ -21,9 +35,14 @@
 //	GET    /session/{id}/solution — a session's current solution.
 //	DELETE /session/{id}          — drop a session.
 //	GET    /healthz    — liveness probe, "ok".
+//	GET    /readyz     — readiness probe: "ready", flipping to 503 the moment
+//	                     a shutdown drain starts (routers and load balancers
+//	                     stop sending before the listener closes).
 //	GET    /stats      — JSON snapshot: uptime, request counters, cache and
 //	                     session stats, solve-latency quantiles, scheduler
-//	                     counters, flight-recorder counters.
+//	                     counters, flight-recorder counters (in router mode:
+//	                     per-shard requests/errors/retries/breaker state and
+//	                     latency quantiles).
 //	GET    /metrics    — Prometheus text exposition of the process registry.
 //	GET    /debug/requests    — flight recorder: recent request traces.
 //	GET    /debug/trace/{id}  — one retained trace by request or span ID.
@@ -35,7 +54,8 @@
 // feature record per solved component (docs/OBSERVABILITY.md).
 //
 // During shutdown drain, new requests are answered 503 with a Retry-After
-// header while in-flight requests complete.
+// header while in-flight requests complete; -drain-grace holds the listener
+// open that long after /readyz flips, giving health probers time to notice.
 //
 // Each request is solved under its own deadline: the request context (client
 // disconnect cancels the solve) bounded by -request-timeout. Timeouts answer
@@ -48,9 +68,7 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -59,20 +77,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"sync"
-	"sync/atomic"
+	"strings"
 	"syscall"
 	"time"
 
-	"repro/internal/bipartite"
 	"repro/internal/cache"
-	"repro/internal/core"
+	"repro/internal/cluster"
 	"repro/internal/obs"
-	"repro/internal/prep"
-	"repro/internal/selector"
-	"repro/internal/solver"
-	"repro/internal/textio"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -82,66 +94,55 @@ func main() {
 	}
 }
 
-// config is the parsed daemon configuration.
-type config struct {
-	addr          string
-	algo          string
-	wsc           string
-	prep          string
-	engine        string
-	parallel      int
-	cacheSize     int
-	cacheQuantum  float64
-	reqTimeout    time.Duration
-	maxBody       int64
-	validate      bool
-	maxSessions   int
-	flight        int
-	slowLog       string
-	slowThreshold time.Duration
-	featureLog    string
-	selectorPath  string
-
-	// slowW / featureW receive the slow-query and feature JSONL streams.
-	// run() opens them from -slow-log / -feature-log; tests inject buffers.
-	slowW    io.Writer
-	featureW io.Writer
-}
-
-// run parses flags, builds the server, and serves until a termination signal
-// arrives; logs go to logw.
+// run parses flags, builds the server (or router), and serves until a
+// termination signal arrives; logs go to logw.
 func run(args []string, logw io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("mc3serve", flag.ContinueOnError)
-	cfg := config{}
-	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
-	fs.StringVar(&cfg.algo, "algo", "auto", "algorithm: auto|ktwo|general|short-first|portfolio")
-	fs.StringVar(&cfg.wsc, "wsc", "auto", "Algorithm 3 set-cover engine: auto|greedy|primal-dual|lp-rounding|auto-lp")
-	fs.StringVar(&cfg.prep, "prep", "full", "preprocessing level: full|minimal")
-	fs.StringVar(&cfg.engine, "engine", "dinic", "Algorithm 2 max-flow engine: dinic|push-relabel|capacity-scaling")
-	fs.IntVar(&cfg.parallel, "parallel", -1, "components solved concurrently per request: 0 or 1 solves serially, n > 1 uses n workers, -1 (the default) uses GOMAXPROCS")
-	fs.IntVar(&cfg.cacheSize, "cache-size", cache.DefaultMaxEntries, "component-solution cache entries (0 disables the cache)")
-	fs.Float64Var(&cfg.cacheQuantum, "cache-quantum", 0, "cost quantum for cache keys (0 = exact costs)")
-	fs.DurationVar(&cfg.reqTimeout, "request-timeout", 30*time.Second, "per-request solve deadline (0 = client-controlled only)")
-	fs.Int64Var(&cfg.maxBody, "max-body", 8<<20, "maximum request body bytes")
-	fs.BoolVar(&cfg.validate, "validate", true, "verify every solution before answering")
-	fs.IntVar(&cfg.maxSessions, "max-sessions", 64, "maximum live incremental sessions")
-	fs.IntVar(&cfg.flight, "flight", 256, "span trees retained by the in-memory flight recorder, served at /debug/requests (0 disables)")
-	fs.StringVar(&cfg.slowLog, "slow-log", "", "append a JSONL record with the full span tree of every slow or failed request to this file")
-	fs.DurationVar(&cfg.slowThreshold, "slow-threshold", time.Second, "requests at or above this latency are captured in -slow-log")
-	fs.StringVar(&cfg.featureLog, "feature-log", "", "harvest one JSONL feature record per solved component into this file (see docs/OBSERVABILITY.md)")
-	fs.StringVar(&cfg.selectorPath, "selector", "", "trained selector model (mc3bench -train-selector): skips confident set-cover engine races and informs -algo auto dispatch (see docs/SELECTOR.md)")
+	cfg := serve.DefaultConfig()
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		slowLog    = fs.String("slow-log", "", "append a JSONL record with the full span tree of every slow or failed request to this file")
+		featureLog = fs.String("feature-log", "", "harvest one JSONL feature record per solved component into this file (see docs/OBSERVABILITY.md)")
+		drainGrace = fs.Duration("drain-grace", 0, "hold the listener open this long after /readyz flips to 503 on shutdown, so health probers notice before connections refuse")
+
+		// Router mode.
+		route          = fs.String("route", "", "comma-separated shard addresses: run as a cluster router instead of a solve server (see docs/CLUSTER.md)")
+		vnodes         = fs.Int("vnodes", cluster.DefaultVNodes, "router: virtual nodes per shard on the consistent-hash ring")
+		hedgeQuantile  = fs.Float64("hedge-quantile", 0, "router: hedge stateless solves after this observed latency quantile, e.g. 0.95 (0 disables hedging)")
+		hedgeMin       = fs.Duration("hedge-min", 2*time.Millisecond, "router: minimum hedge delay")
+		retries        = fs.Int("retries", 3, "router: total attempts per idempotent request across replicas")
+		retryBackoff   = fs.Duration("retry-backoff", 5*time.Millisecond, "router: initial exponential backoff between retries")
+		retryBudget    = fs.Float64("retry-budget", 0.2, "router: sustained retries-per-request ratio allowed")
+		probeInterval  = fs.Duration("probe-interval", 500*time.Millisecond, "router: shard /readyz probing period (0 disables)")
+		breakerFails   = fs.Int("breaker-failures", 3, "router: consecutive failures opening a shard's circuit breaker")
+		boundedLoad    = fs.Float64("bounded-load", 0, "router: bounded-load factor c (skip shards above c x mean in-flight + 1; 0 = strict hashing)")
+	)
+	fs.StringVar(&cfg.Algo, "algo", cfg.Algo, "algorithm: auto|ktwo|general|short-first|portfolio")
+	fs.StringVar(&cfg.WSC, "wsc", cfg.WSC, "Algorithm 3 set-cover engine: auto|greedy|primal-dual|lp-rounding|auto-lp")
+	fs.StringVar(&cfg.Prep, "prep", cfg.Prep, "preprocessing level: full|minimal")
+	fs.StringVar(&cfg.Engine, "engine", cfg.Engine, "Algorithm 2 max-flow engine: dinic|push-relabel|capacity-scaling")
+	fs.IntVar(&cfg.Parallel, "parallel", cfg.Parallel, "components solved concurrently per request: 0 or 1 solves serially, n > 1 uses n workers, -1 (the default) uses GOMAXPROCS")
+	fs.IntVar(&cfg.CacheSize, "cache-size", cache.DefaultMaxEntries, "component-solution cache entries (0 disables the cache)")
+	fs.Float64Var(&cfg.CacheQuantum, "cache-quantum", 0, "cost quantum for cache keys (0 = exact costs)")
+	fs.DurationVar(&cfg.ReqTimeout, "request-timeout", cfg.ReqTimeout, "per-request solve deadline (0 = client-controlled only)")
+	fs.Int64Var(&cfg.MaxBody, "max-body", cfg.MaxBody, "maximum request body bytes")
+	fs.BoolVar(&cfg.Validate, "validate", cfg.Validate, "verify every solution before answering")
+	fs.IntVar(&cfg.MaxSessions, "max-sessions", cfg.MaxSessions, "maximum live incremental sessions")
+	fs.IntVar(&cfg.Flight, "flight", cfg.Flight, "span trees retained by the in-memory flight recorder, served at /debug/requests (0 disables)")
+	fs.DurationVar(&cfg.SlowThreshold, "slow-threshold", cfg.SlowThreshold, "requests at or above this latency are captured in -slow-log")
+	fs.StringVar(&cfg.SelectorPath, "selector", "", "trained selector model (mc3bench -train-selector): skips confident set-cover engine races and informs -algo auto dispatch (see docs/SELECTOR.md)")
 	var obsCfg obs.CLIConfig
 	obsCfg.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if cfg.slowLog != "" && cfg.flight <= 0 {
+	if *slowLog != "" && cfg.Flight <= 0 {
 		return fmt.Errorf("-slow-log requires the flight recorder (-flight > 0)")
 	}
 	for _, f := range []struct {
 		path string
 		dst  *io.Writer
-	}{{cfg.slowLog, &cfg.slowW}, {cfg.featureLog, &cfg.featureW}} {
+	}{{*slowLog, &cfg.SlowW}, {*featureLog, &cfg.FeatureW}} {
 		if f.path == "" {
 			continue
 		}
@@ -167,26 +168,67 @@ func run(args []string, logw io.Writer) (retErr error) {
 		}
 	}()
 
-	srv, err := newServer(cfg, obsCLI.Tracer)
-	if err != nil {
-		return err
+	if *route != "" {
+		rcfg := cluster.RouterConfig{
+			Shards:          strings.Split(*route, ","),
+			VNodes:          *vnodes,
+			HedgeQuantile:   *hedgeQuantile,
+			HedgeMinDelay:   *hedgeMin,
+			MaxAttempts:     *retries,
+			RetryBackoff:    *retryBackoff,
+			RetryBudget:     *retryBudget,
+			ProbeInterval:   *probeInterval,
+			BreakerFailures: *breakerFails,
+			BoundedLoad:     *boundedLoad,
+			MaxBody:         cfg.MaxBody,
+			Registry:        obs.NewRegistry(),
+			Tracer:          obsCLI.Tracer,
+		}
+		router, err := cluster.NewRouter(rcfg)
+		if err != nil {
+			return err
+		}
+		router.Start()
+		defer router.Close()
+		banner := fmt.Sprintf("mc3serve: routing %d shard(s): %s", len(rcfg.Shards), *route)
+		return serveUntilSignal(logw, *addr, banner, obsCLI.DebugAddr, *drainGrace, router, router.StartDrain, func(w io.Writer) {
+			st := router.Stats()
+			fmt.Fprintf(w, "mc3serve: routed %d requests (%d errors, %d hedges, %d hedge wins)\n",
+				st.Requests, st.Errors, st.Hedges, st.HedgeWins)
+		})
 	}
 
-	ln, err := net.Listen("tcp", cfg.addr)
+	srv, err := serve.New(cfg, obsCLI.Tracer)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv}
+	banner := fmt.Sprintf("mc3serve: cache %d entries, timeout %v", cfg.CacheSize, cfg.ReqTimeout)
+	return serveUntilSignal(logw, *addr, banner, obsCLI.DebugAddr, *drainGrace, srv, srv.StartDrain, func(w io.Writer) {
+		requests, errored := srv.Counts()
+		fmt.Fprintf(w, "mc3serve: served %d solves (%d errors), cache hit rate %.1f%%\n",
+			requests, errored, 100*srv.CacheStats().HitRate())
+	})
+}
+
+// serveUntilSignal runs handler on addr until SIGINT/SIGTERM, then drains:
+// startDrain flips /readyz (and everything else) to 503, the listener stays
+// up for drainGrace so probers notice, and Shutdown waits out in-flight
+// requests. finalLog reports lifetime counters on the way out.
+func serveUntilSignal(logw io.Writer, addr, banner, debugAddr string, drainGrace time.Duration, handler http.Handler, startDrain func(), finalLog func(io.Writer)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
-	fmt.Fprintf(logw, "mc3serve: listening on http://%s (cache %d entries, timeout %v)\n",
-		ln.Addr(), cfg.cacheSize, cfg.reqTimeout)
-	if obsCLI.DebugAddr != "" {
-		fmt.Fprintf(logw, "mc3serve: debug server on http://%s\n", obsCLI.DebugAddr)
+	fmt.Fprintf(logw, "mc3serve: listening on http://%s (%s)\n", ln.Addr(), banner)
+	if debugAddr != "" {
+		fmt.Fprintf(logw, "mc3serve: debug server on http://%s\n", debugAddr)
 	}
 
 	select {
@@ -195,7 +237,10 @@ func run(args []string, logw io.Writer) (retErr error) {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(logw, "mc3serve: shutting down, draining in-flight requests")
-	srv.draining.Store(true)
+	startDrain()
+	if drainGrace > 0 {
+		time.Sleep(drainGrace)
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil {
@@ -204,391 +249,6 @@ func run(args []string, logw io.Writer) (retErr error) {
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	st := srv.cache.Stats()
-	fmt.Fprintf(logw, "mc3serve: served %d solves (%d errors), cache hit rate %.1f%%\n",
-		srv.requests.Load(), srv.errored.Load(), 100*st.HitRate())
+	finalLog(logw)
 	return nil
-}
-
-// server is the HTTP handler: immutable solver configuration plus the shared
-// mutable state (cache, metrics, counters). Safe for concurrent requests.
-type server struct {
-	cfg      config
-	opts     solver.Options // template; Context is set per request
-	cache    *cache.Cache   // nil when -cache-size 0
-	registry *obs.Registry
-	tracer   *obs.Tracer         // the request tracer (== opts.Tracer)
-	flight   *obs.FlightRecorder // nil when -flight 0
-	harvest  *obs.HarvestSink    // nil when no -feature-log
-	mux      *http.ServeMux
-	started  time.Time
-	bootID   string // request-ID prefix, unique per process
-	sessions sessions
-
-	// solveSecsAll aggregates solve latency across endpoints (the
-	// pre-existing mc3serve_solve_seconds family); solveSecs holds the
-	// per-endpoint split series.
-	solveSecsAll *obs.Histogram
-	solveSecs    map[string]*obs.Histogram
-
-	requests atomic.Int64
-	errored  atomic.Int64
-	reqSeq   atomic.Int64
-	draining atomic.Bool
-}
-
-// newServer validates cfg and assembles the handler.
-func newServer(cfg config, tracer *obs.Tracer) (*server, error) {
-	opts, err := buildOptions(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := checkAlgo(cfg.algo); err != nil {
-		return nil, err
-	}
-	reg := obs.NewRegistry()
-	reg.Publish("mc3serve")
-	s := &server{
-		cfg:      cfg,
-		opts:     opts,
-		registry: reg,
-		started:  time.Now(),
-		sessions: sessions{m: make(map[string]*session), max: cfg.maxSessions},
-	}
-	s.bootID = strconv.FormatInt(s.started.UnixNano(), 36)
-	if cfg.cacheSize > 0 {
-		s.cache = cache.New(cache.Config{
-			MaxEntries:  cfg.cacheSize,
-			CostQuantum: cfg.cacheQuantum,
-			Metrics:     reg,
-		})
-	}
-	s.opts.Cache = s.cache
-
-	// The request tracer: caller sinks (-spans etc.), then the flight
-	// recorder and the feature harvester, then the metrics registry. One
-	// tracer serves every request; the per-request root span opened by
-	// instrument() fans out to all of them.
-	if cfg.flight > 0 {
-		s.flight = obs.NewFlightRecorder(cfg.flight)
-		if cfg.slowW != nil {
-			s.flight.SetSlowLog(cfg.slowW, cfg.slowThreshold)
-		}
-		tracer = tracer.WithSink(s.flight)
-	}
-	if cfg.featureW != nil {
-		s.harvest = obs.NewHarvestSink(cfg.featureW, "mc3serve")
-		tracer = tracer.WithSink(s.harvest)
-		s.opts.FeatureAttrs = true
-	}
-	s.opts.Tracer = tracer.WithMetrics(reg)
-	s.tracer = s.opts.Tracer
-
-	s.solveSecsAll = reg.Histogram("mc3serve_solve_seconds")
-	s.solveSecs = map[string]*obs.Histogram{
-		"solve": reg.Histogram(`mc3serve_solve_seconds{endpoint="solve"}`),
-		"load":  reg.Histogram(`mc3serve_solve_seconds{endpoint="load"}`),
-		"delta": reg.Histogram(`mc3serve_solve_seconds{endpoint="delta"}`),
-	}
-
-	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /solve", s.instrument("solve", s.handleSolve))
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
-	})
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.Handle("GET /metrics", reg)
-	s.mux.HandleFunc("POST /load", s.instrument("load", s.handleLoad))
-	s.mux.HandleFunc("POST /session/{id}/delta", s.instrument("delta", s.handleDelta))
-	s.mux.HandleFunc("GET /session/{id}/solution", s.instrument("solution", s.handleSolution))
-	s.mux.HandleFunc("DELETE /session/{id}", s.instrument("session_delete", s.handleSessionDelete))
-	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
-	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleDebugTrace)
-	return s, nil
-}
-
-// ServeHTTP dispatches requests; once the server is draining for shutdown
-// every request is answered 503 + Retry-After immediately instead of
-// racing the listener teardown.
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		w.Header().Set("Retry-After", "5")
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
-		return
-	}
-	s.mux.ServeHTTP(w, r)
-}
-
-// solveResponse is the /solve success document.
-type solveResponse struct {
-	Cost         float64    `json:"cost"`
-	Classifiers  [][]string `json:"classifiers"`
-	Queries      int        `json:"queries"`
-	Seconds      float64    `json:"seconds"`
-	Algorithm    string     `json:"algorithm"`
-	CacheHitRate float64    `json:"cache_hit_rate"`
-}
-
-// errorResponse is the JSON error document for non-2xx answers.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-// statusClientClosedRequest is nginx's conventional code for a request whose
-// client went away before the answer was ready.
-const statusClientClosedRequest = 499
-
-// bodyBufPool recycles the request-body staging buffers of /solve and /load.
-// Decoding straight off the wire made every request pay the JSON decoder's
-// internal read-buffer churn; staging through a pooled buffer makes the
-// steady-state serving path allocation-free on the transport side.
-var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
-
-// bodyBufKeep caps the capacity of buffers returned to the pool, so one
-// max-body-sized request doesn't pin megabytes for the daemon's lifetime.
-const bodyBufKeep = 1 << 20
-
-// readInstance reads and parses a request body holding an instance file,
-// staging it through a pooled buffer. The returned File does not alias the
-// buffer (textio.Read copies what it keeps).
-func (s *server) readInstance(w http.ResponseWriter, r *http.Request) (*textio.File, error) {
-	buf := bodyBufPool.Get().(*bytes.Buffer)
-	defer func() {
-		if buf.Cap() <= bodyBufKeep {
-			buf.Reset()
-			bodyBufPool.Put(buf)
-		}
-	}()
-	buf.Reset()
-	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.cfg.maxBody)); err != nil {
-		return nil, err
-	}
-	return textio.Read(bytes.NewReader(buf.Bytes()))
-}
-
-// failParse maps an instance-parse error to its HTTP status and answers it.
-func (s *server) failParse(w http.ResponseWriter, err error) {
-	code := http.StatusBadRequest
-	var tooBig *http.MaxBytesError
-	if errors.As(err, &tooBig) {
-		code = http.StatusRequestEntityTooLarge
-	}
-	s.fail(w, code, fmt.Errorf("parse instance: %w", err))
-}
-
-// handleSolve answers POST /solve: parse the instance, solve it under the
-// request's deadline with the shared cache, answer JSON.
-func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	s.registry.Counter("mc3serve_requests_total").Inc()
-
-	file, err := s.readInstance(w, r)
-	if err != nil {
-		s.failParse(w, err)
-		return
-	}
-	_, inst, err := file.Build(core.Options{})
-	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("build instance: %w", err))
-		return
-	}
-	fn, algoName := pickAlgorithm(s.cfg.algo, inst, s.opts)
-
-	// The solve runs under the request context — a dropped connection
-	// cancels it — additionally bounded by the configured timeout. The
-	// cancellation checkpoints throughout the solver stack make both
-	// effective mid-solve.
-	opts := s.opts
-	opts.Context = r.Context()
-	opts.Timeout = s.cfg.reqTimeout
-	opts.Validate = s.cfg.validate
-
-	start := time.Now()
-	sol, err := fn(inst, opts)
-	elapsed := time.Since(start)
-	s.observeSolve("solve", elapsed.Seconds())
-	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			s.fail(w, http.StatusGatewayTimeout, fmt.Errorf("solve exceeded %v", s.cfg.reqTimeout))
-		case errors.Is(err, context.Canceled):
-			s.fail(w, statusClientClosedRequest, errors.New("client closed request"))
-		default:
-			s.fail(w, http.StatusUnprocessableEntity, err)
-		}
-		return
-	}
-
-	writeJSON(w, http.StatusOK, solveResponse{
-		Cost:         sol.Cost,
-		Classifiers:  textio.SolutionNames(inst, sol),
-		Queries:      inst.NumQueries(),
-		Seconds:      elapsed.Seconds(),
-		Algorithm:    algoName,
-		CacheHitRate: s.cache.Stats().HitRate(),
-	})
-}
-
-// statsResponse is the /stats document.
-type statsResponse struct {
-	UptimeSeconds float64         `json:"uptime_seconds"`
-	Requests      int64           `json:"requests"`
-	Errors        int64           `json:"errors"`
-	Cache         cache.Stats     `json:"cache"`
-	CacheHitRate  float64         `json:"cache_hit_rate"`
-	Sessions      sessionsStats   `json:"sessions"`
-	SolveLatency  latencyStats    `json:"solve_latency"`
-	Sched         schedStats      `json:"sched"`
-	Flight        obs.FlightStats `json:"flight"`
-}
-
-// latencyStats summarizes a latency histogram: estimated quantiles from the
-// registry's fixed log-scale buckets.
-type latencyStats struct {
-	Count int64   `json:"count"`
-	P50   float64 `json:"p50_seconds"`
-	P95   float64 `json:"p95_seconds"`
-	P99   float64 `json:"p99_seconds"`
-}
-
-// schedStats surfaces the work-stealing scheduler's mc3_sched_* counters.
-type schedStats struct {
-	Runs       int64 `json:"runs"`
-	Components int64 `json:"components"`
-	Tasks      int64 `json:"tasks"`
-	Steals     int64 `json:"steals"`
-	Spawns     int64 `json:"spawns"`
-}
-
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.cache.Stats()
-	writeJSON(w, http.StatusOK, statsResponse{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Requests:      s.requests.Load(),
-		Errors:        s.errored.Load(),
-		Cache:         st,
-		CacheHitRate:  st.HitRate(),
-		Sessions:      s.sessions.snapshot(),
-		SolveLatency: latencyStats{
-			Count: s.solveSecsAll.Count(),
-			P50:   s.solveSecsAll.Quantile(0.50),
-			P95:   s.solveSecsAll.Quantile(0.95),
-			P99:   s.solveSecsAll.Quantile(0.99),
-		},
-		Sched: schedStats{
-			Runs:       s.registry.Counter("mc3_sched_runs_total").Value(),
-			Components: s.registry.Counter("mc3_sched_components_total").Value(),
-			Tasks:      s.registry.Counter("mc3_sched_tasks_total").Value(),
-			Steals:     s.registry.Counter("mc3_sched_steals_total").Value(),
-			Spawns:     s.registry.Counter("mc3_sched_spawns_total").Value(),
-		},
-		Flight: s.flight.Stats(),
-	})
-}
-
-// fail answers an error as JSON and counts it.
-func (s *server) fail(w http.ResponseWriter, code int, err error) {
-	s.errored.Add(1)
-	s.registry.Counter("mc3serve_errors_total").Inc()
-	writeJSON(w, code, errorResponse{Error: err.Error()})
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-// buildOptions translates the flag strings into solver options (same
-// vocabulary as mc3solve).
-func buildOptions(cfg config) (solver.Options, error) {
-	opts := solver.DefaultOptions()
-	switch cfg.wsc {
-	case "auto":
-		opts.WSC = solver.WSCAuto
-	case "greedy":
-		opts.WSC = solver.WSCGreedy
-	case "primal-dual":
-		opts.WSC = solver.WSCPrimalDual
-	case "lp-rounding":
-		opts.WSC = solver.WSCLPRounding
-	case "auto-lp":
-		opts.WSC = solver.WSCAutoLP
-	default:
-		return opts, fmt.Errorf("unknown -wsc %q", cfg.wsc)
-	}
-	switch cfg.prep {
-	case "full":
-		opts.Prep = prep.Full
-	case "minimal":
-		opts.Prep = prep.Minimal
-	default:
-		return opts, fmt.Errorf("unknown -prep %q", cfg.prep)
-	}
-	switch cfg.engine {
-	case "dinic":
-		opts.Engine = bipartite.Dinic
-	case "push-relabel":
-		opts.Engine = bipartite.PushRelabel
-	case "capacity-scaling":
-		opts.Engine = bipartite.CapacityScaling
-	default:
-		return opts, fmt.Errorf("unknown -engine %q", cfg.engine)
-	}
-	opts.Parallelism = cfg.parallel
-	if cfg.selectorPath != "" {
-		model, err := selector.Load(cfg.selectorPath)
-		if err != nil {
-			return opts, err
-		}
-		opts.Selector = model
-	}
-	return opts, nil
-}
-
-// checkAlgo validates the -algo flag once at startup (resolution still
-// happens per request, since "auto" depends on the instance).
-func checkAlgo(name string) error {
-	switch name {
-	case "auto", "ktwo", "general", "short-first", "portfolio":
-		return nil
-	}
-	return fmt.Errorf("unknown -algo %q", name)
-}
-
-// pickAlgorithm resolves the configured algorithm against an instance. The
-// "auto" gate mirrors solver.Auto — static k ≤ 2 dispatch, overridable
-// toward the general solver by a confident dispatch prediction from a
-// loaded selector model — but is unrolled here so the chosen label reaches
-// the per-request metrics.
-func pickAlgorithm(name string, inst *core.Instance, opts solver.Options) (solver.Func, string) {
-	switch name {
-	case "ktwo":
-		return solver.KTwo, "ktwo"
-	case "general":
-		return solver.General, "general"
-	case "short-first":
-		return solver.ShortFirst, "short-first"
-	case "portfolio":
-		return solver.Portfolio, "portfolio"
-	default: // "auto", validated at startup
-		if inst.MaxQueryLen() > 2 {
-			return solver.General, "general"
-		}
-		if ds, ok := opts.Selector.(solver.DispatchSelector); ok {
-			f := solver.DispatchFeatures{
-				Queries:     inst.NumQueries(),
-				Classifiers: inst.NumClassifiers(),
-				MaxQueryLen: inst.MaxQueryLen(),
-				SumQueryLen: inst.SumQueryLen(),
-			}
-			if algo, _, ok := ds.PredictDispatch(f); ok && algo == solver.AlgoGeneral {
-				return solver.General, "general"
-			}
-		}
-		return solver.KTwo, "ktwo"
-	}
 }

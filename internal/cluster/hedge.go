@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/textio"
+)
+
+// LoadStats summarizes one /solve load run with exact (sample, not
+// histogram-estimated) latency quantiles.
+type LoadStats struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	P50      float64 `json:"p50_seconds"`
+	P95      float64 `json:"p95_seconds"`
+	P99      float64 `json:"p99_seconds"`
+	Mean     float64 `json:"mean_seconds"`
+}
+
+// SolveLoad posts the given /solve bodies round-robin, n requests in
+// total, and returns exact latency quantiles — the measurement loop of the
+// hedging experiment (run once against a router with hedging off and once
+// with it on, with one shard slowed, and compare p99). Callers pass several
+// distinct bodies so consistent hashing spreads the run across shards —
+// the slow shard must be on the request path for hedging to matter.
+// Sequential on purpose: queueing effects would otherwise pollute the tail
+// being measured.
+func SolveLoad(ctx context.Context, client *http.Client, routerURL string, bodies [][]byte, n int) (*LoadStats, error) {
+	if client == nil {
+		client = &http.Client{}
+	}
+	if n <= 0 || len(bodies) == 0 {
+		return nil, fmt.Errorf("cluster: solve load needs n > 0 and at least one body")
+	}
+	lat := make([]float64, 0, n)
+	st := &LoadStats{Requests: n}
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, routerURL+"/solve", bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		start := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			st.Errors++
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			st.Errors++
+			continue
+		}
+		lat = append(lat, time.Since(start).Seconds())
+	}
+	if len(lat) == 0 {
+		return nil, fmt.Errorf("cluster: every solve in the load run failed")
+	}
+	sort.Float64s(lat)
+	var sum float64
+	for _, v := range lat {
+		sum += v
+	}
+	st.Mean = sum / float64(len(lat))
+	st.P50 = sampleQuantile(lat, 0.50)
+	st.P95 = sampleQuantile(lat, 0.95)
+	st.P99 = sampleQuantile(lat, 0.99)
+	return st, nil
+}
+
+// SolveBodies materializes k distinct /solve bodies from one query load by
+// rotating the query order: the instances (and so their solution costs) are
+// identical, but the byte-level payloads — and therefore their consistent-
+// hash routing keys — differ, spreading a SolveLoad run across shards.
+func SolveBodies(queries [][]string, uniformCost float64, k int) ([][]byte, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("cluster: no queries to build solve bodies from")
+	}
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(queries) {
+		k = len(queries)
+	}
+	out := make([][]byte, 0, k)
+	for i := 0; i < k; i++ {
+		rotated := append(append([][]string{}, queries[i:]...), queries[:i]...)
+		body, err := json.Marshal(textio.File{Queries: rotated, DefaultCost: &uniformCost})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, body)
+	}
+	return out, nil
+}
+
+// sampleQuantile reads quantile q from sorted samples (nearest-rank).
+func sampleQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

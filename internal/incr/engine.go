@@ -252,6 +252,24 @@ func (e *Engine) Queries() [][]string {
 	return out
 }
 
+// QueryMultiset returns the live load as property-name lists with every
+// query repeated its multiset count, in insertion order: the exact add
+// sequence that rebuilds this engine's state from scratch (Queries()
+// collapses duplicates, which would make a later removal of a
+// multiply-added query diverge).
+func (e *Engine) QueryMultiset() [][]string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out [][]string
+	for _, qe := range e.sortedQueries() {
+		names := e.u.SetNames(qe.set)
+		for c := 0; c < qe.count; c++ {
+			out = append(out, names)
+		}
+	}
+	return out
+}
+
 // sortedQueries returns the load's entries ordered by insertion sequence.
 // Callers hold mu.
 func (e *Engine) sortedQueries() []*qEntry {

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"fmt"
@@ -27,7 +27,7 @@ import (
 // instrument wraps a handler with request-ID propagation, the root span, and
 // the endpoint's RED metrics (pre-registered here, once, so the per-request
 // path does no registry lookups).
-func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	em := s.newEndpointMetrics(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		reqID := r.Header.Get("X-Request-ID")
@@ -58,7 +58,7 @@ func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 
 // newRequestID issues a process-unique request ID: a per-boot prefix plus a
 // sequence number.
-func (s *server) newRequestID() string {
+func (s *Server) newRequestID() string {
 	return fmt.Sprintf("%s-%06d", s.bootID, s.reqSeq.Add(1))
 }
 
@@ -82,7 +82,7 @@ type endpointMetrics struct {
 	seconds *obs.Histogram
 }
 
-func (s *server) newEndpointMetrics(endpoint string) *endpointMetrics {
+func (s *Server) newEndpointMetrics(endpoint string) *endpointMetrics {
 	em := &endpointMetrics{
 		errors:  s.registry.Counter(fmt.Sprintf(`mc3serve_http_errors_total{endpoint=%q}`, endpoint)),
 		seconds: s.registry.Histogram(fmt.Sprintf(`mc3serve_http_request_seconds{endpoint=%q}`, endpoint)),
@@ -111,7 +111,7 @@ func (em *endpointMetrics) observe(status int, secs float64) {
 
 // observeSolve records one solve/apply duration into the aggregate
 // mc3serve_solve_seconds family and its per-endpoint split series.
-func (s *server) observeSolve(endpoint string, secs float64) {
+func (s *Server) observeSolve(endpoint string, secs float64) {
 	s.solveSecsAll.Observe(secs)
 	s.solveSecs[endpoint].Observe(secs)
 }
@@ -120,7 +120,7 @@ func (s *server) observeSolve(endpoint string, secs float64) {
 // counters plus a newest-first summary of the retained request traces. These
 // answer directly (not via s.fail) so inspecting the server never inflates
 // its error metrics.
-func (s *server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
 	if s.flight == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "flight recorder disabled (-flight 0)"})
 		return
@@ -133,7 +133,7 @@ func (s *server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
 
 // handleDebugTrace answers GET /debug/trace/{id}: the full span tree of one
 // retained request, looked up by request ID or root span ID.
-func (s *server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	if s.flight == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "flight recorder disabled (-flight 0)"})
 		return

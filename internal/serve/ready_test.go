@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestReadyzFlipsAtDrainStart is the /readyz regression: readiness answers
+// 200 while serving and flips to 503 (with Retry-After) the moment a drain
+// starts, so routers and load balancers stop sending before the listener
+// closes. Liveness (/healthz) stays a separate endpoint with its own body.
+func TestReadyzFlipsAtDrainStart(t *testing.T) {
+	s := testServer(t, nil)
+
+	rec := doJSON(t, s, http.MethodGet, "/readyz", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/readyz before drain: status %d, want 200: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Body.String(); got != "ready\n" {
+		t.Fatalf("/readyz body %q, want %q", got, "ready\n")
+	}
+	if rec := doJSON(t, s, http.MethodGet, "/healthz", "", nil); rec.Body.String() != "ok\n" {
+		t.Fatalf("/healthz body %q, want %q", rec.Body.String(), "ok\n")
+	}
+
+	s.StartDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() false after StartDrain")
+	}
+	rec = doJSON(t, s, http.MethodGet, "/readyz", "", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain: status %d, want 503: %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("/readyz during drain: no Retry-After header")
+	}
+}
+
+// TestBackpressureCarriesRetryAfter asserts both transient-backpressure
+// answers carry Retry-After: the -max-sessions 429 (which used to omit it)
+// and the drain-path 503.
+func TestBackpressureCarriesRetryAfter(t *testing.T) {
+	s := testServer(t, func(c *Config) { c.MaxSessions = 1 })
+	createSession(t, s, paperInstance)
+
+	rec := doJSON(t, s, http.MethodPost, "/load", paperInstance, nil)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("load over the session limit: status %d, want 429: %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("session-limit 429: no Retry-After header")
+	}
+
+	s.StartDrain()
+	rec = doJSON(t, s, http.MethodPost, "/load", paperInstance, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("load during drain: status %d, want 503: %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("drain 503: no Retry-After header")
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -11,25 +11,17 @@ import (
 )
 
 // testServer builds a handler with the default configuration, tweaked by fn.
-func testServer(t *testing.T, fn func(*config)) *server {
+func testServer(t *testing.T, fn func(*Config)) *Server {
 	t.Helper()
-	cfg := config{
-		addr:        ":0",
-		algo:        "auto",
-		wsc:         "auto",
-		prep:        "full",
-		engine:      "dinic",
-		cacheSize:   128,
-		reqTimeout:  5 * time.Second,
-		maxBody:     1 << 20,
-		validate:    true,
-		maxSessions: 8,
-		flight:      256,
-	}
+	cfg := DefaultConfig()
+	cfg.CacheSize = 128
+	cfg.ReqTimeout = 5 * time.Second
+	cfg.MaxBody = 1 << 20
+	cfg.MaxSessions = 8
 	if fn != nil {
 		fn(&cfg)
 	}
-	s, err := newServer(cfg, nil)
+	s, err := New(cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +46,7 @@ const paperInstance = `{
 	}
 }`
 
-func postSolve(t *testing.T, s *server, body string) (*httptest.ResponseRecorder, solveResponse) {
+func postSolve(t *testing.T, s *Server, body string) (*httptest.ResponseRecorder, solveResponse) {
 	t.Helper()
 	req := httptest.NewRequest(http.MethodPost, "/solve", strings.NewReader(body))
 	rec := httptest.NewRecorder()
@@ -119,7 +111,7 @@ func TestSolveCacheAmortization(t *testing.T) {
 }
 
 func TestSolveCacheDisabled(t *testing.T) {
-	s := testServer(t, func(c *config) { c.cacheSize = 0 })
+	s := testServer(t, func(c *Config) { c.CacheSize = 0 })
 	for i := 0; i < 2; i++ {
 		rec, resp := postSolve(t, s, paperInstance)
 		if rec.Code != http.StatusOK {
@@ -158,7 +150,7 @@ func TestSolveErrors(t *testing.T) {
 }
 
 func TestSolveBodyLimit(t *testing.T) {
-	s := testServer(t, func(c *config) { c.maxBody = 64 })
+	s := testServer(t, func(c *Config) { c.MaxBody = 64 })
 	var big bytes.Buffer
 	big.WriteString(`{"queries": [`)
 	for i := 0; i < 100; i++ {
@@ -200,7 +192,7 @@ func TestRequestTimeout(t *testing.T) {
 	// A denser random load with an unreachable deadline: the solve must be
 	// cut off and answered as 504. Timeout 1ns cannot complete even the
 	// preprocessing checkpoint.
-	s := testServer(t, func(c *config) { c.reqTimeout = time.Nanosecond })
+	s := testServer(t, func(c *Config) { c.ReqTimeout = time.Nanosecond })
 	rec, _ := postSolve(t, s, paperInstance)
 	if rec.Code != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504: %s", rec.Code, rec.Body)
@@ -208,16 +200,16 @@ func TestRequestTimeout(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	bad := []func(*config){
-		func(c *config) { c.algo = "nope" },
-		func(c *config) { c.wsc = "nope" },
-		func(c *config) { c.prep = "nope" },
-		func(c *config) { c.engine = "nope" },
+	bad := []func(*Config){
+		func(c *Config) { c.Algo = "nope" },
+		func(c *Config) { c.WSC = "nope" },
+		func(c *Config) { c.Prep = "nope" },
+		func(c *Config) { c.Engine = "nope" },
 	}
 	for i, fn := range bad {
-		cfg := config{algo: "auto", wsc: "auto", prep: "full", engine: "dinic"}
+		cfg := Config{Algo: "auto", WSC: "auto", Prep: "full", Engine: "dinic"}
 		fn(&cfg)
-		if _, err := newServer(cfg, nil); err == nil {
+		if _, err := New(cfg, nil); err == nil {
 			t.Errorf("case %d: bad config accepted", i)
 		}
 	}

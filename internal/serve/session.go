@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"context"
@@ -127,7 +127,7 @@ func (d wireDelta) decode() (incr.Delta, error) {
 // sessionAlgo resolves the effective algorithm for a new session: the
 // ?algo= override, else the server's -algo when the incremental engine
 // supports it, else auto.
-func (s *server) sessionAlgo(r *http.Request) (string, error) {
+func (s *Server) sessionAlgo(r *http.Request) (string, error) {
 	if a := r.URL.Query().Get("algo"); a != "" {
 		switch a {
 		case incr.AlgoAuto, incr.AlgoGeneral, incr.AlgoKTwo:
@@ -136,16 +136,16 @@ func (s *server) sessionAlgo(r *http.Request) (string, error) {
 		return "", fmt.Errorf("unsupported session algo %q (want %s, %s, or %s)",
 			a, incr.AlgoAuto, incr.AlgoGeneral, incr.AlgoKTwo)
 	}
-	switch s.cfg.algo {
+	switch s.cfg.Algo {
 	case incr.AlgoGeneral, incr.AlgoKTwo:
-		return s.cfg.algo, nil
+		return s.cfg.Algo, nil
 	}
 	return incr.AlgoAuto, nil
 }
 
 // handleLoad answers POST /load: parse an instance, install it as a fresh
 // incremental session, and solve it.
-func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	s.registry.Counter("mc3serve_requests_total").Inc()
 
@@ -162,7 +162,7 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 
 	u := core.NewUniverse()
 	opts := s.opts
-	opts.Validate = s.cfg.validate
+	opts.Validate = s.cfg.Validate
 	engine, err := incr.New(incr.Config{
 		Costs:    file.CostModelFor(u),
 		Universe: u,
@@ -183,7 +183,10 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, err := s.sessions.add(algo, engine)
 	if err != nil {
-		s.fail(w, http.StatusTooManyRequests, err)
+		// Backpressure, not a broken request: like the drain-path 503, the
+		// 429 carries Retry-After so clients and routers know to back off
+		// and try again instead of failing the load outright.
+		s.failRetry(w, http.StatusTooManyRequests, 1, err)
 		return
 	}
 	res, err := s.applySession(r, "load", sess, deltas)
@@ -196,7 +199,7 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDelta answers POST /session/{id}/delta.
-func (s *server) handleDelta(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	s.registry.Counter("mc3serve_requests_total").Inc()
 
@@ -205,7 +208,7 @@ func (s *server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
 		return
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	dec.DisallowUnknownFields()
 	var req deltaRequest
 	if err := dec.Decode(&req); err != nil {
@@ -230,7 +233,7 @@ func (s *server) handleDelta(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSolution answers GET /session/{id}/solution.
-func (s *server) handleSolution(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSolution(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	sess := s.sessions.get(r.PathValue("id"))
 	if sess == nil {
@@ -249,7 +252,7 @@ func (s *server) handleSolution(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSessionDelete answers DELETE /session/{id}.
-func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if !s.sessions.drop(r.PathValue("id")) {
 		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
@@ -260,11 +263,11 @@ func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 
 // applySession runs one delta batch under the request's deadline, observing
 // the solve latency under the given endpoint label ("load" or "delta").
-func (s *server) applySession(r *http.Request, endpoint string, sess *session, deltas []incr.Delta) (*incr.Result, error) {
+func (s *Server) applySession(r *http.Request, endpoint string, sess *session, deltas []incr.Delta) (*incr.Result, error) {
 	ctx := r.Context()
-	if s.cfg.reqTimeout > 0 {
+	if s.cfg.ReqTimeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.reqTimeout)
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.ReqTimeout)
 		defer cancel()
 	}
 	res, err := sess.engine.Apply(ctx, deltas)
@@ -276,10 +279,10 @@ func (s *server) applySession(r *http.Request, endpoint string, sess *session, d
 
 // failApply maps an Apply error to the same status vocabulary as /solve:
 // deadline 504, client gone 499, validation/infeasibility 422.
-func (s *server) failApply(w http.ResponseWriter, err error) {
+func (s *Server) failApply(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		s.fail(w, http.StatusGatewayTimeout, fmt.Errorf("apply exceeded %v", s.cfg.reqTimeout))
+		s.fail(w, http.StatusGatewayTimeout, fmt.Errorf("apply exceeded %v", s.cfg.ReqTimeout))
 	case errors.Is(err, context.Canceled):
 		s.fail(w, statusClientClosedRequest, errors.New("client closed request"))
 	default:

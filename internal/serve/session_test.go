@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -10,7 +10,7 @@ import (
 
 // doJSON sends a request and decodes a JSON body into out (when non-nil and
 // the response has one).
-func doJSON(t *testing.T, s *server, method, path, body string, out any) *httptest.ResponseRecorder {
+func doJSON(t *testing.T, s *Server, method, path, body string, out any) *httptest.ResponseRecorder {
 	t.Helper()
 	var rd *strings.Reader
 	if body == "" {
@@ -29,7 +29,7 @@ func doJSON(t *testing.T, s *server, method, path, body string, out any) *httpte
 	return rec
 }
 
-func createSession(t *testing.T, s *server, instance string) sessionResponse {
+func createSession(t *testing.T, s *Server, instance string) sessionResponse {
 	t.Helper()
 	var resp sessionResponse
 	rec := doJSON(t, s, http.MethodPost, "/load", instance, &resp)
@@ -150,7 +150,7 @@ func TestSessionErrors(t *testing.T) {
 }
 
 func TestSessionLimit(t *testing.T) {
-	s := testServer(t, func(c *config) { c.maxSessions = 1 })
+	s := testServer(t, func(c *Config) { c.MaxSessions = 1 })
 	createSession(t, s, paperInstance)
 	rec := doJSON(t, s, http.MethodPost, "/load", paperInstance, nil)
 	if rec.Code != http.StatusTooManyRequests {

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -13,7 +13,7 @@ import (
 // stressReq is a goroutine-safe request helper: unlike doJSON it never calls
 // t.Fatal (illegal off the test goroutine) and reports every problem as an
 // error value instead.
-func stressReq(s *server, method, path, body string, out any) (int, error) {
+func stressReq(s *Server, method, path, body string, out any) (int, error) {
 	req := httptest.NewRequest(method, path, strings.NewReader(body))
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
@@ -36,7 +36,7 @@ func stressReq(s *server, method, path, body string, out any) (int, error) {
 // instance so the shared cache sees concurrent stores and hits for one key
 // population.
 func TestServerParallelStress(t *testing.T) {
-	s := testServer(t, func(c *config) { c.parallel = -1; c.maxSessions = 16 })
+	s := testServer(t, func(c *Config) { c.Parallel = -1; c.MaxSessions = 16 })
 
 	// A multi-component instance: disjoint pairs, so the scheduler has
 	// several components to dispatch per request.

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bufio"
@@ -20,7 +20,7 @@ import (
 // metrics, and the serve-path feature harvester.
 
 // get answers a GET against the handler.
-func get(t *testing.T, s *server, path string) *httptest.ResponseRecorder {
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
 	t.Helper()
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
@@ -181,7 +181,7 @@ func TestDebugEndpoints(t *testing.T) {
 }
 
 func TestDebugEndpointsDisabled(t *testing.T) {
-	s := testServer(t, func(c *config) { c.flight = 0 })
+	s := testServer(t, func(c *Config) { c.Flight = 0 })
 	postSolve(t, s, paperInstance)
 	for _, path := range []string{"/debug/requests", "/debug/trace/anything"} {
 		rec := get(t, s, path)
@@ -221,9 +221,9 @@ func readSlowLog(t *testing.T, buf *bytes.Buffer) []slowRec {
 func TestSlowQueryCapture(t *testing.T) {
 	// Threshold 1ns: every completed request counts as slow.
 	var buf bytes.Buffer
-	s := testServer(t, func(c *config) {
-		c.slowW = &buf
-		c.slowThreshold = time.Nanosecond
+	s := testServer(t, func(c *Config) {
+		c.SlowW = &buf
+		c.SlowThreshold = time.Nanosecond
 	})
 	req := httptest.NewRequest(http.MethodPost, "/solve", strings.NewReader(paperInstance))
 	req.Header.Set("X-Request-ID", "slowpoke")
@@ -255,9 +255,9 @@ func TestSlowQueryCapture(t *testing.T) {
 func TestErrorCapture(t *testing.T) {
 	// Threshold far away: only the error path may trigger capture.
 	var buf bytes.Buffer
-	s := testServer(t, func(c *config) {
-		c.slowW = &buf
-		c.slowThreshold = time.Hour
+	s := testServer(t, func(c *Config) {
+		c.SlowW = &buf
+		c.SlowThreshold = time.Hour
 	})
 
 	// A fast success is not captured.
@@ -307,7 +307,7 @@ func TestErrorCapture(t *testing.T) {
 
 func TestServeFeatureLog(t *testing.T) {
 	var buf bytes.Buffer
-	s := testServer(t, func(c *config) { c.featureW = &buf })
+	s := testServer(t, func(c *Config) { c.FeatureW = &buf })
 
 	req := httptest.NewRequest(http.MethodPost, "/solve", strings.NewReader(paperInstance))
 	req.Header.Set("X-Request-ID", "harvested")
@@ -409,7 +409,7 @@ func TestMetricsREDAndLint(t *testing.T) {
 // TestDebugEndpointsUnderLoad hammers the ring from writers while readers walk
 // the debug endpoints — meaningful mainly under -race.
 func TestDebugEndpointsUnderLoad(t *testing.T) {
-	s := testServer(t, func(c *config) { c.flight = 8 })
+	s := testServer(t, func(c *Config) { c.Flight = 8 })
 	const writers, perWriter = 4, 16
 
 	var wg sync.WaitGroup

@@ -171,8 +171,17 @@ func (f *File) CostModelFor(u *core.Universe) core.CostModel {
 		def = *f.DefaultCost
 	}
 	table := core.NewCostTable(def)
-	for key, c := range f.Costs {
-		table.Set(u.Set(strings.Split(key, KeySep)...), c)
+	// Intern cost keys in sorted order, not map order: interning assigns
+	// property IDs, and two processes building a model from the same file
+	// must end with identical universes for their solves to tie-break
+	// identically (the cluster differential depends on this).
+	keys := make([]string, 0, len(f.Costs))
+	for key := range f.Costs {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		table.Set(u.Set(strings.Split(key, KeySep)...), f.Costs[key])
 	}
 	return table
 }
