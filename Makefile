@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race check bench bench-full bench-sched bench-baseline bench-compare cluster-smoke experiments experiments-quick train serve fuzz clean
+.PHONY: all build vet test test-race race check bench bench-full bench-sched bench-baseline bench-compare cluster-smoke stream-smoke experiments experiments-quick train serve fuzz clean
 
 all: build vet test
 
@@ -44,6 +44,13 @@ bench-sched:
 # (docs/CLUSTER.md). Artifacts land in ./cluster-smoke.
 cluster-smoke:
 	sh scripts/cluster-smoke.sh
+
+# Streaming smoke gate: a generated query log solved materialized, streamed
+# finish-only, and streamed with mid-stream sealing must cost identically;
+# plus the sampling path and the peak-heap stream-mem differential
+# (docs/STREAMING.md). Artifacts land in ./stream-smoke.
+stream-smoke:
+	sh scripts/stream-smoke.sh
 
 # Before/after comparison flow (see docs/PERFORMANCE.md):
 #   git stash / git checkout <old>; make bench-baseline   # writes bench-old.txt

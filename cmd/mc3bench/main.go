@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -58,6 +59,10 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 		trainSel = fs.String("train-selector", "", "train a selector model from the -features harvest file (read, not written, in this mode) into this path, print its regret report, and exit without running experiments (see docs/SELECTOR.md)")
 		regret   = fs.String("regret", "", "with -train-selector, also write the regret report as JSON to this path")
 		selPath  = fs.String("selector", "", "load a trained selector model and let it skip confident set-cover engine races in every solve (see docs/SELECTOR.md)")
+		streamN  = fs.Int64("stream", 0, "query count for the streaming experiments (stream-gap/stream-mem; 0 = suite default, 1M full / 50k quick)")
+		parts    = fs.Int("partitions", 0, "partition count for the streamed synthetic load (0 = suite default)")
+		gaps     = fs.String("gap", "", "comma-separated certified-gap targets for stream-gap (e.g. 0,0.02,0.1; 0 = exact arm)")
+		sample   = fs.Int("sample", 0, "initial sample size for sampling-based solves (0 = solver default)")
 	)
 	var obsCfg obs.CLIConfig
 	obsCfg.RegisterFlags(fs)
@@ -120,6 +125,22 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 	}
 	cfg.Repeats = *repeats
 	cfg.Timeout = *timeout
+	if *streamN > 0 {
+		cfg.StreamQueries = *streamN
+	}
+	if *parts > 0 {
+		cfg.StreamPartitions = *parts
+	}
+	if *gaps != "" {
+		for _, g := range strings.Split(*gaps, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(g), 64)
+			if err != nil || v < 0 {
+				return fmt.Errorf("invalid -gap value %q", g)
+			}
+			cfg.GapTargets = append(cfg.GapTargets, v)
+		}
+	}
+	cfg.SampleSize = *sample
 	cfg.Tracer = obsCLI.Tracer
 	if *stats {
 		cfg.Stats = new(solver.SolveStats)
@@ -158,8 +179,10 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 		"fig3d":    bench.Figure3d,
 		"fig3e":    bench.Figure3e,
 		"fig3f":    bench.Figure3f,
-		"sched":    bench.ParallelScaling,
-		"selector": bench.SelectorBench,
+		"sched":      bench.ParallelScaling,
+		"selector":   bench.SelectorBench,
+		"stream-gap": bench.StreamGap,
+		"stream-mem": bench.StreamMem,
 	}
 	order := []string{"table1", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "sched", "selector"}
 
@@ -173,6 +196,10 @@ func run(args []string, out, errw io.Writer) (retErr error) {
 			wantAblation = true
 		case "ablation", "ablations":
 			wantAblation = true
+		case "stream":
+			// The streaming experiments run at ≥1M queries by default, so
+			// they are opt-in rather than part of "all".
+			selected = append(selected, "stream-gap", "stream-mem")
 		default:
 			if _, ok := runners[e]; !ok {
 				return fmt.Errorf("unknown experiment %q", e)

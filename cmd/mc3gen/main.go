@@ -6,6 +6,7 @@
 //	mc3gen -dataset synthetic -n 10000 -seed 1 -out instance.json
 //	mc3gen -dataset bestbuy -out bb.json
 //	mc3gen -dataset private [-category fashion] [-short] -out p.json
+//	mc3gen -stream -queries 10000000 -partitions 64 -seed 1 -out queries.log
 //	mc3gen -dataset synthetic -n 200 -deltas -delta-events 500 -out stream.txt
 //	mc3gen -dataset synthetic -n 200 -deltas -sessions 4 -out bundle.txt
 //
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +53,10 @@ func run(args []string, out, errw io.Writer) error {
 		subset   = fs.Int("subset", 0, "randomly subsample to this many queries (0 = all)")
 		outPath  = fs.String("out", "", "output file (default stdout)")
 
+		stream     = fs.Bool("stream", false, "emit a plain-text query log (one query per line) via the streaming generator — no instance materialization, scales to 10M+ queries")
+		queries    = fs.Int64("queries", 0, "with -stream: query count (0 falls back to -n)")
+		partitions = fs.Int("partitions", 16, "with -stream: number of property-disjoint segments (gives the stream locality so a streamed solve can seal mid-stream; 1 = single pool, exactly the synthetic shape)")
+
 		deltas      = fs.Bool("deltas", false, "emit a timestamped delta stream (mc3replay input) instead of an instance")
 		deltaEvents = fs.Int("delta-events", 200, "number of events in the -deltas stream")
 		deltaRate   = fs.Float64("delta-rate", 10, "events per second of stream time in the -deltas stream")
@@ -58,6 +64,17 @@ func run(args []string, out, errw io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *stream {
+		if *dataset != "synthetic" {
+			return fmt.Errorf("-stream supports only -dataset synthetic")
+		}
+		nq := *queries
+		if nq <= 0 {
+			nq = int64(*n)
+		}
+		return emitStream(nq, *seed, *partitions, *outPath, out, errw)
 	}
 
 	var d *workload.Dataset
@@ -108,6 +125,51 @@ func run(args []string, out, errw io.Writer) error {
 		return emitDeltas(d, *deltaEvents, *deltaRate, *seed, *outPath, out, errw)
 	}
 	return emit(d, *subset, *seed, *outPath, out, errw)
+}
+
+// emitStream writes a plain-text query log (the mc3solve -stream /
+// ParseQueryLog input format) straight from the streaming synthetic
+// generator — queries are never materialized, so 10M+ loads cost only the
+// property pool. Deterministic: identical flags yield identical bytes.
+func emitStream(n, seed int64, partitions int, outPath string, out, errw io.Writer) error {
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriterSize(out, 1<<20)
+	var emitted int64
+	err := workload.SyntheticStream(n, seed, partitions, func(props []string) error {
+		for i, p := range props {
+			if i > 0 {
+				if err := w.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := w.WriteString(p); err != nil {
+				return err
+			}
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+		emitted++
+		if emitted%1_000_000 == 0 {
+			fmt.Fprintf(errw, "mc3gen: streamed %dM/%d queries\n", emitted/1_000_000, n)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "mc3gen: synthetic stream — %d queries, %d partition(s), seed %d\n", emitted, partitions, seed)
+	return nil
 }
 
 // deltaStats counts a generated stream's event mix.

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestGenStreamDeterministic: identical flags must produce byte-identical
+// query logs (the repeatability contract large-load experiments rely on).
+func TestGenStreamDeterministic(t *testing.T) {
+	gen := func() string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run([]string{"-stream", "-queries", "1000", "-partitions", "4", "-seed", "9"}, &out, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	a, b := gen(), gen()
+	if a != b {
+		t.Fatal("same seed must emit byte-identical streams")
+	}
+	if lines := strings.Count(a, "\n"); lines != 1000 {
+		t.Errorf("emitted %d queries, want 1000", lines)
+	}
+	for _, line := range strings.SplitN(a, "\n", 4)[:3] {
+		if strings.TrimSpace(line) == "" {
+			t.Error("empty query line")
+		}
+	}
+}
+
+// TestGenStreamFallsBackToN: -queries 0 falls back to -n.
+func TestGenStreamFallsBackToN(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-stream", "-n", "50", "-seed", "2"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(out.String(), "\n"); lines != 50 {
+		t.Errorf("emitted %d queries, want 50", lines)
+	}
+	if !strings.Contains(errw.String(), "50 queries") {
+		t.Errorf("progress note missing: %q", errw.String())
+	}
+}
+
+// TestGenStreamRejectsNonSynthetic: only the synthetic generator streams.
+func TestGenStreamRejectsNonSynthetic(t *testing.T) {
+	err := run([]string{"-stream", "-dataset", "bestbuy"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "synthetic") {
+		t.Fatalf("want a -dataset error, got %v", err)
+	}
+}

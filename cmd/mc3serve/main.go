@@ -126,6 +126,7 @@ func run(args []string, logw io.Writer) (retErr error) {
 	fs.Float64Var(&cfg.CacheQuantum, "cache-quantum", 0, "cost quantum for cache keys (0 = exact costs)")
 	fs.DurationVar(&cfg.ReqTimeout, "request-timeout", cfg.ReqTimeout, "per-request solve deadline (0 = client-controlled only)")
 	fs.Int64Var(&cfg.MaxBody, "max-body", cfg.MaxBody, "maximum request body bytes")
+	fs.IntVar(&cfg.MaxLoadQueries, "max-load-queries", cfg.MaxLoadQueries, "reject /load bodies above this many queries with 413 pointing at the mc3solve -stream offline path (0 disables)")
 	fs.BoolVar(&cfg.Validate, "validate", cfg.Validate, "verify every solution before answering")
 	fs.IntVar(&cfg.MaxSessions, "max-sessions", cfg.MaxSessions, "maximum live incremental sessions")
 	fs.IntVar(&cfg.Flight, "flight", cfg.Flight, "span trees retained by the in-memory flight recorder, served at /debug/requests (0 disables)")

@@ -32,6 +32,7 @@ import (
 	"repro/internal/selector"
 	"repro/internal/solver"
 	"repro/internal/textio"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -45,7 +46,14 @@ func main() {
 func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("mc3solve", flag.ContinueOnError)
 	var (
-		inPath   = fs.String("in", "", "instance JSON file (required)")
+		inPath   = fs.String("in", "", "instance JSON file (this or -stream is required)")
+		streamIn = fs.String("stream", "", "plain-text query log to solve streamed: queries are ingested one at a time and components solved as they seal, never materializing the whole load (see docs/STREAMING.md)")
+		costSpec = fs.String("cost", "uniform:1", "classifier cost model for -stream: uniform:C or synthetic:SEED")
+		sealWin  = fs.Int64("seal-window", 0, "with -stream: seal a component after this many queries without growth and solve it while ingestion continues (0 = seal only at end of stream)")
+		ambient  = fs.Int("ambient", 0, "with -stream: declared max query length of the whole load (0 = derive, assuming a long load when -seal-window is set)")
+		reopen   = fs.Bool("allow-reopen", false, "with -stream: accept queries whose properties reappear after sealing (upper-bound cover instead of an error)")
+		gap      = fs.Float64("gap", 0, "target certified optimality gap for sampling-based component solves (0 = exact; e.g. 0.05 accepts covers proven within 5% of optimal)")
+		sample   = fs.Int("sample", 0, "initial sample size for -gap solves (0 = default)")
 		algo     = fs.String("algo", "auto", "algorithm: auto|ktwo|general|short-first|exact|mixed|property-oriented|query-oriented|local-greedy")
 		wsc      = fs.String("wsc", "auto", "Algorithm 3 set-cover engine: auto|greedy|primal-dual|lp-rounding|auto-lp")
 		prepStr  = fs.String("prep", "full", "preprocessing level: full|minimal")
@@ -65,8 +73,11 @@ func run(args []string, out io.Writer) (retErr error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *inPath == "" {
-		return errors.New("-in is required")
+	if *inPath == "" && *streamIn == "" {
+		return errors.New("-in or -stream is required")
+	}
+	if *inPath != "" && *streamIn != "" {
+		return errors.New("-in and -stream are mutually exclusive")
 	}
 	obsCLI, err := obsCfg.Start()
 	if err != nil {
@@ -79,20 +90,6 @@ func run(args []string, out io.Writer) (retErr error) {
 	}()
 	if obsCLI.DebugAddr != "" {
 		fmt.Fprintf(os.Stderr, "mc3solve: debug server on http://%s\n", obsCLI.DebugAddr)
-	}
-
-	f, err := os.Open(*inPath)
-	if err != nil {
-		return err
-	}
-	file, err := textio.Read(f)
-	f.Close()
-	if err != nil {
-		return err
-	}
-	_, inst, err := file.Build(core.Options{})
-	if err != nil {
-		return err
 	}
 
 	opts, err := buildOptions(*wsc, *prepStr, *engine)
@@ -110,10 +107,39 @@ func run(args []string, out io.Writer) (retErr error) {
 		}
 		opts.Selector = model
 	}
+	if *gap < 0 {
+		return fmt.Errorf("-gap must be ≥ 0, got %v", *gap)
+	}
+	if *gap > 0 {
+		opts.Sampling = &solver.SamplingConfig{Gap: *gap, SampleSize: *sample}
+	}
 	var solveStats *solver.SolveStats
 	if *stats {
 		solveStats = new(solver.SolveStats)
 		opts.Stats = solveStats
+	}
+
+	if *streamIn != "" {
+		return solveStreamed(out, *streamIn, *costSpec, solver.StreamConfig{
+			SealWindow:      *sealWin,
+			AmbientQueryLen: *ambient,
+			AllowReopen:     *reopen,
+			Parallelism:     *parallel,
+		}, opts, *quiet, solveStats)
+	}
+
+	f, err := os.Open(*inPath)
+	if err != nil {
+		return err
+	}
+	file, err := textio.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	_, inst, err := file.Build(core.Options{})
+	if err != nil {
+		return err
 	}
 
 	if *analyze {
@@ -162,6 +188,60 @@ func run(args []string, out io.Writer) (retErr error) {
 		fmt.Fprintln(out)
 		ex.Render(out, inst)
 	}
+	if solveStats != nil {
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "solve stats:")
+		solveStats.Render(out)
+	}
+	return nil
+}
+
+// solveStreamed solves a plain-text query log through the streaming path:
+// the load is never materialized as an Instance — queries feed a
+// core.StreamingBuilder and components are solved as they seal. Progress
+// goes to stderr every million queries.
+func solveStreamed(out io.Writer, logPath, costSpec string, cfg solver.StreamConfig, opts solver.Options, quiet bool, solveStats *solver.SolveStats) error {
+	cm, err := workload.ParseCostModel(costSpec)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(logPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	u := core.NewUniverse()
+	cfg.Progress = func(st core.StreamStats) {
+		fmt.Fprintf(os.Stderr, "mc3solve: streamed %d queries (%d live, %d component(s) sealed)\n",
+			st.Added, st.LiveQueries, st.SealedComponents)
+	}
+	start := time.Now()
+	res, err := solver.SolveStream(u, cm, func(add func(core.PropSet) error) error {
+		return workload.ParseQueryLogFunc(f, u, add)
+	}, cfg, opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		if solveStats != nil {
+			fmt.Fprint(out, solveStats)
+		}
+		return err
+	}
+
+	if quiet {
+		fmt.Fprintln(out, res.Cost)
+		return nil
+	}
+	fmt.Fprintf(out, "stream: %d queries (%d distinct), %d component(s), max query length %d\n",
+		res.Queries, res.Distinct, res.Components, res.MaxQueryLen)
+	fmt.Fprintf(out, "peak live queries: %d\n", res.PeakLiveQueries)
+	fmt.Fprintf(out, "total construction cost: %g\n", res.Cost)
+	fmt.Fprintf(out, "classifiers selected: %d\n", len(res.Classifiers))
+	if res.SampledComponents > 0 {
+		fmt.Fprintf(out, "sampling: %d component(s), %d escalated, reported gap %.4f\n",
+			res.SampledComponents, res.SamplingEscalations, res.Gap)
+	}
+	fmt.Fprintf(out, "time: %v\n", elapsed)
 	if solveStats != nil {
 		fmt.Fprintln(out)
 		fmt.Fprintln(out, "solve stats:")

@@ -58,6 +58,19 @@ type Config struct {
 	// confident learned prediction in every solve of the run (see
 	// solver.Options.Selector).
 	Selector solver.Selector
+	// StreamQueries is the query count of the streaming experiments
+	// (stream-gap / stream-mem — not part of "all"; see StreamGap and
+	// StreamMem).
+	StreamQueries int64
+	// StreamPartitions is the number of property-disjoint partitions the
+	// streamed synthetic load is generated in (workload.SyntheticStream).
+	StreamPartitions int
+	// GapTargets are the certified-gap targets of the stream-gap curve;
+	// 0 is the exact arm. Sorted output follows the given order.
+	GapTargets []float64
+	// SampleSize overrides the sampling path's initial sample size
+	// (0 = solver default).
+	SampleSize int
 }
 
 // SolverOptions returns the paper-default solver options carrying the
@@ -94,6 +107,15 @@ func (c Config) Defaults() Config {
 	if c.Repeats <= 0 {
 		c.Repeats = 1
 	}
+	if c.StreamQueries <= 0 {
+		c.StreamQueries = 1_000_000
+	}
+	if c.StreamPartitions <= 0 {
+		c.StreamPartitions = 16
+	}
+	if len(c.GapTargets) == 0 {
+		c.GapTargets = []float64{0, 0.02, 0.1, 0.5}
+	}
 	return c
 }
 
@@ -106,6 +128,10 @@ func Quick(seed int64) Config {
 		PSizes:         []int{400, 1000},
 		SyntheticSizes: []int{500, 2000},
 		Repeats:        1,
+
+		StreamQueries:    50_000,
+		StreamPartitions: 8,
+		GapTargets:       []float64{0, 0.1},
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
@@ -55,23 +56,37 @@ type ReportMem struct {
 	// HeapSysBytes is the memory obtained from the OS for the heap at the
 	// end of the run.
 	HeapSysBytes uint64 `json:"heap_sys_bytes"`
+	// PeakHeapBytes is the high watermark of the live heap observed by a
+	// background sampler during the run — the number end-of-run deltas
+	// cannot show (a run can allocate terabytes cumulatively yet peak at
+	// megabytes, or vice versa). Zero when the capture ran without a
+	// watermark.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes,omitempty"`
+	// PeakSysBytes is the corresponding watermark of OS-obtained memory.
+	PeakSysBytes uint64 `json:"peak_sys_bytes,omitempty"`
 }
 
 // MemCapture snapshots runtime.MemStats so a run's allocation deltas can be
-// reported. Use StartMemCapture before the measured work and Report after.
+// reported, and keeps a background heap watermark running for the peak
+// fields. Use StartMemCapture before the measured work and Report after.
 type MemCapture struct {
-	start runtime.MemStats
+	start     runtime.MemStats
+	watermark *obs.HeapWatermark
 }
 
-// StartMemCapture records the current memory statistics as the baseline.
+// StartMemCapture records the current memory statistics as the baseline and
+// starts the peak-heap sampler.
 func StartMemCapture() *MemCapture {
 	c := &MemCapture{}
 	runtime.ReadMemStats(&c.start)
+	c.watermark = obs.StartHeapWatermark(0)
 	return c
 }
 
-// Report returns the deltas accumulated since StartMemCapture.
+// Report stops the watermark and returns the deltas accumulated since
+// StartMemCapture. Call once.
 func (c *MemCapture) Report() *ReportMem {
+	peakHeap, peakSys := c.watermark.Stop()
 	var end runtime.MemStats
 	runtime.ReadMemStats(&end)
 	return &ReportMem{
@@ -81,6 +96,8 @@ func (c *MemCapture) Report() *ReportMem {
 		GCPauseMS:      float64(end.PauseTotalNs-c.start.PauseTotalNs) / 1e6,
 		HeapAllocBytes: end.HeapAlloc,
 		HeapSysBytes:   end.HeapSys,
+		PeakHeapBytes:  peakHeap,
+		PeakSysBytes:   peakSys,
 	}
 }
 

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// HeapWatermark tracks the peak heap footprint over a measured interval by
+// sampling runtime.MemStats in the background — the "how big did it get"
+// counterpart to the before/after deltas a MemCapture reports. Benchmarks use
+// it to record the memory win of streamed solves, where end-of-run heap says
+// nothing about the transient peak.
+type HeapWatermark struct {
+	stop chan struct{}
+	done chan struct{}
+
+	mu        sync.Mutex
+	peakAlloc uint64
+	peakSys   uint64
+}
+
+// StartHeapWatermark samples immediately, then every interval until Stop.
+// A non-positive interval defaults to 50ms — coarse enough to stay invisible
+// in profiles, fine enough to catch peaks of any phase worth measuring.
+func StartHeapWatermark(interval time.Duration) *HeapWatermark {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	w := &HeapWatermark{stop: make(chan struct{}), done: make(chan struct{})}
+	w.Sample()
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.Sample()
+			}
+		}
+	}()
+	return w
+}
+
+// Sample takes one reading now. Safe to call concurrently with the
+// background sampler (callers bracket phases of interest with explicit
+// samples so short spikes between ticks are not missed).
+func (w *HeapWatermark) Sample() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	w.mu.Lock()
+	if m.HeapAlloc > w.peakAlloc {
+		w.peakAlloc = m.HeapAlloc
+	}
+	if m.HeapSys > w.peakSys {
+		w.peakSys = m.HeapSys
+	}
+	w.mu.Unlock()
+}
+
+// Stop halts the sampler, takes a final reading, and returns the peaks.
+// Idempotent is not required; call once.
+func (w *HeapWatermark) Stop() (peakAlloc, peakSys uint64) {
+	close(w.stop)
+	<-w.done
+	w.Sample()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.peakAlloc, w.peakSys
+}

@@ -1,0 +1,57 @@
+package prep
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/core"
+)
+
+// LocalCover greedily covers the bits of query qi that are not yet in
+// covered, using only qi's own alive classifiers, and reports each chosen
+// classifier through emit. covered is the query-local bitmask already
+// handled (at minimum Result.CoveredMask[qi]; the sampling solver adds the
+// coverage of its sample-derived picks). Selection is by effective
+// cost-per-new-bit ratio with classifier-ID tie-breaking, so the patch is
+// deterministic.
+//
+// This is the sample-aware completion of Algorithm 1's forced-classifier
+// reasoning: a classifier forced by a query *outside* the sample is invisible
+// to a solve over the sample, but patching every unsampled query through
+// LocalCover necessarily picks it (it is the only alive option for its bit).
+// Likewise the error return is the sample-aware feasibility check — a bit no
+// alive classifier covers can only be detected by looking at the full
+// component, never at the sample.
+func (r *Result) LocalCover(qi int, covered uint64, emit func(core.ClassifierID)) error {
+	inst := r.Inst
+	need := inst.FullMask(qi) &^ covered
+	for need != 0 {
+		best := core.ClassifierID(-1)
+		var bestMask uint64
+		bestRatio := math.Inf(1)
+		for _, qc := range inst.QueryClassifiers(qi) {
+			if r.Removed[qc.ID] || r.SelectedSet[qc.ID] {
+				continue
+			}
+			gain := bits.OnesCount64(qc.Mask & need)
+			if gain == 0 {
+				continue
+			}
+			c := r.EffCost[qc.ID]
+			if math.IsInf(c, 0) || math.IsNaN(c) {
+				continue
+			}
+			ratio := c / float64(gain)
+			if ratio < bestRatio || (ratio == bestRatio && best >= 0 && qc.ID < best) {
+				best, bestMask, bestRatio = qc.ID, qc.Mask, ratio
+			}
+		}
+		if best < 0 {
+			return fmt.Errorf("prep: query %d (%v) has a property no alive classifier covers", qi, inst.Query(qi))
+		}
+		emit(best)
+		need &^= bestMask
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package prep
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// buildPrepped is a small helper: run full preprocessing over a hand-built
+// load priced by cm.
+func buildPrepped(t *testing.T, cm core.CostModel, loads ...[]string) (*Result, *core.Universe) {
+	t.Helper()
+	u := core.NewUniverse()
+	var qs []core.PropSet
+	for _, names := range loads {
+		ids := make([]core.PropID, len(names))
+		for i, n := range names {
+			ids[i] = u.Intern(n)
+		}
+		qs = append(qs, core.NewPropSet(ids...))
+	}
+	inst, err := core.NewInstance(u, qs, cm, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(inst, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, u
+}
+
+func TestLocalCoverCompletesQuery(t *testing.T) {
+	r, _ := buildPrepped(t, core.UniformCost(1),
+		[]string{"a", "b", "c"},
+		[]string{"a", "d"},
+		[]string{"b", "d"},
+	)
+	for qi := 0; qi < r.Inst.NumQueries(); qi++ {
+		if r.CoveredQuery[qi] {
+			continue
+		}
+		covered := r.CoveredMask[qi]
+		var picks []core.ClassifierID
+		if err := r.LocalCover(qi, covered, func(id core.ClassifierID) {
+			picks = append(picks, id)
+		}); err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		for _, id := range picks {
+			if r.Removed[id] || r.SelectedSet[id] {
+				t.Errorf("query %d: pick %d is removed or already selected", qi, id)
+			}
+		}
+		// Replay the picks: the query must end fully covered.
+		for _, qc := range r.Inst.QueryClassifiers(qi) {
+			for _, id := range picks {
+				if qc.ID == id {
+					covered |= qc.Mask
+				}
+			}
+		}
+		if covered != r.Inst.FullMask(qi) {
+			t.Errorf("query %d: picks %v leave mask %b of %b", qi, picks, covered, r.Inst.FullMask(qi))
+		}
+	}
+}
+
+func TestLocalCoverAlreadyCovered(t *testing.T) {
+	r, _ := buildPrepped(t, core.UniformCost(1), []string{"a", "b"})
+	qi := 0
+	called := false
+	if err := r.LocalCover(qi, r.Inst.FullMask(qi), func(core.ClassifierID) { called = true }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fully covered query must emit nothing")
+	}
+}
+
+func TestLocalCoverInfeasible(t *testing.T) {
+	// Preprocessing guarantees every residual query has a finite-cost cover,
+	// so LocalCover's infeasibility branch is defensive. Exercise it anyway
+	// by pricing every classifier out of existence after the fact.
+	r, _ := buildPrepped(t, core.UniformCost(1), []string{"a", "b", "c"})
+	if r.CoveredQuery[0] {
+		t.Skip("preprocessing resolved the query; infeasibility not reachable")
+	}
+	for i := range r.EffCost {
+		r.EffCost[i] = math.Inf(1)
+	}
+	err := r.LocalCover(0, r.CoveredMask[0], func(core.ClassifierID) {})
+	if err == nil || !strings.Contains(err.Error(), "no alive classifier") {
+		t.Fatalf("want infeasibility error, got %v", err)
+	}
+}

@@ -1,0 +1,37 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestLoadQueryLimit413: /load bodies above MaxLoadQueries must be refused
+// with a JSON 413 that points the client at the streamed offline path, and
+// must not create a session.
+func TestLoadQueryLimit413(t *testing.T) {
+	s := testServer(t, func(cfg *Config) { cfg.MaxLoadQueries = 2 })
+
+	rec := doJSON(t, s, http.MethodPost, "/load", paperInstance, nil)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413: %s", rec.Code, rec.Body)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("413 body is not JSON: %v\n%s", err, rec.Body)
+	}
+	if !strings.Contains(body.Error, "mc3solve -stream") || !strings.Contains(body.Error, "STREAMING.md") {
+		t.Errorf("413 should name the streamed CLI path, got %q", body.Error)
+	}
+
+	// Nothing leaked: a fresh load within the limit still works.
+	s2 := testServer(t, func(cfg *Config) { cfg.MaxLoadQueries = 100 })
+	createSession(t, s2, paperInstance)
+
+	// 0 disables the check entirely.
+	s3 := testServer(t, func(cfg *Config) { cfg.MaxLoadQueries = 0 })
+	createSession(t, s3, paperInstance)
+}

@@ -42,8 +42,14 @@ type Config struct {
 	CacheQuantum float64 // cost quantum for cache keys
 	ReqTimeout   time.Duration
 	MaxBody      int64
-	Validate     bool
-	MaxSessions  int
+	// MaxLoadQueries rejects /load bodies above this many queries with a
+	// 413 pointing at the streamed CLI path (mc3solve -stream): a session
+	// holds the materialized instance for its whole lifetime, so loads past
+	// this size belong in the streaming solver, not a serving daemon.
+	// 0 disables the check.
+	MaxLoadQueries int
+	Validate       bool
+	MaxSessions    int
 	Flight       int // span trees retained by the flight recorder (0 disables)
 	SelectorPath string
 
@@ -65,9 +71,10 @@ func DefaultConfig() Config {
 		Engine:        "dinic",
 		Parallel:      -1,
 		CacheSize:     cache.DefaultMaxEntries,
-		ReqTimeout:    30 * time.Second,
-		MaxBody:       8 << 20,
-		Validate:      true,
+		ReqTimeout:     30 * time.Second,
+		MaxBody:        8 << 20,
+		MaxLoadQueries: 100_000,
+		Validate:       true,
 		MaxSessions:   64,
 		Flight:        256,
 		SlowThreshold: time.Second,

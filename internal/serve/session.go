@@ -159,6 +159,12 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		s.failParse(w, err)
 		return
 	}
+	if s.cfg.MaxLoadQueries > 0 && len(file.Queries) > s.cfg.MaxLoadQueries {
+		s.fail(w, http.StatusRequestEntityTooLarge, fmt.Errorf(
+			"load of %d queries exceeds the %d-query session limit; solve oversized loads offline with `mc3solve -stream` (see docs/STREAMING.md)",
+			len(file.Queries), s.cfg.MaxLoadQueries))
+		return
+	}
 
 	u := core.NewUniverse()
 	opts := s.opts

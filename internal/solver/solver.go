@@ -205,6 +205,16 @@ type Options struct {
 	// value also implements DispatchSelector, Auto consults it for the
 	// general-vs-k≤2 gate. Nil (the default) races as before.
 	Selector Selector
+	// Sampling, when non-nil with a positive Gap, routes large residual
+	// components through the anytime sampling WSC path: solve on a weighted
+	// query sample, certify the completed cover against a per-element lower
+	// bound, and escalate (grow the sample, finally the exact reduction)
+	// only while the certified gap exceeds Sampling.Gap. The reported gap
+	// surfaces through Stats (SampledComponents/SamplingCost/SamplingLB),
+	// "sampling" span attrs, and the mc3_sampling_* metrics. Sampled
+	// components bypass Cache. Gap ≤ 0 (or nil) is the exact path,
+	// bit-for-bit identical to solving without this option.
+	Sampling *SamplingConfig
 	// FeatureAttrs, when set, stamps the top-level solve span with the
 	// instance's parameter analysis (core.Analyze: query/property/classifier
 	// counts, length extremes, incidence/frequency/degree) as "params_*"

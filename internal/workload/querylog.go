@@ -26,13 +26,32 @@ import (
 // Properties are interned into u; queries are returned in file order,
 // duplicates included (instance construction merges them).
 func ParseQueryLog(r io.Reader, u *core.Universe) ([]core.PropSet, error) {
-	if u == nil {
-		return nil, fmt.Errorf("workload: nil universe")
-	}
 	var queries []core.PropSet
+	err := ParseQueryLogFunc(r, u, func(q core.PropSet) error {
+		queries = append(queries, q)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return queries, nil
+}
+
+// ParseQueryLogFunc is the streaming form of ParseQueryLog: fn is called once
+// per query, in file order, and the log is never materialized as a slice —
+// the on-ramp for loads too large to hold in memory (pair it with
+// core.StreamingBuilder / solver.SolveStream). Parsing semantics are
+// identical to ParseQueryLog; an error returned by fn aborts the scan and is
+// returned verbatim. The PropSet passed to fn is freshly allocated and may be
+// retained.
+func ParseQueryLogFunc(r io.Reader, u *core.Universe, fn func(core.PropSet) error) error {
+	if u == nil {
+		return fmt.Errorf("workload: nil universe")
+	}
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	lineNo := 0
+	n := 0
 	for scanner.Scan() {
 		lineNo++
 		line := strings.TrimSuffix(scanner.Text(), "\r")
@@ -48,24 +67,27 @@ func ParseQueryLog(r io.Reader, u *core.Universe) ([]core.PropSet, error) {
 		for _, p := range parts {
 			p = strings.TrimSpace(p)
 			if p == "" {
-				return nil, fmt.Errorf("workload: line %d: empty property name", lineNo)
+				return fmt.Errorf("workload: line %d: empty property name", lineNo)
 			}
 			ids = append(ids, u.Intern(p))
 		}
 		q := core.NewPropSet(ids...) // sorts and drops in-line duplicates
 		if q.Len() > core.MaxEnumQueryLen {
-			return nil, fmt.Errorf("workload: line %d: query has %d distinct properties, enumeration limit is %d",
+			return fmt.Errorf("workload: line %d: query has %d distinct properties, enumeration limit is %d",
 				lineNo, q.Len(), core.MaxEnumQueryLen)
 		}
-		queries = append(queries, q)
+		if err := fn(q); err != nil {
+			return err
+		}
+		n++
 	}
 	if err := scanner.Err(); err != nil {
-		return nil, fmt.Errorf("workload: reading query log: %w", err)
+		return fmt.Errorf("workload: reading query log: %w", err)
 	}
-	if len(queries) == 0 {
-		return nil, fmt.Errorf("workload: query log contains no queries")
+	if n == 0 {
+		return fmt.Errorf("workload: query log contains no queries")
 	}
-	return queries, nil
+	return nil
 }
 
 // DatasetFromLog wraps a parsed query log and a cost model as a Dataset, so

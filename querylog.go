@@ -15,6 +15,14 @@ func ParseQueryLog(r io.Reader, u *Universe) ([]PropSet, error) {
 	return workload.ParseQueryLog(r, u)
 }
 
+// ParseQueryLogFunc is the streaming form of ParseQueryLog: fn is invoked
+// once per query in file order and the log is never held in memory — the
+// on-ramp for 10M+ query loads fed into core.StreamingBuilder or
+// solver.SolveStream (see docs/STREAMING.md).
+func ParseQueryLogFunc(r io.Reader, u *Universe, fn func(PropSet) error) error {
+	return workload.ParseQueryLogFunc(r, u, fn)
+}
+
 // InstanceFromQueryLog parses a query log and materializes it directly as an
 // MC³ instance under the given cost model.
 func InstanceFromQueryLog(r io.Reader, cm CostModel, opts InstanceOptions) (*Universe, *Instance, error) {
